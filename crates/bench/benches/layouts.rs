@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks: host-side traversal throughput of each
+//! forest layout (the CPU inference engines of `rfx-kernels::cpu`).
+//!
+//! These measure real wall-clock time of this library's code (not the
+//! simulated devices) — the practical numbers a CPU deployment would see,
+//! and a regression guard on the layout implementations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rfx_core::hier::builder::build_forest;
+use rfx_core::{CsrForest, FilForest, HierConfig};
+use rfx_forest::dataset::QueryView;
+use rfx_forest::{DecisionTree, RandomForest};
+
+fn fixture() -> (RandomForest, Vec<f32>) {
+    let mut rng = StdRng::seed_from_u64(0xBE);
+    let trees: Vec<DecisionTree> =
+        (0..50).map(|_| DecisionTree::random(&mut rng, 14, 18, 2, 0.3)).collect();
+    let forest = RandomForest::from_trees(trees, 18, 2).unwrap();
+    let queries: Vec<f32> = (0..4096 * 18).map(|_| rng.gen()).collect();
+    (forest, queries)
+}
+
+fn bench_layouts(c: &mut Criterion) {
+    let (forest, queries) = fixture();
+    let qv = QueryView::new(&queries, 18).unwrap();
+    let csr = CsrForest::build(&forest);
+    let fil = FilForest::build(&forest);
+    let mut group = c.benchmark_group("cpu_traversal");
+    group.throughput(Throughput::Elements(qv.num_rows() as u64));
+    group.sample_size(20);
+
+    group.bench_function("reference", |b| {
+        b.iter(|| rfx_kernels::cpu::predict_parallel(&forest, qv))
+    });
+    group.bench_function("csr", |b| b.iter(|| rfx_kernels::cpu::predict_csr_parallel(&csr, qv)));
+    group.bench_function("fil", |b| b.iter(|| rfx_kernels::cpu::predict_fil_parallel(&fil, qv)));
+    for sd in [4u8, 6, 8] {
+        let hier = build_forest(&forest, HierConfig::uniform(sd)).unwrap();
+        group.bench_with_input(BenchmarkId::new("hier", sd), &hier, |b, h| {
+            b.iter(|| rfx_kernels::cpu::predict_hier_parallel(h, qv))
+        });
+    }
+    group.finish();
+}
+
+fn bench_layout_builds(c: &mut Criterion) {
+    let (forest, _) = fixture();
+    let mut group = c.benchmark_group("layout_build");
+    group.sample_size(10);
+    group.bench_function("csr", |b| b.iter(|| CsrForest::build(&forest)));
+    group.bench_function("fil", |b| b.iter(|| FilForest::build(&forest)));
+    group.bench_function("hier_sd8", |b| {
+        b.iter(|| build_forest(&forest, HierConfig::uniform(8)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_layouts, bench_layout_builds);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benchmarks of the simulators themselves: how fast the SIMT
+//! and pipeline models execute per simulated query — useful for sizing
+//! `--scale full` runs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rfx_bench::runner;
+use rfx_bench::workloads::synthetic_workload;
+use rfx_core::HierConfig;
+use rfx_fpga_sim::Replication;
+
+fn bench_gpu_sim(c: &mut Criterion) {
+    let w = synthetic_workload(12, 20, 2048, 16, 0xC0DE);
+    let layout = runner::hier(&w, HierConfig::uniform(6));
+    let mut group = c.benchmark_group("gpu_sim_throughput");
+    group.throughput(Throughput::Elements(w.queries.num_rows() as u64));
+    group.sample_size(10);
+    group.bench_function("independent", |b| b.iter(|| runner::gpu_independent(&w, &layout)));
+    group.bench_function("hybrid", |b| b.iter(|| runner::gpu_hybrid(&w, &layout)));
+    group.bench_function("csr", |b| b.iter(|| runner::gpu_csr(&w)));
+    group.finish();
+}
+
+fn bench_fpga_sim(c: &mut Criterion) {
+    let w = synthetic_workload(12, 20, 4096, 16, 0xC0DF);
+    let layout = runner::hier(&w, HierConfig::uniform(6));
+    let rep = Replication::single(&runner::fpga_cfg());
+    let mut group = c.benchmark_group("fpga_sim_throughput");
+    group.throughput(Throughput::Elements(w.queries.num_rows() as u64));
+    group.sample_size(10);
+    group.bench_function("independent", |b| b.iter(|| runner::fpga_independent(&w, &layout, rep)));
+    group.bench_function("hybrid", |b| b.iter(|| runner::fpga_hybrid(&w, &layout, rep)));
+    group.finish();
+}
+
+fn bench_coalescer(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let scattered: Vec<(u64, u32)> = (0..32).map(|_| (rng.gen_range(0..1u64 << 20), 4)).collect();
+    let mut out = Vec::new();
+    c.bench_function("coalesce_32_scattered", |b| {
+        b.iter(|| rfx_gpu_sim::coalesce::segments(scattered.iter().copied(), &mut out))
+    });
+}
+
+criterion_group!(benches, bench_gpu_sim, bench_fpga_sim, bench_coalescer);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmarks of the CART training substrate: histogram vs
+//! exact split finding, and end-to-end forest fitting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rfx_data::specs::{DatasetKind, DatasetSpec};
+use rfx_forest::train::{MaxFeatures, SplitFinder, TrainConfig};
+use rfx_forest::RandomForest;
+
+fn bench_fit(c: &mut Criterion) {
+    let ds = DatasetSpec::scaled(DatasetKind::SusyLike, 10_000).generate();
+    let mut group = c.benchmark_group("forest_fit_10k_rows");
+    group.throughput(Throughput::Elements(ds.num_rows() as u64));
+    group.sample_size(10);
+    for (label, finder) in [
+        ("histogram256", SplitFinder::Histogram { max_bins: 256 }),
+        ("histogram64", SplitFinder::Histogram { max_bins: 64 }),
+        ("exact", SplitFinder::Exact),
+    ] {
+        let cfg = TrainConfig {
+            n_trees: 10,
+            max_depth: 12,
+            split_finder: finder,
+            max_features: MaxFeatures::Sqrt,
+            seed: 5,
+            ..TrainConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("finder", label), &cfg, |b, cfg| {
+            b.iter(|| RandomForest::fit(&ds, cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_depth_scaling(c: &mut Criterion) {
+    let ds = DatasetSpec::scaled(DatasetKind::CovertypeLike, 8_000).generate();
+    let mut group = c.benchmark_group("fit_depth_scaling");
+    group.sample_size(10);
+    for depth in [5usize, 15, 30] {
+        let cfg = TrainConfig { n_trees: 8, max_depth: depth, seed: 7, ..TrainConfig::default() };
+        group.bench_with_input(BenchmarkId::new("depth", depth), &cfg, |b, cfg| {
+            b.iter(|| RandomForest::fit(&ds, cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_depth_scaling);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Table printing and JSON result persistence for the harness binaries.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// A fixed-width text table that mirrors the paper's row/column structure.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringify cells with `format!`).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Writes a JSON copy of an experiment's results to
+/// `bench_results/<name>-<scale>.json` (directory overridable via
+/// `RFX_RESULTS`).
+pub fn write_json<T: Serialize>(name: &str, scale_label: &str, value: &T) {
+    let dir = std::env::var_os("RFX_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("bench_results"));
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}-{scale_label}.json"));
+    match serde_json::to_vec_pretty(value) {
+        Ok(bytes) => {
+            if std::fs::write(&path, bytes).is_ok() {
+                eprintln!("[results written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("[failed to serialize results: {e}]"),
+    }
+}
+
+/// Formats a speedup with the paper's one-decimal style.
+pub fn speedup(baseline_seconds: f64, variant_seconds: f64) -> String {
+    format!("{:.1}", baseline_seconds / variant_seconds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1.5".into()]);
+        t.row(vec!["long-name".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // header + separator + 2 rows + title
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[3].len(), lines[4].len(), "columns aligned");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_is_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn speedup_formatting() {
+        assert_eq!(speedup(10.0, 2.0), "5.0");
+        assert_eq!(speedup(9.0, 2.0), "4.5");
+    }
+}

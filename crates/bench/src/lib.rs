@@ -1,0 +1,29 @@
+//! # rfx-bench
+//!
+//! Experiment harnesses that regenerate **every table and figure** of the
+//! paper's evaluation (§4). Each binary prints the same rows/series the
+//! paper reports and writes a machine-readable JSON copy next to it:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — dataset characteristics |
+//! | `fig5` | Fig. 5 — accuracy vs (max depth × number of trees) heatmaps |
+//! | `fig6` | Fig. 6 — hierarchical/CSR memory-footprint ratio vs depth |
+//! | `fig7` | Fig. 7 — GPU speedup over CSR (independent, hybrid, cuML/FIL) |
+//! | `fig8` | Fig. 8 — global load requests & branch efficiency (Susy) |
+//! | `table2` | Table 2 — root-subtree-depth effects (GPU speedup, FPGA seconds) |
+//! | `table3` | Table 3 — FPGA code-variant comparison on the synthetic forest |
+//! | `fig9` | Fig. 9 — FPGA runtime vs tree depth and subtree depth |
+//! | `fig10` | Fig. 10 — GPU vs FPGA on Susy |
+//! | `ablation` | §3.2.1 "other optimizations" — collaborative-variant ablation |
+//!
+//! Every binary accepts `--scale tiny|default|full` (see [`scale`]):
+//! simulating a device is orders of magnitude slower than being one, so
+//! the default uses sub-sampled query sets — speedup *ratios* are
+//! scale-stable because every variant sees the identical workload — and
+//! `--scale full` reproduces the paper's sample counts verbatim.
+
+pub mod harness;
+pub mod runner;
+pub mod scale;
+pub mod workloads;

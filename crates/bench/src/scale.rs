@@ -1,0 +1,113 @@
+//! Workload scaling presets and CLI parsing shared by all harness
+//! binaries.
+
+use serde::{Deserialize, Serialize};
+
+/// How much of the paper-scale workload to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Seconds-long smoke runs (CI).
+    Tiny,
+    /// Minutes-long runs whose ratios match full scale (the default).
+    Default,
+    /// The paper's exact sample counts. Hours of simulation.
+    Full,
+}
+
+impl Scale {
+    /// Training rows drawn from the generated dataset.
+    pub fn train_rows(self, paper: usize) -> usize {
+        match self {
+            Scale::Tiny => 4_000.min(paper),
+            // Enough rows that trained trees have the paper's shape:
+            // 100k+ nodes per tree, so forests dwarf the caches.
+            Scale::Default => 100_000.min(paper),
+            Scale::Full => paper,
+        }
+    }
+
+    /// Queries pushed through the simulated devices.
+    pub fn queries(self, paper: usize) -> usize {
+        match self {
+            Scale::Tiny => 512.min(paper),
+            Scale::Default => 2_048.min(paper),
+            Scale::Full => paper,
+        }
+    }
+
+    /// Test rows used for accuracy scoring (host-speed, so generous).
+    pub fn accuracy_rows(self, paper: usize) -> usize {
+        match self {
+            Scale::Tiny => 4_000.min(paper),
+            Scale::Default => 10_000.min(paper),
+            Scale::Full => paper,
+        }
+    }
+
+    /// Number of trees in timing forests. The paper fixes 100 and notes
+    /// execution time is linear in tree count (§4.1), so the reduced
+    /// scales keep ratios intact.
+    pub fn timing_trees(self) -> usize {
+        match self {
+            Scale::Tiny => 20,
+            Scale::Default => 50,
+            Scale::Full => 100,
+        }
+    }
+
+    /// Parses `--scale <value>` from argv (also accepts `--scale=<value>`),
+    /// defaulting to [`Scale::Default`]. Exits with a usage message on an
+    /// unknown value.
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        let mut value: Option<&str> = None;
+        for (i, a) in args.iter().enumerate() {
+            if let Some(v) = a.strip_prefix("--scale=") {
+                value = Some(v);
+            } else if a == "--scale" {
+                value = args.get(i + 1).map(|s| s.as_str());
+            }
+        }
+        match value {
+            None => Scale::Default,
+            Some("tiny") => Scale::Tiny,
+            Some("default") => Scale::Default,
+            Some("full") => Scale::Full,
+            Some(other) => {
+                eprintln!("unknown --scale {other:?}; expected tiny|default|full");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Short label for output paths.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Default => "default",
+            Scale::Full => "full",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_monotone() {
+        for paper in [1_000usize, 100_000, 3_000_000] {
+            assert!(Scale::Tiny.queries(paper) <= Scale::Default.queries(paper));
+            assert!(Scale::Default.queries(paper) <= Scale::Full.queries(paper));
+            assert_eq!(Scale::Full.queries(paper), paper);
+            assert!(Scale::Tiny.train_rows(paper) <= Scale::Default.train_rows(paper));
+        }
+        assert!(Scale::Tiny.timing_trees() < Scale::Full.timing_trees());
+    }
+
+    #[test]
+    fn small_paper_counts_are_clamped() {
+        assert_eq!(Scale::Default.queries(100), 100);
+        assert_eq!(Scale::Tiny.train_rows(10), 10);
+    }
+}

@@ -1,0 +1,149 @@
+//! Tree clustering by feature-access similarity — the paper's §3.2.1
+//! "Optimization 1".
+//!
+//! The paper tested K-means clustering of trees so that trees touching
+//! similar features sit adjacent in the memory layout (hoping for better
+//! locality), and found **no significant benefit**. The ablation harness
+//! reproduces that null result; this module provides the clustering:
+//! K-means over per-tree feature-usage profiles, returning a permutation
+//! that groups same-cluster trees together.
+
+use rfx_forest::importance::feature_usage_profile;
+use rfx_forest::RandomForest;
+
+/// K-means over tree feature-usage profiles. Returns `(order, assignment)`
+/// where `order` is a tree permutation grouping clusters contiguously and
+/// `assignment[t]` is tree `t`'s cluster.
+///
+/// Deterministic: centroids are seeded by evenly spaced trees and Lloyd
+/// iterations run to convergence or `max_iters`.
+pub fn cluster_trees(forest: &RandomForest, k: usize, max_iters: usize) -> (Vec<usize>, Vec<usize>) {
+    let n = forest.num_trees();
+    let k = k.clamp(1, n);
+    let d = forest.num_features();
+    let profiles: Vec<Vec<f32>> = forest
+        .trees()
+        .iter()
+        .map(|t| feature_usage_profile(t, d))
+        .collect();
+
+    // Evenly spaced initial centroids (deterministic, spread out).
+    let mut centroids: Vec<Vec<f32>> = (0..k).map(|c| profiles[c * n / k].clone()).collect();
+    let mut assignment = vec![0usize; n];
+
+    for _ in 0..max_iters.max(1) {
+        // Assign.
+        let mut changed = false;
+        for (t, p) in profiles.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    dist2(p, &centroids[a]).total_cmp(&dist2(p, &centroids[b]))
+                })
+                .expect("k >= 1");
+            if assignment[t] != best {
+                assignment[t] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Update.
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            let members: Vec<&Vec<f32>> = profiles
+                .iter()
+                .zip(&assignment)
+                .filter(|(_, &a)| a == c)
+                .map(|(p, _)| p)
+                .collect();
+            if members.is_empty() {
+                continue; // keep the old centroid
+            }
+            for (j, v) in centroid.iter_mut().enumerate() {
+                *v = members.iter().map(|m| m[j]).sum::<f32>() / members.len() as f32;
+            }
+        }
+    }
+
+    // Stable grouped order: by cluster, then original index.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&t| (assignment[t], t));
+    (order, assignment)
+}
+
+/// Rebuilds a forest with its trees permuted (predictions are unchanged —
+/// majority voting is order-independent — but layouts built from the
+/// reordered forest place same-cluster trees adjacently).
+pub fn reorder_forest(forest: &RandomForest, order: &[usize]) -> RandomForest {
+    assert_eq!(order.len(), forest.num_trees());
+    let trees = order.iter().map(|&t| forest.trees()[t].clone()).collect();
+    RandomForest::from_trees(trees, forest.num_features(), forest.num_classes())
+        .expect("permutation of a valid forest is valid")
+}
+
+#[inline]
+fn dist2(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfx_forest::{DecisionTree, Node};
+
+    /// Trees that split only on one feature each: clustering by profile
+    /// must group them by that feature.
+    fn single_feature_tree(f: u16) -> DecisionTree {
+        DecisionTree::from_nodes(vec![
+            Node::Inner { feature: f, threshold: 0.5, left: 1, right: 2 },
+            Node::Leaf { label: 0 },
+            Node::Inner { feature: f, threshold: 0.8, left: 3, right: 4 },
+            Node::Leaf { label: 1 },
+            Node::Leaf { label: 0 },
+        ])
+        .unwrap()
+    }
+
+    fn forest_of_features(features: &[u16]) -> RandomForest {
+        let trees = features.iter().map(|&f| single_feature_tree(f)).collect();
+        RandomForest::from_trees(trees, 4, 2).unwrap()
+    }
+
+    #[test]
+    fn clusters_group_identical_profiles() {
+        // Interleaved feature-0 and feature-3 trees.
+        let forest = forest_of_features(&[0, 3, 0, 3, 0, 3]);
+        let (order, assignment) = cluster_trees(&forest, 2, 20);
+        // Same-feature trees share a cluster.
+        assert_eq!(assignment[0], assignment[2]);
+        assert_eq!(assignment[0], assignment[4]);
+        assert_eq!(assignment[1], assignment[3]);
+        assert_ne!(assignment[0], assignment[1]);
+        // The order is a permutation with clusters contiguous.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..6).collect::<Vec<usize>>());
+        let boundary: Vec<usize> = order.iter().map(|&t| assignment[t]).collect();
+        assert!(boundary.windows(2).filter(|w| w[0] != w[1]).count() <= 1);
+    }
+
+    #[test]
+    fn reorder_preserves_predictions() {
+        let forest = forest_of_features(&[0, 1, 2, 3, 1, 0, 2]);
+        let (order, _) = cluster_trees(&forest, 3, 20);
+        let reordered = reorder_forest(&forest, &order);
+        for q in [[0.1f32, 0.9, 0.4, 0.7], [0.6, 0.2, 0.9, 0.3], [0.85, 0.85, 0.85, 0.85]] {
+            assert_eq!(forest.predict(&q), reordered.predict(&q));
+        }
+    }
+
+    #[test]
+    fn k_is_clamped() {
+        let forest = forest_of_features(&[0, 1]);
+        let (order, assignment) = cluster_trees(&forest, 10, 5);
+        assert_eq!(order.len(), 2);
+        assert!(assignment.iter().all(|&a| a < 2));
+        let (_, one) = cluster_trees(&forest, 0, 5);
+        assert!(one.iter().all(|&a| a == 0));
+    }
+}

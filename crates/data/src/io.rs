@@ -1,0 +1,176 @@
+//! Dataset persistence: CSV (interchange) and a raw binary format (speed).
+
+use rfx_forest::{Dataset, ForestError};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+/// Writes a dataset as CSV: header `f0,...,fN,label`, one row per sample.
+pub fn write_csv<W: Write>(ds: &Dataset, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    for c in 0..ds.num_features() {
+        write!(w, "f{c},")?;
+    }
+    writeln!(w, "label")?;
+    for r in 0..ds.num_rows() {
+        for &v in ds.row(r) {
+            write!(w, "{v},")?;
+        }
+        writeln!(w, "{}", ds.label(r))?;
+    }
+    w.flush()
+}
+
+/// Reads a dataset from CSV as written by [`write_csv`] (header row with a
+/// trailing `label` column).
+pub fn read_csv<R: Read>(r: R) -> Result<Dataset, ForestError> {
+    let mut lines = BufReader::new(r).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| ForestError::Corrupt { detail: "empty csv".into() })?
+        .map_err(|e| ForestError::Corrupt { detail: format!("io: {e}") })?;
+    let cols: Vec<&str> = header.trim().split(',').collect();
+    if cols.last() != Some(&"label") || cols.len() < 2 {
+        return Err(ForestError::Corrupt { detail: "header must end in `label`".into() });
+    }
+    let nf = cols.len() - 1;
+    let mut features = Vec::new();
+    let mut labels = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(|e| ForestError::Corrupt { detail: format!("io: {e}") })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.trim().split(',');
+        for c in 0..nf {
+            let tok = parts.next().ok_or_else(|| ForestError::Corrupt {
+                detail: format!("row {lineno}: missing column {c}"),
+            })?;
+            features.push(tok.parse::<f32>().map_err(|_| ForestError::Corrupt {
+                detail: format!("row {lineno}: bad float {tok:?}"),
+            })?);
+        }
+        let tok = parts.next().ok_or_else(|| ForestError::Corrupt {
+            detail: format!("row {lineno}: missing label"),
+        })?;
+        labels.push(tok.parse::<u32>().map_err(|_| ForestError::Corrupt {
+            detail: format!("row {lineno}: bad label {tok:?}"),
+        })?);
+        if parts.next().is_some() {
+            return Err(ForestError::Corrupt { detail: format!("row {lineno}: too many columns") });
+        }
+    }
+    Dataset::from_rows(features, nf, labels)
+}
+
+const BIN_MAGIC: &[u8; 4] = b"RFXD";
+
+/// Writes a dataset in the raw little-endian binary format
+/// (`magic, rows u64, features u64, classes u32, f32 matrix, u32 labels`).
+pub fn write_binary<W: Write>(ds: &Dataset, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    w.write_all(BIN_MAGIC)?;
+    w.write_all(&(ds.num_rows() as u64).to_le_bytes())?;
+    w.write_all(&(ds.num_features() as u64).to_le_bytes())?;
+    w.write_all(&ds.num_classes().to_le_bytes())?;
+    for &v in ds.raw_features() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    for &l in ds.labels() {
+        w.write_all(&l.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads the binary dataset format.
+pub fn read_binary<R: Read>(mut r: R) -> Result<Dataset, ForestError> {
+    let ioerr = |e: io::Error| ForestError::Corrupt { detail: format!("io: {e}") };
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(ioerr)?;
+    if &magic != BIN_MAGIC {
+        return Err(ForestError::Corrupt { detail: "bad dataset magic".into() });
+    }
+    let mut b8 = [0u8; 8];
+    r.read_exact(&mut b8).map_err(ioerr)?;
+    let rows = u64::from_le_bytes(b8) as usize;
+    r.read_exact(&mut b8).map_err(ioerr)?;
+    let nf = u64::from_le_bytes(b8) as usize;
+    let mut b4 = [0u8; 4];
+    r.read_exact(&mut b4).map_err(ioerr)?;
+    let classes = u32::from_le_bytes(b4);
+    if rows == 0 || nf == 0 || rows.checked_mul(nf).is_none_or(|t| t > 1 << 34) {
+        return Err(ForestError::Corrupt { detail: format!("implausible shape {rows}x{nf}") });
+    }
+    let mut features = vec![0f32; rows * nf];
+    for v in features.iter_mut() {
+        r.read_exact(&mut b4).map_err(ioerr)?;
+        *v = f32::from_le_bytes(b4);
+    }
+    let mut labels = vec![0u32; rows];
+    for l in labels.iter_mut() {
+        r.read_exact(&mut b4).map_err(ioerr)?;
+        *l = u32::from_le_bytes(b4);
+    }
+    Dataset::from_rows_with_classes(features, nf, labels, classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::mixture::{generate, MixtureConfig};
+
+    fn sample() -> Dataset {
+        generate(&MixtureConfig::default(), 200, 77)
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let ds = sample();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.num_rows(), ds.num_rows());
+        assert_eq!(back.num_features(), ds.num_features());
+        assert_eq!(back.labels(), ds.labels());
+        for r in 0..ds.num_rows() {
+            for c in 0..ds.num_features() {
+                let (a, b) = (ds.value(r, c), back.value(r, c));
+                assert!((a - b).abs() <= f32::EPSILON * a.abs().max(1.0), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip_is_exact() {
+        let ds = sample();
+        let mut buf = Vec::new();
+        write_binary(&ds, &mut buf).unwrap();
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(read_csv(&b""[..]).is_err());
+        assert!(read_csv(&b"a,b\n"[..]).is_err(), "header must end in label");
+        assert!(read_csv(&b"f0,label\nxyz,0\n"[..]).is_err(), "bad float");
+        assert!(read_csv(&b"f0,label\n1.0\n"[..]).is_err(), "missing label");
+        assert!(read_csv(&b"f0,label\n1.0,0,9\n"[..]).is_err(), "extra column");
+        assert!(read_csv(&b"f0,label\n1.0,-3\n"[..]).is_err(), "negative label");
+    }
+
+    #[test]
+    fn csv_skips_blank_lines() {
+        let ds = read_csv(&b"f0,label\n1.0,0\n\n2.0,1\n"[..]).unwrap();
+        assert_eq!(ds.num_rows(), 2);
+    }
+
+    #[test]
+    fn binary_rejects_truncation_and_magic() {
+        let ds = sample();
+        let mut buf = Vec::new();
+        write_binary(&ds, &mut buf).unwrap();
+        assert!(read_binary(&buf[..10]).is_err());
+        assert!(read_binary(&buf[..buf.len() - 2]).is_err());
+        buf[0] = b'X';
+        assert!(read_binary(buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! Per-dataset presets mirroring Table 1 of the paper.
+
+use crate::synthetic::{mixture, physics, planted};
+use rfx_forest::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's datasets a spec stands in for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// UCI Covertype, binarized (581,012 × 54). Deep planted structure:
+    /// accuracy keeps improving to tree depth ≈ 35–40, ceiling ≈ 89 %.
+    CovertypeLike,
+    /// UCI SUSY (3,000,000 × 18). Smooth boundary: saturates by depth
+    /// ≈ 15–20, ceiling ≈ 80 %.
+    SusyLike,
+    /// UCI HIGGS (2,750,000 × 28). Wigglier boundary: saturates by depth
+    /// ≈ 25–30, ceiling ≈ 74 %.
+    HiggsLike,
+    /// Small Gaussian-mixture smoke-test dataset (not in the paper).
+    Mixture,
+}
+
+impl DatasetKind {
+    /// Display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::CovertypeLike => "Covertype",
+            DatasetKind::SusyLike => "Susy",
+            DatasetKind::HiggsLike => "Higgs",
+            DatasetKind::Mixture => "Mixture",
+        }
+    }
+
+    /// Sample count of the original dataset (Table 1).
+    pub fn paper_samples(self) -> usize {
+        match self {
+            DatasetKind::CovertypeLike => 581_012,
+            DatasetKind::SusyLike => 3_000_000,
+            DatasetKind::HiggsLike => 2_750_000,
+            DatasetKind::Mixture => 10_000,
+        }
+    }
+
+    /// Feature count of the original dataset (Table 1).
+    pub fn paper_features(self) -> usize {
+        match self {
+            DatasetKind::CovertypeLike => 54,
+            DatasetKind::SusyLike => 18,
+            DatasetKind::HiggsLike => 28,
+            DatasetKind::Mixture => 8,
+        }
+    }
+
+    /// Source attribution as printed in Table 1.
+    pub fn source(self) -> &'static str {
+        match self {
+            DatasetKind::Mixture => "synthetic",
+            _ => "UCI (synthetic stand-in)",
+        }
+    }
+
+    /// The tree-depth band the paper selects for this dataset's timing
+    /// experiments (Fig. 7 / Fig. 9 / Table 2), chosen from the Fig. 5
+    /// accuracy study.
+    pub fn paper_depth_band(self) -> [usize; 3] {
+        match self {
+            DatasetKind::CovertypeLike => [30, 35, 40],
+            DatasetKind::SusyLike => [15, 20, 25],
+            DatasetKind::HiggsLike => [25, 30, 35],
+            DatasetKind::Mixture => [6, 8, 10],
+        }
+    }
+}
+
+/// A concrete generation request: which stand-in, how many rows, and the
+/// seed. `generate()` is deterministic in all three.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Which dataset this stands in for.
+    pub kind: DatasetKind,
+    /// Rows to generate.
+    pub num_samples: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Full paper-scale spec for a dataset.
+    pub fn paper_scale(kind: DatasetKind) -> Self {
+        Self { kind, num_samples: kind.paper_samples(), seed: 0x5EED ^ kind as u64 }
+    }
+
+    /// Same generator and seed, fewer rows — for simulator workloads and CI.
+    pub fn scaled(kind: DatasetKind, num_samples: usize) -> Self {
+        Self { num_samples, ..Self::paper_scale(kind) }
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> Dataset {
+        match self.kind {
+            DatasetKind::CovertypeLike => {
+                let cfg = planted::PlantedConfig {
+                    num_features: 54,
+                    plant_depth: 40,
+                    drift: 1.5,
+                    sharpness: 1.0,
+                    decay: 0.90,
+                    plant_seed: 0xC0C0A ^ self.seed,
+                };
+                planted::generate(&cfg, self.num_samples, self.seed)
+            }
+            DatasetKind::SusyLike => {
+                physics::generate(&physics::PhysicsConfig::susy_like(), self.num_samples, self.seed)
+            }
+            DatasetKind::HiggsLike => {
+                physics::generate(&physics::PhysicsConfig::higgs_like(), self.num_samples, self.seed)
+            }
+            DatasetKind::Mixture => {
+                mixture::generate(&mixture::MixtureConfig::default(), self.num_samples, self.seed)
+            }
+        }
+    }
+
+    /// Feature count the generated dataset will have.
+    pub fn num_features(&self) -> usize {
+        self.kind.paper_features()
+    }
+}
+
+/// The three paper datasets, in Table 1 order.
+pub fn paper_datasets() -> [DatasetKind; 3] {
+    [DatasetKind::CovertypeLike, DatasetKind::SusyLike, DatasetKind::HiggsLike]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_metadata() {
+        assert_eq!(DatasetKind::CovertypeLike.paper_samples(), 581_012);
+        assert_eq!(DatasetKind::SusyLike.paper_samples(), 3_000_000);
+        assert_eq!(DatasetKind::HiggsLike.paper_samples(), 2_750_000);
+        assert_eq!(DatasetKind::CovertypeLike.paper_features(), 54);
+        assert_eq!(DatasetKind::SusyLike.paper_features(), 18);
+        assert_eq!(DatasetKind::HiggsLike.paper_features(), 28);
+    }
+
+    #[test]
+    fn scaled_specs_generate_right_shape() {
+        for kind in paper_datasets() {
+            let spec = DatasetSpec::scaled(kind, 2000);
+            let ds = spec.generate();
+            assert_eq!(ds.num_rows(), 2000, "{kind:?}");
+            assert_eq!(ds.num_features(), kind.paper_features(), "{kind:?}");
+            assert_eq!(ds.num_classes(), 2, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn scaled_is_deterministic_and_kind_specific() {
+        let a = DatasetSpec::scaled(DatasetKind::SusyLike, 500).generate();
+        let b = DatasetSpec::scaled(DatasetKind::SusyLike, 500).generate();
+        assert_eq!(a, b);
+        let c = DatasetSpec::scaled(DatasetKind::HiggsLike, 500).generate();
+        assert_ne!(a.num_features(), c.num_features());
+    }
+
+    #[test]
+    fn depth_bands_match_paper_selection() {
+        assert_eq!(DatasetKind::CovertypeLike.paper_depth_band(), [30, 35, 40]);
+        assert_eq!(DatasetKind::SusyLike.paper_depth_band(), [15, 20, 25]);
+        assert_eq!(DatasetKind::HiggsLike.paper_depth_band(), [25, 30, 35]);
+    }
+
+    #[test]
+    fn spec_serde_roundtrip() {
+        let spec = DatasetSpec::scaled(DatasetKind::HiggsLike, 123);
+        let json = serde_json::to_string(&spec).unwrap();
+        assert_eq!(spec, serde_json::from_str::<DatasetSpec>(&json).unwrap());
+    }
+}

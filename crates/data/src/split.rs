@@ -1,0 +1,95 @@
+//! Train/test splitting. The paper slices each dataset 1:1.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rfx_forest::Dataset;
+
+/// Splits a dataset into `(train, test)` with `train_fraction` of the rows
+/// (after a seeded shuffle) in the training set.
+///
+/// `train_fraction` is clamped so both sides get at least one row.
+///
+/// # Panics
+/// Panics if the dataset has fewer than 2 rows.
+pub fn train_test_split(ds: &Dataset, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    let n = ds.num_rows();
+    assert!(n >= 2, "cannot split {n} rows");
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    let cut = ((n as f64 * train_fraction).round() as usize).clamp(1, n - 1);
+    (ds.subset(&order[..cut]), ds.subset(&order[cut..]))
+}
+
+/// The paper's 1:1 split.
+pub fn paper_split(ds: &Dataset, seed: u64) -> (Dataset, Dataset) {
+    train_test_split(ds, 0.5, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds(n: usize) -> Dataset {
+        Dataset::from_rows(
+            (0..n * 2).map(|i| i as f32).collect(),
+            2,
+            (0..n as u32).map(|i| i % 2).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn half_split_shapes() {
+        let d = ds(101);
+        let (tr, te) = paper_split(&d, 7);
+        assert_eq!(tr.num_rows() + te.num_rows(), 101);
+        assert!((tr.num_rows() as i64 - te.num_rows() as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let d = ds(50);
+        let (tr, te) = train_test_split(&d, 0.6, 3);
+        // Feature 0 values are unique (2*i), so we can track rows.
+        let mut seen: Vec<i64> = tr
+            .raw_features()
+            .chunks(2)
+            .chain(te.raw_features().chunks(2))
+            .map(|r| r[0] as i64)
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..50).map(|i| 2 * i).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let d = ds(40);
+        let (a1, b1) = train_test_split(&d, 0.5, 9);
+        let (a2, b2) = train_test_split(&d, 0.5, 9);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        let (a3, _) = train_test_split(&d, 0.5, 10);
+        assert_ne!(a1, a3);
+    }
+
+    #[test]
+    fn extreme_fractions_are_clamped() {
+        let d = ds(10);
+        let (tr, te) = train_test_split(&d, 0.0, 1);
+        assert_eq!((tr.num_rows(), te.num_rows()), (1, 9));
+        let (tr, te) = train_test_split(&d, 1.0, 1);
+        assert_eq!((tr.num_rows(), te.num_rows()), (9, 1));
+    }
+
+    #[test]
+    fn labels_follow_rows() {
+        let d = ds(30);
+        let (tr, _) = train_test_split(&d, 0.5, 4);
+        for r in 0..tr.num_rows() {
+            // Row with feature0 = 2*i must carry label i % 2.
+            let orig = (tr.value(r, 0) as u32) / 2;
+            assert_eq!(tr.label(r), orig % 2);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Dataset summaries (drives the Table-1 harness output).
+
+use rfx_forest::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSummary {
+    /// Row count.
+    pub num_samples: usize,
+    /// Feature count.
+    pub num_features: usize,
+    /// Class count.
+    pub num_classes: u32,
+    /// Per-class sample counts.
+    pub class_counts: Vec<usize>,
+    /// Per-feature `(min, max, mean, std)`.
+    pub feature_stats: Vec<FeatureStats>,
+}
+
+/// Column statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureStats {
+    /// Minimum value.
+    pub min: f32,
+    /// Maximum value.
+    pub max: f32,
+    /// Mean.
+    pub mean: f32,
+    /// Population standard deviation.
+    pub std: f32,
+}
+
+/// Computes a [`DatasetSummary`] in one pass per column.
+pub fn summarize(ds: &Dataset) -> DatasetSummary {
+    let n = ds.num_rows();
+    let nf = ds.num_features();
+    let mut feature_stats = Vec::with_capacity(nf);
+    for c in 0..nf {
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        let mut sum = 0.0f64;
+        let mut sumsq = 0.0f64;
+        for r in 0..n {
+            let v = ds.value(r, c);
+            min = min.min(v);
+            max = max.max(v);
+            sum += v as f64;
+            sumsq += (v as f64) * (v as f64);
+        }
+        let mean = sum / n as f64;
+        let var = (sumsq / n as f64 - mean * mean).max(0.0);
+        feature_stats.push(FeatureStats {
+            min,
+            max,
+            mean: mean as f32,
+            std: var.sqrt() as f32,
+        });
+    }
+    DatasetSummary {
+        num_samples: n,
+        num_features: nf,
+        num_classes: ds.num_classes(),
+        class_counts: ds.class_counts(),
+        feature_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_data() {
+        let ds = Dataset::from_rows(vec![0.0, 10.0, 2.0, 10.0, 4.0, 10.0], 2, vec![0, 1, 1])
+            .unwrap();
+        let s = summarize(&ds);
+        assert_eq!(s.num_samples, 3);
+        assert_eq!(s.num_features, 2);
+        assert_eq!(s.class_counts, vec![1, 2]);
+        let f0 = s.feature_stats[0];
+        assert_eq!((f0.min, f0.max), (0.0, 4.0));
+        assert!((f0.mean - 2.0).abs() < 1e-6);
+        // std of {0,2,4} = sqrt(8/3)
+        assert!((f0.std - (8.0f32 / 3.0).sqrt()).abs() < 1e-6);
+        let f1 = s.feature_stats[1];
+        assert_eq!((f1.min, f1.max), (10.0, 10.0));
+        assert_eq!(f1.std, 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Gaussian-mixture generator for tests, examples, and quick demos.
+
+use super::standard_normal;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rfx_forest::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the Gaussian-mixture generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixtureConfig {
+    /// Feature-space dimensionality.
+    pub num_features: u16,
+    /// Number of classes.
+    pub num_classes: u32,
+    /// Gaussian clusters per class.
+    pub clusters_per_class: usize,
+    /// Cluster standard deviation (cluster centers live in `[0,1)^d`;
+    /// larger std = more class overlap = lower attainable accuracy).
+    pub cluster_std: f32,
+}
+
+impl Default for MixtureConfig {
+    fn default() -> Self {
+        Self { num_features: 8, num_classes: 2, clusters_per_class: 3, cluster_std: 0.08 }
+    }
+}
+
+/// Generates `n` samples: for each, pick a class uniformly, pick one of its
+/// clusters uniformly, and sample a Gaussian around the cluster center.
+pub fn generate(cfg: &MixtureConfig, n: usize, seed: u64) -> Dataset {
+    assert!(cfg.num_classes >= 2 && cfg.clusters_per_class >= 1 && n > 0);
+    let nf = cfg.num_features as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Cluster centers, fixed by the seed.
+    let n_centers = cfg.num_classes as usize * cfg.clusters_per_class;
+    let centers: Vec<f32> = (0..n_centers * nf).map(|_| rng.gen::<f32>()).collect();
+
+    let mut features = Vec::with_capacity(n * nf);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let class = rng.gen_range(0..cfg.num_classes);
+        let cluster = rng.gen_range(0..cfg.clusters_per_class);
+        let center = &centers
+            [(class as usize * cfg.clusters_per_class + cluster) * nf..][..nf];
+        for &c in center {
+            features.push(c + cfg.cluster_std * standard_normal(&mut rng));
+        }
+        labels.push(class);
+    }
+    Dataset::from_rows_with_classes(features, nf, labels, cfg.num_classes)
+        .expect("generator produces well-shaped data")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let cfg = MixtureConfig::default();
+        let a = generate(&cfg, 1000, 4);
+        assert_eq!(a.num_rows(), 1000);
+        assert_eq!(a.num_features(), 8);
+        assert_eq!(a, generate(&cfg, 1000, 4));
+        assert_ne!(a, generate(&cfg, 1000, 5));
+    }
+
+    #[test]
+    fn multiclass_labels_present() {
+        let cfg = MixtureConfig { num_classes: 4, ..MixtureConfig::default() };
+        let ds = generate(&cfg, 4000, 2);
+        let counts = ds.class_counts();
+        assert_eq!(counts.len(), 4);
+        assert!(counts.iter().all(|&c| c > 500), "{counts:?}");
+    }
+
+    #[test]
+    fn tight_clusters_are_learnable() {
+        use rfx_forest::train::TrainConfig;
+        use rfx_forest::RandomForest;
+        let cfg = MixtureConfig { cluster_std: 0.03, ..MixtureConfig::default() };
+        let train = generate(&cfg, 4000, 10);
+        let test = generate(&cfg, 2000, 10); // same seed = same centers
+        let tc = TrainConfig { n_trees: 20, max_depth: 10, seed: 3, ..TrainConfig::default() };
+        let f = RandomForest::fit(&train, &tc).unwrap();
+        let acc = rfx_forest::metrics::accuracy(&f.predict_batch(&test), test.labels());
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn wide_clusters_are_harder() {
+        use rfx_forest::train::TrainConfig;
+        use rfx_forest::RandomForest;
+        let tight = MixtureConfig { cluster_std: 0.02, ..MixtureConfig::default() };
+        let wide = MixtureConfig { cluster_std: 0.5, ..MixtureConfig::default() };
+        let tc = TrainConfig { n_trees: 10, max_depth: 8, seed: 3, ..TrainConfig::default() };
+        let acc = |cfg: &MixtureConfig| {
+            let train = generate(cfg, 3000, 6);
+            let test = generate(cfg, 1500, 6);
+            let f = RandomForest::fit(&train, &tc).unwrap();
+            rfx_forest::metrics::accuracy(&f.predict_batch(&test), test.labels())
+        };
+        assert!(acc(&tight) > acc(&wide) + 0.1);
+    }
+}

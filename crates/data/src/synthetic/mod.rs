@@ -1,0 +1,50 @@
+//! Synthetic dataset generators.
+
+pub mod mixture;
+pub mod physics;
+pub mod planted;
+
+use rand::Rng;
+
+/// Samples a standard normal via Box–Muller (avoids pulling in
+/// `rand_distr` just for one distribution).
+#[inline]
+pub(crate) fn standard_normal<R: Rng>(rng: &mut R) -> f32 {
+    // Draw u1 in (0, 1] to keep ln finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// Logistic sigmoid.
+#[inline]
+pub(crate) fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean: f64 = xs.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        let var: f64 =
+            xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn sigmoid_bounds_and_symmetry() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(20.0) > 0.999);
+        assert!(sigmoid(-20.0) < 0.001);
+        assert!((sigmoid(1.7) + sigmoid(-1.7) - 1.0).abs() < 1e-12);
+    }
+}

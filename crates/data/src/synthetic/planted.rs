@@ -1,0 +1,291 @@
+//! Hierarchical planted-partition generator (Covertype-like).
+//!
+//! Labels are produced by an **implicit** random ground-truth tree of depth
+//! `plant_depth`: the split (feature, threshold, per-child log-odds
+//! contribution) at every node is a hash of the path to that node, so the
+//! tree is never materialized (a depth-40 complete tree would have 2⁴⁰
+//! nodes). Each sample walks the implicit tree accumulating
+//! `±drift · decay^level` per step, and the label is drawn from
+//! `sigmoid(sharpness · logodds)` at the leaf.
+//!
+//! The geometric `decay` makes the function **multi-scale**: the top few
+//! levels carry strong, greedily-discoverable structure while deeper
+//! levels add ever-finer refinements. That is what produces the paper's
+//! Covertype profile (Fig. 5): ~70 % from shallow trees, climbing steadily
+//! to a ceiling near 89 % only once the learner matches the plant's depth.
+//! (A constant-amplitude sign walk looks similar on paper but is
+//! *unlearnable* for greedy CART — every split's marginal signal drowns in
+//! the variance of the subtree below it, a parity-like pathology.)
+
+use super::sigmoid;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use rfx_forest::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the planted-partition generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlantedConfig {
+    /// Feature-space dimensionality (features are uniform on `[0, 1)`).
+    pub num_features: u16,
+    /// Depth of the implicit ground-truth tree.
+    pub plant_depth: usize,
+    /// Log-odds random-walk step per level.
+    pub drift: f64,
+    /// Multiplier applied to the accumulated log-odds at the leaf.
+    pub sharpness: f64,
+    /// Geometric per-level decay of the drift amplitude (level `k`
+    /// contributes `±drift · decay^k`). Values near 1 spread the signal
+    /// deep (late accuracy saturation); small values concentrate it at the
+    /// top (early saturation).
+    pub decay: f64,
+    /// Seed of the implicit ground-truth tree. Separate from the sampling
+    /// seed passed to [`generate`], so independently drawn train and test
+    /// sets share the same ground truth.
+    pub plant_seed: u64,
+}
+
+impl Default for PlantedConfig {
+    fn default() -> Self {
+        Self {
+            num_features: 54,
+            plant_depth: 40,
+            drift: 1.2,
+            sharpness: 1.0,
+            decay: 0.93,
+            plant_seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// SplitMix64: cheap, high-quality stateless hash used to derive the
+/// implicit tree's per-node parameters from `(seed, path)`.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-node parameters of the implicit tree, derived by hashing:
+/// `(feature, split fraction, left sign, right sign)`. The two child
+/// signs are independent bits, so half of all splits separate the
+/// log-odds and half are neutral at their own scale.
+#[inline]
+fn node_params(cfg: &PlantedConfig, path: u64, level: u32) -> (u16, f64, f64, f64) {
+    let h = splitmix64(cfg.plant_seed ^ splitmix64(path.wrapping_add((level as u64) << 56)));
+    let feature = (h % cfg.num_features as u64) as u16;
+    // Split fraction in [0.25, 0.75) keeps every split informative
+    // (never slicing off a vanishing sliver of the current cell).
+    let frac = 0.25 + 0.5 * ((h >> 16) & 0xFFFF) as f64 / 65536.0;
+    let sign_left = if (h >> 33) & 1 == 0 { 1.0 } else { -1.0 };
+    let sign_right = if (h >> 48) & 1 == 0 { 1.0 } else { -1.0 };
+    (feature, frac, sign_left, sign_right)
+}
+
+/// The class-1 probability the implicit tree assigns to a feature vector.
+///
+/// Exposed so tests can compute the Bayes-optimal accuracy of a
+/// configuration.
+pub fn class1_probability(cfg: &PlantedConfig, x: &[f32]) -> f64 {
+    assert_eq!(x.len(), cfg.num_features as usize);
+    let mut lo = vec![0.0f64; x.len()];
+    let mut hi = vec![1.0f64; x.len()];
+    let mut logodds = 0.0f64;
+    let mut amplitude = cfg.drift;
+    let mut path = 1u64; // 1-rooted so "all lefts" differs from the root
+    for level in 0..cfg.plant_depth {
+        let (f, frac, sign_left, sign_right) = node_params(cfg, path, level as u32);
+        let fi = f as usize;
+        let t = lo[fi] + frac * (hi[fi] - lo[fi]);
+        let go_left = (x[fi] as f64) < t;
+        if go_left {
+            hi[fi] = t;
+            logodds += sign_left * amplitude;
+        } else {
+            lo[fi] = t;
+            logodds += sign_right * amplitude;
+        }
+        amplitude *= cfg.decay;
+        path = (path << 1) | (go_left as u64);
+        // Beyond 63 recorded decisions the path hash saturates; with the
+        // box shrinking geometrically this depth is never reached in
+        // practice (plant_depth <= 60 in all presets).
+        if level >= 62 {
+            break;
+        }
+    }
+    sigmoid(cfg.sharpness * logodds)
+}
+
+/// Generates `n` samples. Deterministic in `(cfg, seed)` and independent of
+/// thread count (rows are generated in fixed 8192-row chunks, each with its
+/// own derived RNG).
+pub fn generate(cfg: &PlantedConfig, n: usize, seed: u64) -> Dataset {
+    assert!(cfg.num_features > 0 && n > 0);
+    const CHUNK: usize = 8192;
+    let nf = cfg.num_features as usize;
+    let chunks: Vec<(Vec<f32>, Vec<u32>)> = (0..n.div_ceil(CHUNK))
+        .into_par_iter()
+        .map(|c| {
+            let rows = CHUNK.min(n - c * CHUNK);
+            let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ (c as u64 | 1 << 40)));
+            let mut feats = Vec::with_capacity(rows * nf);
+            let mut labels = Vec::with_capacity(rows);
+            let mut x = vec![0.0f32; nf];
+            for _ in 0..rows {
+                for v in x.iter_mut() {
+                    *v = rng.gen::<f32>();
+                }
+                let p1 = class1_probability(cfg, &x);
+                labels.push(rng.gen_bool(p1) as u32);
+                feats.extend_from_slice(&x);
+            }
+            (feats, labels)
+        })
+        .collect();
+    let mut features = Vec::with_capacity(n * nf);
+    let mut labels = Vec::with_capacity(n);
+    for (f, l) in chunks {
+        features.extend_from_slice(&f);
+        labels.extend_from_slice(&l);
+    }
+    Dataset::from_rows_with_classes(features, nf, labels, 2)
+        .expect("generator produces well-shaped data")
+}
+
+/// Monte-Carlo estimate of the Bayes-optimal accuracy
+/// `E[max(p, 1−p)]` of a configuration.
+pub fn bayes_accuracy(cfg: &PlantedConfig, n_probe: usize) -> f64 {
+    let mut rng = StdRng::seed_from_u64(cfg.plant_seed ^ 0xBA1E5);
+    let nf = cfg.num_features as usize;
+    let mut x = vec![0.0f32; nf];
+    let mut acc = 0.0f64;
+    for _ in 0..n_probe {
+        for v in x.iter_mut() {
+            *v = rng.gen::<f32>();
+        }
+        let p = class1_probability(cfg, &x);
+        acc += p.max(1.0 - p);
+    }
+    acc / n_probe as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> PlantedConfig {
+        PlantedConfig {
+            num_features: 10,
+            plant_depth: 12,
+            drift: 1.0,
+            sharpness: 1.0,
+            decay: 0.9,
+            plant_seed: 0xFACADE,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = small_cfg();
+        let a = generate(&cfg, 5000, 3);
+        let b = generate(&cfg, 5000, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = small_cfg();
+        assert_ne!(generate(&cfg, 1000, 3), generate(&cfg, 1000, 4));
+    }
+
+    #[test]
+    fn shape_and_ranges() {
+        let cfg = small_cfg();
+        let ds = generate(&cfg, 3000, 1);
+        assert_eq!(ds.num_rows(), 3000);
+        assert_eq!(ds.num_features(), 10);
+        assert_eq!(ds.num_classes(), 2);
+        for (lo, hi) in ds.column_ranges() {
+            assert!((0.0..0.2).contains(&lo), "lo {lo}");
+            assert!((0.8..=1.0).contains(&hi), "hi {hi}");
+        }
+    }
+
+    #[test]
+    fn classes_are_roughly_balanced() {
+        let ds = generate(&small_cfg(), 20_000, 7);
+        let counts = ds.class_counts();
+        let frac = counts[1] as f64 / 20_000.0;
+        assert!((0.3..0.7).contains(&frac), "class-1 fraction {frac}");
+    }
+
+    #[test]
+    fn probability_is_a_valid_probability() {
+        let cfg = small_cfg();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let x: Vec<f32> = (0..10).map(|_| rng.gen()).collect();
+            let p = class1_probability(&cfg, &x);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn ceiling_responds_to_drift_and_saturates_in_depth() {
+        // Stronger drift -> more confident leaves -> higher ceiling.
+        let weak = PlantedConfig { drift: 0.3, ..small_cfg() };
+        let strong = PlantedConfig { drift: 1.5, ..small_cfg() };
+        assert!(
+            bayes_accuracy(&strong, 4000) > bayes_accuracy(&weak, 4000) + 0.05,
+            "drift must raise the ceiling"
+        );
+        // A two-level plant carries far less signal than a deep one...
+        let b2 = bayes_accuracy(&PlantedConfig { plant_depth: 2, ..small_cfg() }, 4000);
+        let b12 = bayes_accuracy(&small_cfg(), 4000);
+        assert!(b12 > b2 + 0.03, "2 levels {b2}, 12 levels {b12}");
+        // ...but with geometric decay the tail stops mattering.
+        let b30 = bayes_accuracy(&PlantedConfig { plant_depth: 30, ..small_cfg() }, 4000);
+        assert!((b30 - b12).abs() < 0.04, "12 levels {b12}, 30 levels {b30}");
+    }
+
+    #[test]
+    fn bayes_accuracy_bounds() {
+        let b = bayes_accuracy(&small_cfg(), 4000);
+        assert!((0.5..=1.0).contains(&b), "{b}");
+    }
+
+    #[test]
+    fn nearby_points_share_structure() {
+        // Two points in the same deep cell should get the same probability.
+        let cfg = small_cfg();
+        let x1 = vec![0.111f32; 10];
+        let x2 = vec![0.1110001f32; 10];
+        let p1 = class1_probability(&cfg, &x1);
+        let p2 = class1_probability(&cfg, &x2);
+        assert!((p1 - p2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn learnable_by_forest_and_depth_helps() {
+        use rfx_forest::train::TrainConfig;
+        use rfx_forest::RandomForest;
+
+        let cfg = small_cfg();
+        let train = generate(&cfg, 8000, 11);
+        let test = generate(&cfg, 4000, 12);
+        let mut accs = Vec::new();
+        for depth in [2usize, 6, 12] {
+            let tc = TrainConfig { n_trees: 20, max_depth: depth, seed: 5, ..TrainConfig::default() };
+            let f = RandomForest::fit(&train, &tc).unwrap();
+            accs.push(rfx_forest::metrics::accuracy(&f.predict_batch(&test), test.labels()));
+        }
+        assert!(accs[0] > 0.6, "depth-2 forest already finds the coarse structure: {accs:?}");
+        assert!(accs[1] > accs[0] + 0.005, "more depth keeps helping: {accs:?}");
+        assert!(accs[2] + 0.01 >= accs[0], "no collapse at depth 12: {accs:?}");
+    }
+}

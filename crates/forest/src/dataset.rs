@@ -1,0 +1,315 @@
+//! Dense in-memory datasets.
+//!
+//! Features are stored **row-major** (`row * num_features + col`): inference
+//! reads whole query rows, which is the access pattern every kernel in the
+//! paper performs, and training takes column strides through the same
+//! buffer. For the histogram split finder a column-major quantized copy is
+//! built once per training run (see [`crate::train::histogram`]).
+
+use crate::error::ForestError;
+use serde::{Deserialize, Serialize};
+
+/// A dense classification dataset: an `n_rows × n_features` matrix of `f32`
+/// plus one `u32` class label per row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Vec<f32>,
+    labels: Vec<u32>,
+    num_features: usize,
+    num_classes: u32,
+}
+
+impl Dataset {
+    /// Builds a dataset from a flat row-major feature buffer.
+    ///
+    /// The number of classes is inferred as `max(label) + 1`.
+    pub fn from_rows(
+        features: Vec<f32>,
+        num_features: usize,
+        labels: Vec<u32>,
+    ) -> Result<Self, ForestError> {
+        if num_features == 0 {
+            return Err(ForestError::EmptyDataset);
+        }
+        if features.len() % num_features != 0 {
+            return Err(ForestError::ShapeMismatch {
+                detail: format!(
+                    "feature buffer of {} values is not a multiple of {} features",
+                    features.len(),
+                    num_features
+                ),
+            });
+        }
+        let rows = features.len() / num_features;
+        if rows == 0 {
+            return Err(ForestError::EmptyDataset);
+        }
+        if labels.len() != rows {
+            return Err(ForestError::ShapeMismatch {
+                detail: format!("{rows} rows but {} labels", labels.len()),
+            });
+        }
+        let num_classes = labels.iter().copied().max().unwrap_or(0) + 1;
+        Ok(Self { features, labels, num_features, num_classes })
+    }
+
+    /// Builds a dataset and asserts a specific class count (labels must all
+    /// be `< num_classes`).
+    pub fn from_rows_with_classes(
+        features: Vec<f32>,
+        num_features: usize,
+        labels: Vec<u32>,
+        num_classes: u32,
+    ) -> Result<Self, ForestError> {
+        let mut ds = Self::from_rows(features, num_features, labels)?;
+        if ds.num_classes > num_classes {
+            let bad = ds.labels.iter().copied().find(|&l| l >= num_classes).unwrap();
+            return Err(ForestError::LabelOutOfRange { label: bad, num_classes });
+        }
+        ds.num_classes = num_classes;
+        Ok(ds)
+    }
+
+    /// Number of rows (samples / queries).
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of feature columns.
+    #[inline]
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Number of distinct classes the labels are drawn from.
+    #[inline]
+    pub fn num_classes(&self) -> u32 {
+        self.num_classes
+    }
+
+    /// Feature value at `(row, col)`.
+    #[inline]
+    pub fn value(&self, row: usize, col: usize) -> f32 {
+        debug_assert!(col < self.num_features);
+        self.features[row * self.num_features + col]
+    }
+
+    /// One full feature row.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f32] {
+        let start = row * self.num_features;
+        &self.features[start..start + self.num_features]
+    }
+
+    /// All labels.
+    #[inline]
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Label of a single row.
+    #[inline]
+    pub fn label(&self, row: usize) -> u32 {
+        self.labels[row]
+    }
+
+    /// The raw row-major feature buffer.
+    #[inline]
+    pub fn raw_features(&self) -> &[f32] {
+        &self.features
+    }
+
+    /// Copies a subset of rows into a new dataset (used for train/test
+    /// splits and for sub-sampled simulator workloads).
+    pub fn subset(&self, rows: &[usize]) -> Dataset {
+        let mut features = Vec::with_capacity(rows.len() * self.num_features);
+        let mut labels = Vec::with_capacity(rows.len());
+        for &r in rows {
+            features.extend_from_slice(self.row(r));
+            labels.push(self.labels[r]);
+        }
+        Dataset {
+            features,
+            labels,
+            num_features: self.num_features,
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Takes the first `n` rows (cheap deterministic sub-sample; generators
+    /// already shuffle).
+    pub fn head(&self, n: usize) -> Dataset {
+        let n = n.min(self.num_rows());
+        Dataset {
+            features: self.features[..n * self.num_features].to_vec(),
+            labels: self.labels[..n].to_vec(),
+            num_features: self.num_features,
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Per-column minimum and maximum, used for quantile binning and by the
+    /// synthetic-data sanity checks.
+    pub fn column_ranges(&self) -> Vec<(f32, f32)> {
+        let mut ranges = vec![(f32::INFINITY, f32::NEG_INFINITY); self.num_features];
+        for row in 0..self.num_rows() {
+            let r = self.row(row);
+            for (c, &v) in r.iter().enumerate() {
+                let (lo, hi) = &mut ranges[c];
+                if v < *lo {
+                    *lo = v;
+                }
+                if v > *hi {
+                    *hi = v;
+                }
+            }
+        }
+        ranges
+    }
+
+    /// Class histogram over all labels.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes as usize];
+        for &l in &self.labels {
+            counts[l as usize] += 1;
+        }
+        counts
+    }
+}
+
+/// A read-only view of queries to classify: either a full [`Dataset`] or a
+/// borrowed feature matrix without labels.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryView<'a> {
+    features: &'a [f32],
+    num_features: usize,
+}
+
+impl<'a> QueryView<'a> {
+    /// Wraps a row-major feature buffer as a query batch.
+    pub fn new(features: &'a [f32], num_features: usize) -> Result<Self, ForestError> {
+        if num_features == 0 || features.len() % num_features != 0 {
+            return Err(ForestError::ShapeMismatch {
+                detail: format!(
+                    "{} values is not a whole number of {num_features}-wide rows",
+                    features.len()
+                ),
+            });
+        }
+        Ok(Self { features, num_features })
+    }
+
+    /// Number of queries.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.features.len() / self.num_features
+    }
+
+    /// Number of features per query.
+    #[inline]
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// One query row.
+    #[inline]
+    pub fn row(&self, row: usize) -> &'a [f32] {
+        let start = row * self.num_features;
+        &self.features[start..start + self.num_features]
+    }
+
+    /// The raw row-major buffer.
+    #[inline]
+    pub fn raw(&self) -> &'a [f32] {
+        self.features
+    }
+}
+
+impl<'a> From<&'a Dataset> for QueryView<'a> {
+    fn from(ds: &'a Dataset) -> Self {
+        QueryView { features: ds.raw_features(), num_features: ds.num_features() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        Dataset::from_rows(vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0], 2, vec![0, 1, 1]).unwrap()
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let ds = small();
+        assert_eq!(ds.num_rows(), 3);
+        assert_eq!(ds.num_features(), 2);
+        assert_eq!(ds.num_classes(), 2);
+        assert_eq!(ds.value(1, 0), 2.0);
+        assert_eq!(ds.row(2), &[4.0, 5.0]);
+        assert_eq!(ds.label(2), 1);
+    }
+
+    #[test]
+    fn rejects_ragged_buffer() {
+        let err = Dataset::from_rows(vec![0.0; 5], 2, vec![0, 0]).unwrap_err();
+        assert!(matches!(err, ForestError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_label_count_mismatch() {
+        let err = Dataset::from_rows(vec![0.0; 4], 2, vec![0]).unwrap_err();
+        assert!(matches!(err, ForestError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Dataset::from_rows(vec![], 3, vec![]).unwrap_err(), ForestError::EmptyDataset);
+        assert_eq!(Dataset::from_rows(vec![1.0], 0, vec![0]).unwrap_err(), ForestError::EmptyDataset);
+    }
+
+    #[test]
+    fn explicit_class_count_checks_labels() {
+        let err =
+            Dataset::from_rows_with_classes(vec![0.0, 1.0], 1, vec![0, 5], 2).unwrap_err();
+        assert_eq!(err, ForestError::LabelOutOfRange { label: 5, num_classes: 2 });
+        let ds = Dataset::from_rows_with_classes(vec![0.0, 1.0], 1, vec![0, 0], 7).unwrap();
+        assert_eq!(ds.num_classes(), 7);
+    }
+
+    #[test]
+    fn subset_and_head() {
+        let ds = small();
+        let sub = ds.subset(&[2, 0]);
+        assert_eq!(sub.num_rows(), 2);
+        assert_eq!(sub.row(0), &[4.0, 5.0]);
+        assert_eq!(sub.labels(), &[1, 0]);
+        let h = ds.head(2);
+        assert_eq!(h.num_rows(), 2);
+        assert_eq!(h.row(1), &[2.0, 3.0]);
+        // head larger than the dataset is clamped
+        assert_eq!(ds.head(99).num_rows(), 3);
+    }
+
+    #[test]
+    fn column_ranges_and_class_counts() {
+        let ds = small();
+        assert_eq!(ds.column_ranges(), vec![(0.0, 4.0), (1.0, 5.0)]);
+        assert_eq!(ds.class_counts(), vec![1, 2]);
+    }
+
+    #[test]
+    fn query_view_wraps_dataset() {
+        let ds = small();
+        let q: QueryView = (&ds).into();
+        assert_eq!(q.num_rows(), 3);
+        assert_eq!(q.row(1), ds.row(1));
+    }
+
+    #[test]
+    fn query_view_rejects_ragged() {
+        assert!(QueryView::new(&[1.0, 2.0, 3.0], 2).is_err());
+        assert!(QueryView::new(&[1.0, 2.0], 0).is_err());
+    }
+}

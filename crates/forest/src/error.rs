@@ -1,0 +1,75 @@
+//! Error type shared by the training substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing datasets or training forests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForestError {
+    /// The flat feature buffer length is not a multiple of the feature count,
+    /// or row/label counts disagree.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A dataset with zero rows or zero features was supplied where data is
+    /// required.
+    EmptyDataset,
+    /// A configuration field is out of its valid range.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Description of the constraint that was violated.
+        detail: String,
+    },
+    /// A label value is `>= num_classes`.
+    LabelOutOfRange {
+        /// The offending label.
+        label: u32,
+        /// The number of classes the dataset declared.
+        num_classes: u32,
+    },
+    /// Deserialization of a persisted model failed.
+    Corrupt {
+        /// Description of what was malformed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ForestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForestError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            ForestError::EmptyDataset => write!(f, "dataset has no rows or no features"),
+            ForestError::InvalidConfig { field, detail } => {
+                write!(f, "invalid config `{field}`: {detail}")
+            }
+            ForestError::LabelOutOfRange { label, num_classes } => {
+                write!(f, "label {label} out of range for {num_classes} classes")
+            }
+            ForestError::Corrupt { detail } => write!(f, "corrupt model data: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ForestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ForestError::LabelOutOfRange { label: 9, num_classes: 2 };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('2'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(ForestError::EmptyDataset, ForestError::EmptyDataset);
+        assert_ne!(
+            ForestError::EmptyDataset,
+            ForestError::Corrupt { detail: "x".into() }
+        );
+    }
+}

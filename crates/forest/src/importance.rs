@@ -1,0 +1,203 @@
+//! Feature-importance and out-of-bag (OOB) model diagnostics.
+//!
+//! Mean-decrease-in-impurity ("Gini") importance is recomputed from the
+//! trained trees: every inner node's weighted impurity decrease is
+//! attributed to its split feature. Node sample weights are estimated by
+//! pushing a reference sample of the training data down each tree, which
+//! reproduces scikit-learn's quantity up to bootstrap noise without
+//! requiring the trainer to thread bookkeeping through growth.
+
+use crate::dataset::Dataset;
+use crate::forest::RandomForest;
+use crate::train::criterion::Criterion;
+use crate::tree::{DecisionTree, Node};
+
+/// Mean-decrease-in-impurity feature importances, normalized to sum to 1
+/// (all-zero if the forest contains no inner nodes).
+///
+/// `reference` should be (a sample of) the training data.
+pub fn gini_importance(forest: &RandomForest, reference: &Dataset) -> Vec<f64> {
+    let mut totals = vec![0.0f64; forest.num_features()];
+    for tree in forest.trees() {
+        accumulate_tree(tree, reference, forest.num_classes() as usize, &mut totals);
+    }
+    let sum: f64 = totals.iter().sum();
+    if sum > 0.0 {
+        for t in &mut totals {
+            *t /= sum;
+        }
+    }
+    totals
+}
+
+fn accumulate_tree(
+    tree: &DecisionTree,
+    reference: &Dataset,
+    num_classes: usize,
+    totals: &mut [f64],
+) {
+    // Class counts reaching every node.
+    let n_nodes = tree.num_nodes();
+    let mut counts = vec![0u64; n_nodes * num_classes];
+    for r in 0..reference.num_rows() {
+        let row = reference.row(r);
+        let label = reference.label(r) as usize;
+        let mut id = 0usize;
+        loop {
+            counts[id * num_classes + label] += 1;
+            match tree.nodes()[id] {
+                Node::Leaf { .. } => break,
+                Node::Inner { feature, threshold, left, right } => {
+                    id = if row[feature as usize] < threshold {
+                        left as usize
+                    } else {
+                        right as usize
+                    };
+                }
+            }
+        }
+    }
+    for (id, node) in tree.nodes().iter().enumerate() {
+        if let Node::Inner { feature, left, right, .. } = node {
+            let parent = &counts[id * num_classes..(id + 1) * num_classes];
+            let l = &counts[*left as usize * num_classes..(*left as usize + 1) * num_classes];
+            let r = &counts[*right as usize * num_classes..(*right as usize + 1) * num_classes];
+            let gain = Criterion::Gini.weighted_impurity(parent)
+                - Criterion::Gini.weighted_impurity(l)
+                - Criterion::Gini.weighted_impurity(r);
+            if gain > 0.0 {
+                totals[*feature as usize] += gain;
+            }
+        }
+    }
+}
+
+/// Out-of-bag accuracy estimate: each sample is scored only by the trees
+/// whose bootstrap resample did not contain it, reproducing the bootstrap
+/// draws from the forest's training seed. Returns `None` if the config
+/// did not use bootstrapping (every tree saw every row) or no sample was
+/// ever out of bag.
+pub fn oob_accuracy(forest: &RandomForest, train: &Dataset, seed: u64) -> Option<f64> {
+    let n = train.num_rows();
+    let nc = forest.num_classes() as usize;
+    let mut votes = vec![0u32; n * nc];
+    let mut any = false;
+    for (i, tree) in forest.trees().iter().enumerate() {
+        let mut rng = crate::sampling::tree_rng(seed, i as u64);
+        let bag = crate::sampling::bootstrap_indices(&mut rng, n);
+        let mut in_bag = vec![false; n];
+        for &b in &bag {
+            in_bag[b as usize] = true;
+        }
+        for r in 0..n {
+            if !in_bag[r] {
+                any = true;
+                votes[r * nc + tree.predict(train.row(r)) as usize] += 1;
+            }
+        }
+    }
+    if !any {
+        return None;
+    }
+    let mut correct = 0usize;
+    let mut scored = 0usize;
+    for r in 0..n {
+        let row = &votes[r * nc..(r + 1) * nc];
+        if row.iter().any(|&v| v > 0) {
+            scored += 1;
+            if crate::train::criterion::majority_class(
+                &row.iter().map(|&v| v as u64).collect::<Vec<_>>(),
+            ) == train.label(r)
+            {
+                correct += 1;
+            }
+        }
+    }
+    (scored > 0).then(|| correct as f64 / scored as f64)
+}
+
+/// Per-tree feature-usage histogram: how often each feature appears as a
+/// split, per tree. This is the signature the paper's §3.2.1 "Optimization
+/// 1" clusters trees by (K-means on feature-access profiles).
+pub fn feature_usage_profile(tree: &DecisionTree, num_features: usize) -> Vec<f32> {
+    let mut counts = vec![0f32; num_features];
+    let mut inner = 0f32;
+    for node in tree.nodes() {
+        if let Node::Inner { feature, .. } = node {
+            counts[*feature as usize] += 1.0;
+            inner += 1.0;
+        }
+    }
+    if inner > 0.0 {
+        for c in &mut counts {
+            *c /= inner;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{MaxFeatures, TrainConfig};
+
+    /// Feature 0 fully determines the label; feature 1 is noise.
+    fn informative_dataset(n: usize) -> Dataset {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let x = (i as f32 * 0.317) % 1.0;
+            let noise = (i as f32 * 0.771) % 1.0;
+            rows.push(x);
+            rows.push(noise);
+            labels.push((x > 0.5) as u32);
+        }
+        Dataset::from_rows(rows, 2, labels).unwrap()
+    }
+
+    #[test]
+    fn importance_finds_the_informative_feature() {
+        let ds = informative_dataset(2000);
+        let cfg = TrainConfig {
+            n_trees: 10,
+            max_depth: 6,
+            max_features: MaxFeatures::All,
+            seed: 3,
+            ..TrainConfig::default()
+        };
+        let forest = RandomForest::fit(&ds, &cfg).unwrap();
+        let imp = gini_importance(&forest, &ds);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[0] > 0.9, "feature 0 dominates: {imp:?}");
+    }
+
+    #[test]
+    fn importance_of_stump_forest_is_zero_vector() {
+        let ds = informative_dataset(100);
+        let cfg = TrainConfig { n_trees: 2, max_depth: 0, seed: 1, ..TrainConfig::default() };
+        let forest = RandomForest::fit(&ds, &cfg).unwrap();
+        let imp = gini_importance(&forest, &ds);
+        assert!(imp.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn oob_accuracy_is_reasonable() {
+        let ds = informative_dataset(1500);
+        let cfg = TrainConfig { n_trees: 25, max_depth: 6, seed: 17, ..TrainConfig::default() };
+        let forest = RandomForest::fit(&ds, &cfg).unwrap();
+        let oob = oob_accuracy(&forest, &ds, cfg.seed).expect("bootstrap leaves OOB rows");
+        assert!(oob > 0.95, "easy problem, high OOB accuracy: {oob}");
+    }
+
+    #[test]
+    fn feature_usage_profiles_are_distributions() {
+        let ds = informative_dataset(800);
+        let cfg = TrainConfig { n_trees: 5, max_depth: 5, seed: 9, ..TrainConfig::default() };
+        let forest = RandomForest::fit(&ds, &cfg).unwrap();
+        for tree in forest.trees() {
+            let p = feature_usage_profile(tree, 2);
+            let sum: f32 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5 || sum == 0.0);
+        }
+    }
+}

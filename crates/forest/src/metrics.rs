@@ -1,0 +1,144 @@
+//! Classification metrics for the accuracy studies (Fig. 5 of the paper).
+
+/// Fraction of predictions equal to the true labels.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn accuracy(predictions: &[u32], truth: &[u32]) -> f64 {
+    assert_eq!(predictions.len(), truth.len(), "prediction/label length mismatch");
+    assert!(!truth.is_empty(), "cannot score an empty set");
+    let correct = predictions.iter().zip(truth).filter(|(p, t)| p == t).count();
+    correct as f64 / truth.len() as f64
+}
+
+/// A `num_classes × num_classes` confusion matrix; `m[truth][pred]` counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<u64>,
+    num_classes: usize,
+}
+
+impl ConfusionMatrix {
+    /// Tallies predictions against truth.
+    pub fn build(predictions: &[u32], truth: &[u32], num_classes: u32) -> Self {
+        assert_eq!(predictions.len(), truth.len());
+        let k = num_classes as usize;
+        let mut counts = vec![0u64; k * k];
+        for (&p, &t) in predictions.iter().zip(truth) {
+            counts[t as usize * k + p as usize] += 1;
+        }
+        Self { counts, num_classes: k }
+    }
+
+    /// Count of `(truth, predicted)` pairs.
+    #[inline]
+    pub fn count(&self, truth: u32, predicted: u32) -> u64 {
+        self.counts[truth as usize * self.num_classes + predicted as usize]
+    }
+
+    /// Number of classes.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Total samples tallied.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (trace / total).
+    pub fn accuracy(&self) -> f64 {
+        let diag: u64 = (0..self.num_classes).map(|i| self.count(i as u32, i as u32)).sum();
+        diag as f64 / self.total() as f64
+    }
+
+    /// Precision of one class: `tp / (tp + fp)`; `None` if nothing was
+    /// predicted as that class.
+    pub fn precision(&self, class: u32) -> Option<f64> {
+        let tp = self.count(class, class);
+        let predicted: u64 = (0..self.num_classes).map(|t| self.count(t as u32, class)).sum();
+        (predicted > 0).then(|| tp as f64 / predicted as f64)
+    }
+
+    /// Recall of one class: `tp / (tp + fn)`; `None` if the class never
+    /// occurs in the truth.
+    pub fn recall(&self, class: u32) -> Option<f64> {
+        let tp = self.count(class, class);
+        let actual: u64 = (0..self.num_classes).map(|p| self.count(class, p as u32)).sum();
+        (actual > 0).then(|| tp as f64 / actual as f64)
+    }
+
+    /// F1 score of one class; `None` when precision or recall is undefined
+    /// or both are zero.
+    pub fn f1(&self, class: u32) -> Option<f64> {
+        let p = self.precision(class)?;
+        let r = self.recall(class)?;
+        if p + r == 0.0 {
+            None
+        } else {
+            Some(2.0 * p * r / (p + r))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]), 0.75);
+        assert_eq!(accuracy(&[1], &[1]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_mismatch_panics() {
+        accuracy(&[0], &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn accuracy_empty_panics() {
+        accuracy(&[], &[]);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let m = ConfusionMatrix::build(&[0, 1, 1, 0, 1], &[0, 1, 0, 0, 1], 2);
+        assert_eq!(m.count(0, 0), 2); // truth 0 predicted 0
+        assert_eq!(m.count(0, 1), 1);
+        assert_eq!(m.count(1, 1), 2);
+        assert_eq!(m.count(1, 0), 0);
+        assert_eq!(m.total(), 5);
+        assert!((m.accuracy() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let m = ConfusionMatrix::build(&[0, 1, 1, 0, 1], &[0, 1, 0, 0, 1], 2);
+        // class 1: tp=2, fp=1, fn=0
+        assert!((m.precision(1).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall(1).unwrap() - 1.0).abs() < 1e-12);
+        let f1 = m.f1(1).unwrap();
+        assert!((f1 - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undefined_metrics_are_none() {
+        // Class 2 never predicted nor present.
+        let m = ConfusionMatrix::build(&[0, 0], &[0, 0], 3);
+        assert!(m.precision(2).is_none());
+        assert!(m.recall(2).is_none());
+        assert!(m.f1(2).is_none());
+    }
+
+    #[test]
+    fn multiclass_matrix() {
+        let m = ConfusionMatrix::build(&[2, 1, 0], &[2, 2, 0], 3);
+        assert_eq!(m.count(2, 2), 1);
+        assert_eq!(m.count(2, 1), 1);
+        assert!((m.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

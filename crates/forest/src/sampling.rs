@@ -1,0 +1,69 @@
+//! Bootstrap sampling and deterministic per-tree RNG streams.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Derives an independent, reproducible RNG stream for tree `index` of a
+/// forest seeded with `seed`.
+///
+/// ChaCha8 supports explicit stream selection, so every tree's randomness
+/// is independent of scheduling order — a forest trained on 1 thread and on
+/// 64 threads is bit-identical.
+pub fn tree_rng(seed: u64, index: u64) -> ChaCha8Rng {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    rng.set_stream(index.wrapping_add(1));
+    rng
+}
+
+/// Draws `n` bootstrap indices (with replacement) from `0..n`.
+pub fn bootstrap_indices<R: Rng>(rng: &mut R, n: usize) -> Vec<u32> {
+    assert!(n > 0 && n <= u32::MAX as usize);
+    (0..n).map(|_| rng.gen_range(0..n as u32)).collect()
+}
+
+/// The identity sample `0..n` (used when bootstrapping is disabled).
+pub fn full_indices(n: usize) -> Vec<u32> {
+    (0..n as u32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_streams_are_independent() {
+        let mut a = tree_rng(42, 0);
+        let mut b = tree_rng(42, 1);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn tree_streams_are_reproducible() {
+        let mut a1 = tree_rng(7, 3);
+        let mut a2 = tree_rng(7, 3);
+        for _ in 0..16 {
+            assert_eq!(a1.gen::<u64>(), a2.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn bootstrap_has_right_shape() {
+        let mut rng = tree_rng(1, 0);
+        let idx = bootstrap_indices(&mut rng, 1000);
+        assert_eq!(idx.len(), 1000);
+        assert!(idx.iter().all(|&i| i < 1000));
+        // With replacement: ~63.2% distinct rows expected; far from all.
+        let mut d = idx.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert!(d.len() < 800, "bootstrap should repeat rows ({} distinct)", d.len());
+        assert!(d.len() > 450);
+    }
+
+    #[test]
+    fn full_indices_is_identity() {
+        assert_eq!(full_indices(4), vec![0, 1, 2, 3]);
+    }
+}

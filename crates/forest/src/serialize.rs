@@ -1,0 +1,183 @@
+//! Compact binary persistence for trained forests.
+//!
+//! Serde/JSON works for interchange but is ~10× larger and slower than
+//! needed for million-node forests, so models are also persisted in a
+//! simple little-endian binary format:
+//!
+//! ```text
+//! magic "RFXF" | version u32 | num_features u64 | num_classes u32 | num_trees u64
+//! per tree: num_nodes u64, then per node:
+//!   tag u8 (0 = leaf, 1 = inner)
+//!   leaf : label u32
+//!   inner: feature u16, threshold f32 bits u32, left u32, right u32
+//! ```
+
+use crate::error::ForestError;
+use crate::forest::RandomForest;
+use crate::tree::{DecisionTree, Node};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"RFXF";
+const VERSION: u32 = 1;
+
+/// Writes a forest in the binary model format.
+pub fn write_forest<W: Write>(forest: &RandomForest, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(forest.num_features() as u64).to_le_bytes())?;
+    w.write_all(&forest.num_classes().to_le_bytes())?;
+    w.write_all(&(forest.num_trees() as u64).to_le_bytes())?;
+    for tree in forest.trees() {
+        w.write_all(&(tree.num_nodes() as u64).to_le_bytes())?;
+        for node in tree.nodes() {
+            match *node {
+                Node::Leaf { label } => {
+                    w.write_all(&[0u8])?;
+                    w.write_all(&label.to_le_bytes())?;
+                }
+                Node::Inner { feature, threshold, left, right } => {
+                    w.write_all(&[1u8])?;
+                    w.write_all(&feature.to_le_bytes())?;
+                    w.write_all(&threshold.to_bits().to_le_bytes())?;
+                    w.write_all(&left.to_le_bytes())?;
+                    w.write_all(&right.to_le_bytes())?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a forest from the binary model format, validating structure.
+pub fn read_forest<R: Read>(mut r: R) -> Result<RandomForest, ForestError> {
+    let io_err = |e: io::Error| ForestError::Corrupt { detail: format!("io: {e}") };
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(io_err)?;
+    if &magic != MAGIC {
+        return Err(ForestError::Corrupt { detail: "bad magic".into() });
+    }
+    let version = read_u32(&mut r).map_err(io_err)?;
+    if version != VERSION {
+        return Err(ForestError::Corrupt { detail: format!("unsupported version {version}") });
+    }
+    let num_features = read_u64(&mut r).map_err(io_err)? as usize;
+    let num_classes = read_u32(&mut r).map_err(io_err)?;
+    let num_trees = read_u64(&mut r).map_err(io_err)? as usize;
+    if num_trees == 0 || num_trees > 1 << 24 {
+        return Err(ForestError::Corrupt { detail: format!("implausible tree count {num_trees}") });
+    }
+    let mut trees = Vec::with_capacity(num_trees);
+    for t in 0..num_trees {
+        let num_nodes = read_u64(&mut r).map_err(io_err)? as usize;
+        if num_nodes == 0 || num_nodes > 1 << 32 {
+            return Err(ForestError::Corrupt {
+                detail: format!("tree {t}: implausible node count {num_nodes}"),
+            });
+        }
+        let mut nodes = Vec::with_capacity(num_nodes);
+        for _ in 0..num_nodes {
+            let mut tag = [0u8; 1];
+            r.read_exact(&mut tag).map_err(io_err)?;
+            match tag[0] {
+                0 => nodes.push(Node::Leaf { label: read_u32(&mut r).map_err(io_err)? }),
+                1 => {
+                    let mut fb = [0u8; 2];
+                    r.read_exact(&mut fb).map_err(io_err)?;
+                    let feature = u16::from_le_bytes(fb);
+                    let threshold = f32::from_bits(read_u32(&mut r).map_err(io_err)?);
+                    let left = read_u32(&mut r).map_err(io_err)?;
+                    let right = read_u32(&mut r).map_err(io_err)?;
+                    nodes.push(Node::Inner { feature, threshold, left, right });
+                }
+                other => {
+                    return Err(ForestError::Corrupt {
+                        detail: format!("tree {t}: unknown node tag {other}"),
+                    })
+                }
+            }
+        }
+        trees.push(DecisionTree::from_nodes(nodes)
+            .map_err(|e| ForestError::Corrupt { detail: format!("tree {t}: {e}") })?);
+    }
+    RandomForest::from_trees(trees, num_features, num_classes)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_forest() -> RandomForest {
+        let mut rng = StdRng::seed_from_u64(21);
+        let trees: Vec<DecisionTree> =
+            (0..6).map(|_| DecisionTree::random(&mut rng, 6, 12, 3, 0.3)).collect();
+        RandomForest::from_trees(trees, 12, 3).unwrap()
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let f = random_forest();
+        let mut buf = Vec::new();
+        write_forest(&f, &mut buf).unwrap();
+        let back = read_forest(buf.as_slice()).unwrap();
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_forest(&b"NOPE...."[..]).unwrap_err();
+        assert!(matches!(err, ForestError::Corrupt { .. }));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let f = random_forest();
+        let mut buf = Vec::new();
+        write_forest(&f, &mut buf).unwrap();
+        for cut in [4usize, 12, buf.len() / 2, buf.len() - 1] {
+            assert!(read_forest(&buf[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let f = random_forest();
+        let mut buf = Vec::new();
+        write_forest(&f, &mut buf).unwrap();
+        buf[4] = 99;
+        assert!(read_forest(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupt_node_tag() {
+        let f = random_forest();
+        let mut buf = Vec::new();
+        write_forest(&f, &mut buf).unwrap();
+        // Header is 4+4+8+4+8 = 28 bytes, then tree node count (8), then
+        // the first node tag.
+        buf[36] = 7;
+        assert!(read_forest(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_json() {
+        let f = random_forest();
+        let mut bin = Vec::new();
+        write_forest(&f, &mut bin).unwrap();
+        let json = serde_json::to_vec(&f).unwrap();
+        assert!(bin.len() * 2 < json.len(), "binary {} vs json {}", bin.len(), json.len());
+    }
+}

@@ -1,0 +1,342 @@
+//! Single-tree CART growth.
+
+use super::criterion::{is_pure, majority_class};
+use super::exact::best_split_exact;
+use super::histogram::{best_split_histogram, BinnedDataset, MAX_BINS};
+use super::splitter::{sample_features, Split};
+use super::TrainConfig;
+use crate::dataset::Dataset;
+use crate::tree::{DecisionTree, Node};
+use rand::Rng;
+
+/// Grows one decision tree over `samples` (indices into `ds`, possibly with
+/// repeats from bootstrap sampling).
+///
+/// Uses an explicit work stack rather than recursion: the paper trains
+/// trees up to depth 50 and nothing here should depend on stack headroom.
+pub struct TreeBuilder<'a> {
+    ds: &'a Dataset,
+    binned: Option<&'a BinnedDataset>,
+    cfg: &'a TrainConfig,
+    num_classes: usize,
+}
+
+struct WorkItem {
+    /// Slot in the output node vector to fill in.
+    slot: u32,
+    /// Range of the shared sample-index buffer owned by this node.
+    start: usize,
+    end: usize,
+    depth: usize,
+}
+
+impl<'a> TreeBuilder<'a> {
+    /// Creates a builder. `binned` must be provided when the config selects
+    /// the histogram split finder.
+    pub fn new(
+        ds: &'a Dataset,
+        binned: Option<&'a BinnedDataset>,
+        cfg: &'a TrainConfig,
+    ) -> Self {
+        Self { ds, binned, cfg, num_classes: ds.num_classes() as usize }
+    }
+
+    /// Grows a tree over the given bootstrap sample.
+    pub fn grow<R: Rng>(&self, samples: &mut [u32], rng: &mut R) -> DecisionTree {
+        assert!(!samples.is_empty(), "cannot grow a tree from zero samples");
+        let mut nodes: Vec<Node> = vec![Node::Leaf { label: 0 }];
+        let mut stack = vec![WorkItem { slot: 0, start: 0, end: samples.len(), depth: 0 }];
+
+        // Scratch buffers reused across nodes.
+        let mut counts = vec![0u64; self.num_classes];
+        let mut hist = vec![0u64; MAX_BINS * self.num_classes];
+        let mut perm: Vec<u16> = Vec::new();
+        let mut exact_scratch: Vec<(f32, u32)> = Vec::new();
+
+        while let Some(item) = stack.pop() {
+            let node_samples = &samples[item.start..item.end];
+            counts.fill(0);
+            for &s in node_samples {
+                counts[self.ds.label(s as usize) as usize] += 1;
+            }
+            let n = node_samples.len();
+
+            let make_leaf = item.depth >= self.cfg.max_depth
+                || n < self.cfg.min_samples_split
+                || n < 2 * self.cfg.min_samples_leaf
+                || is_pure(&counts);
+
+            let split = if make_leaf {
+                None
+            } else {
+                self.find_split(node_samples, &counts, rng, &mut perm, &mut hist, &mut exact_scratch)
+            };
+
+            match split {
+                None => {
+                    nodes[item.slot as usize] = Node::Leaf { label: majority_class(&counts) };
+                }
+                Some(split) => {
+                    let mid = partition_in_place(
+                        self.ds,
+                        &mut samples[item.start..item.end],
+                        split.feature,
+                        split.threshold,
+                    );
+                    debug_assert_eq!(mid, split.n_left, "split finder / partition disagree");
+                    let left = nodes.len() as u32;
+                    nodes.push(Node::Leaf { label: 0 });
+                    let right = nodes.len() as u32;
+                    nodes.push(Node::Leaf { label: 0 });
+                    nodes[item.slot as usize] = Node::Inner {
+                        feature: split.feature,
+                        threshold: split.threshold,
+                        left,
+                        right,
+                    };
+                    stack.push(WorkItem {
+                        slot: left,
+                        start: item.start,
+                        end: item.start + mid,
+                        depth: item.depth + 1,
+                    });
+                    stack.push(WorkItem {
+                        slot: right,
+                        start: item.start + mid,
+                        end: item.end,
+                        depth: item.depth + 1,
+                    });
+                }
+            }
+        }
+        // The builder only ever creates valid child links, so this cannot
+        // fail; keep the validation as a debug-mode invariant.
+        debug_assert!(DecisionTree::from_nodes(nodes.clone()).is_ok());
+        DecisionTree::from_nodes(nodes).expect("builder produced structurally valid tree")
+    }
+
+    fn find_split<R: Rng>(
+        &self,
+        node_samples: &[u32],
+        counts: &[u64],
+        rng: &mut R,
+        perm: &mut Vec<u16>,
+        hist: &mut [u64],
+        exact_scratch: &mut Vec<(f32, u32)>,
+    ) -> Option<Split> {
+        let parent_weighted = self.cfg.criterion.weighted_impurity(counts);
+        let k = self.cfg.max_features.resolve(self.ds.num_features());
+        let k = sample_features(rng, self.ds.num_features(), k, perm);
+        let mut best: Option<Split> = None;
+        for i in 0..k {
+            let feature = perm[i];
+            let cand = match (self.cfg.use_histogram(), self.binned) {
+                (true, Some(binned)) => best_split_histogram(
+                    binned,
+                    self.ds.labels(),
+                    node_samples,
+                    feature,
+                    self.cfg.criterion,
+                    parent_weighted,
+                    self.cfg.min_samples_leaf,
+                    self.num_classes,
+                    hist,
+                ),
+                _ => best_split_exact(
+                    self.ds,
+                    node_samples,
+                    feature,
+                    self.cfg.criterion,
+                    parent_weighted,
+                    self.cfg.min_samples_leaf,
+                    exact_scratch,
+                ),
+            };
+            if let Some(c) = cand {
+                if best.as_ref().is_none_or(|b| better_split(&c, b)) {
+                    best = Some(c);
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Deterministic split ordering: higher gain wins; exact gain ties break
+/// toward the lower feature id, then the lower threshold. This makes the
+/// chosen tree independent of the order features were sampled in, so
+/// forests are reproducible even when `max_features = All`.
+#[inline]
+fn better_split(c: &Split, b: &Split) -> bool {
+    c.gain > b.gain
+        || (c.gain == b.gain
+            && (c.feature < b.feature
+                || (c.feature == b.feature && c.threshold < b.threshold)))
+}
+
+/// Unstable in-place partition: samples with `value < threshold` move to the
+/// front. Returns the left-partition size.
+fn partition_in_place(ds: &Dataset, samples: &mut [u32], feature: u16, threshold: f32) -> usize {
+    let mut i = 0usize;
+    let mut j = samples.len();
+    while i < j {
+        if ds.value(samples[i] as usize, feature as usize) < threshold {
+            i += 1;
+        } else {
+            j -= 1;
+            samples.swap(i, j);
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::splitter::MaxFeatures;
+    use crate::train::SplitFinder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn band_dataset(n: usize) -> Dataset {
+        // Diagonal band `x + y > 1`: axis-aligned greedy splits make steady
+        // progress on it (unlike XOR, whose first split has zero gain), and
+        // a depth-6 tree can staircase it to high accuracy.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let x = (i as f32 * 0.7919) % 1.0;
+            let y = (i as f32 * 0.4217) % 1.0;
+            rows.push(x);
+            rows.push(y);
+            labels.push((x + y > 1.0) as u32);
+        }
+        Dataset::from_rows(rows, 2, labels).unwrap()
+    }
+
+    fn cfg(finder: SplitFinder) -> TrainConfig {
+        TrainConfig {
+            n_trees: 1,
+            max_depth: 6,
+            max_features: MaxFeatures::All,
+            split_finder: finder,
+            seed: 5,
+            ..TrainConfig::default()
+        }
+    }
+
+    fn grow_one(ds: &Dataset, cfg: &TrainConfig) -> DecisionTree {
+        let binned = cfg
+            .use_histogram()
+            .then(|| BinnedDataset::build(ds, cfg.histogram_bins(), 10_000));
+        let builder = TreeBuilder::new(ds, binned.as_ref(), cfg);
+        let mut samples: Vec<u32> = (0..ds.num_rows() as u32).collect();
+        builder.grow(&mut samples, &mut StdRng::seed_from_u64(cfg.seed))
+    }
+
+    #[test]
+    fn learns_xor_with_exact_finder() {
+        let ds = band_dataset(400);
+        let tree = grow_one(&ds, &cfg(SplitFinder::Exact));
+        let correct = (0..ds.num_rows())
+            .filter(|&r| tree.predict(ds.row(r)) == ds.label(r))
+            .count();
+        assert!(correct as f64 / ds.num_rows() as f64 > 0.92, "{correct}/400");
+    }
+
+    #[test]
+    fn learns_xor_with_histogram_finder() {
+        let ds = band_dataset(400);
+        let tree = grow_one(&ds, &cfg(SplitFinder::Histogram { max_bins: 64 }));
+        let correct = (0..ds.num_rows())
+            .filter(|&r| tree.predict(ds.row(r)) == ds.label(r))
+            .count();
+        assert!(correct as f64 / ds.num_rows() as f64 > 0.92, "{correct}/400");
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let ds = band_dataset(400);
+        let mut c = cfg(SplitFinder::Exact);
+        c.max_depth = 1;
+        let tree = grow_one(&ds, &c);
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn max_depth_zero_gives_majority_stump() {
+        let ds = band_dataset(401);
+        let mut c = cfg(SplitFinder::Exact);
+        c.max_depth = 0;
+        let tree = grow_one(&ds, &c);
+        assert_eq!(tree.num_nodes(), 1);
+        // Majority label over the data.
+        let counts = ds.class_counts();
+        let maj = (counts[1] > counts[0]) as u32;
+        assert_eq!(tree.predict(ds.row(0)), maj);
+    }
+
+    #[test]
+    fn min_samples_leaf_bounds_leaf_population() {
+        let ds = band_dataset(200);
+        let mut c = cfg(SplitFinder::Exact);
+        c.min_samples_leaf = 20;
+        let tree = grow_one(&ds, &c);
+        // Count samples reaching each leaf; every leaf must hold >= 20.
+        let mut leaf_counts = std::collections::HashMap::new();
+        for r in 0..ds.num_rows() {
+            let mut id = 0u32;
+            loop {
+                match tree.nodes()[id as usize] {
+                    Node::Leaf { .. } => break,
+                    Node::Inner { feature, threshold, left, right } => {
+                        id = if ds.value(r, feature as usize) < threshold { left } else { right };
+                    }
+                }
+            }
+            *leaf_counts.entry(id).or_insert(0usize) += 1;
+        }
+        for (_, n) in leaf_counts {
+            assert!(n >= 20, "leaf with {n} samples violates min_samples_leaf");
+        }
+    }
+
+    #[test]
+    fn pure_data_yields_single_leaf() {
+        let ds = Dataset::from_rows_with_classes(
+            (0..50).map(|i| i as f32).collect(),
+            1,
+            vec![1u32; 50],
+            2,
+        )
+        .unwrap();
+        let tree = grow_one(&ds, &cfg(SplitFinder::Exact));
+        assert_eq!(tree.num_nodes(), 1);
+        assert_eq!(tree.predict(&[17.0]), 1);
+    }
+
+    #[test]
+    fn partition_matches_predicate() {
+        let ds = band_dataset(100);
+        let mut samples: Vec<u32> = (0..100).collect();
+        let mid = partition_in_place(&ds, &mut samples, 0, 0.7);
+        for &s in &samples[..mid] {
+            assert!(ds.value(s as usize, 0) < 0.7);
+        }
+        for &s in &samples[mid..] {
+            assert!(ds.value(s as usize, 0) >= 0.7);
+        }
+        assert_eq!(samples.len(), 100);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>(), "partition is a permutation");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = band_dataset(300);
+        let t1 = grow_one(&ds, &cfg(SplitFinder::Histogram { max_bins: 32 }));
+        let t2 = grow_one(&ds, &cfg(SplitFinder::Histogram { max_bins: 32 }));
+        assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Split-quality criteria (impurity measures).
+//!
+//! Both criteria operate on class-count vectors and are expressed in their
+//! *weighted* form `n · impurity(counts)` so that split gain can be computed
+//! without per-candidate divisions:
+//!
+//! `gain = weighted(parent) − weighted(left) − weighted(right)`
+//!
+//! which is `n` times the usual impurity decrease and therefore orders
+//! candidate splits identically.
+
+use serde::{Deserialize, Serialize};
+
+/// The impurity criterion used to score candidate splits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Criterion {
+    /// Gini impurity `1 − Σ pᵢ²` (scikit-learn's default, used by the paper).
+    #[default]
+    Gini,
+    /// Shannon entropy `−Σ pᵢ log₂ pᵢ`.
+    Entropy,
+}
+
+impl Criterion {
+    /// Weighted impurity `n · impurity(counts)` where `n = Σ counts`.
+    ///
+    /// Returns 0.0 for an empty partition.
+    #[inline]
+    pub fn weighted_impurity(self, counts: &[u64]) -> f64 {
+        let n: u64 = counts.iter().sum();
+        if n == 0 {
+            return 0.0;
+        }
+        let nf = n as f64;
+        match self {
+            Criterion::Gini => {
+                // n * (1 - sum((c/n)^2)) = n - sum(c^2)/n
+                let sq: f64 = counts.iter().map(|&c| (c as f64) * (c as f64)).sum();
+                nf - sq / nf
+            }
+            Criterion::Entropy => {
+                let mut h = 0.0;
+                for &c in counts {
+                    if c > 0 {
+                        let p = c as f64 / nf;
+                        h -= p * p.log2();
+                    }
+                }
+                nf * h
+            }
+        }
+    }
+
+    /// Gain of splitting `parent` into `left` and `right` (weighted-impurity
+    /// decrease; larger is better; never negative for valid partitions
+    /// beyond floating-point noise).
+    #[inline]
+    pub fn gain(self, parent_weighted: f64, left: &[u64], right: &[u64]) -> f64 {
+        parent_weighted - self.weighted_impurity(left) - self.weighted_impurity(right)
+    }
+}
+
+/// Index of the majority class (ties broken toward the smaller class id).
+#[inline]
+pub fn majority_class(counts: &[u64]) -> u32 {
+    let mut best = 0usize;
+    for (i, &c) in counts.iter().enumerate() {
+        if c > counts[best] {
+            best = i;
+        }
+    }
+    best as u32
+}
+
+/// Whether all samples belong to one class.
+#[inline]
+pub fn is_pure(counts: &[u64]) -> bool {
+    counts.iter().filter(|&&c| c > 0).count() <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gini_pure_is_zero() {
+        assert_eq!(Criterion::Gini.weighted_impurity(&[10, 0]), 0.0);
+        assert_eq!(Criterion::Gini.weighted_impurity(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn gini_balanced_binary() {
+        // impurity = 0.5, n = 8 -> weighted = 4.0
+        let w = Criterion::Gini.weighted_impurity(&[4, 4]);
+        assert!((w - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_balanced_binary() {
+        // entropy = 1 bit, n = 8 -> weighted = 8.0
+        let w = Criterion::Entropy.weighted_impurity(&[4, 4]);
+        assert!((w - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_pure_is_zero() {
+        assert_eq!(Criterion::Entropy.weighted_impurity(&[7, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn perfect_split_has_full_gain() {
+        for crit in [Criterion::Gini, Criterion::Entropy] {
+            let parent = crit.weighted_impurity(&[5, 5]);
+            let gain = crit.gain(parent, &[5, 0], &[0, 5]);
+            assert!((gain - parent).abs() < 1e-12, "{crit:?}");
+        }
+    }
+
+    #[test]
+    fn useless_split_has_zero_gain() {
+        for crit in [Criterion::Gini, Criterion::Entropy] {
+            let parent = crit.weighted_impurity(&[6, 6]);
+            let gain = crit.gain(parent, &[3, 3], &[3, 3]);
+            assert!(gain.abs() < 1e-9, "{crit:?}");
+        }
+    }
+
+    #[test]
+    fn multiclass_gini() {
+        // counts [2,2,2]: impurity = 1 - 3*(1/3)^2 = 2/3; weighted = 4.
+        let w = Criterion::Gini.weighted_impurity(&[2, 2, 2]);
+        assert!((w - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn majority_and_purity() {
+        assert_eq!(majority_class(&[1, 5, 3]), 1);
+        assert_eq!(majority_class(&[2, 2]), 0, "tie breaks low");
+        assert!(is_pure(&[0, 9, 0]));
+        assert!(is_pure(&[0, 0]));
+        assert!(!is_pure(&[1, 1]));
+    }
+}

@@ -1,0 +1,159 @@
+//! Exact (sort-based) split finding.
+//!
+//! For every candidate feature the node's `(value, label)` pairs are sorted
+//! and the boundary between every pair of adjacent *distinct* values is
+//! scored. This is the classical CART procedure — O(n log n) per feature —
+//! and serves as the accuracy reference that the fast histogram finder is
+//! tested against.
+
+use super::criterion::Criterion;
+use super::splitter::{Split, MIN_GAIN};
+use crate::dataset::Dataset;
+
+/// Finds the best `value < threshold` split of `samples` on `feature`, or
+/// `None` if the feature is constant on this node or no split satisfies
+/// `min_samples_leaf`.
+pub fn best_split_exact(
+    ds: &Dataset,
+    samples: &[u32],
+    feature: u16,
+    criterion: Criterion,
+    parent_weighted: f64,
+    min_samples_leaf: usize,
+    scratch: &mut Vec<(f32, u32)>,
+) -> Option<Split> {
+    let n = samples.len();
+    scratch.clear();
+    scratch.reserve(n);
+    for &s in samples {
+        scratch.push((ds.value(s as usize, feature as usize), ds.label(s as usize)));
+    }
+    scratch.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+
+    let num_classes = ds.num_classes() as usize;
+    let mut left = vec![0u64; num_classes];
+    let mut right = vec![0u64; num_classes];
+    for &(_, l) in scratch.iter() {
+        right[l as usize] += 1;
+    }
+
+    let mut best: Option<Split> = None;
+    for i in 0..n - 1 {
+        let (v, l) = scratch[i];
+        left[l as usize] += 1;
+        right[l as usize] -= 1;
+        let next_v = scratch[i + 1].0;
+        if v == next_v {
+            continue; // cannot separate equal values
+        }
+        let n_left = i + 1;
+        let n_right = n - n_left;
+        if n_left < min_samples_leaf || n_right < min_samples_leaf {
+            continue;
+        }
+        let gain = criterion.gain(parent_weighted, &left, &right);
+        if gain > MIN_GAIN && best.as_ref().is_none_or(|b| gain > b.gain) {
+            // Midpoint threshold, as scikit-learn does; guaranteed to
+            // strictly separate v (left) from next_v (right).
+            let mut threshold = 0.5 * (v + next_v);
+            if threshold <= v {
+                // Degenerate midpoint for adjacent floats: use the upper
+                // value so `v < threshold` still holds.
+                threshold = next_v;
+            }
+            best = Some(Split { feature, threshold, gain, n_left, n_right });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds(values: &[f32], labels: &[u32]) -> Dataset {
+        Dataset::from_rows(values.to_vec(), 1, labels.to_vec()).unwrap()
+    }
+
+    fn all(n: usize) -> Vec<u32> {
+        (0..n as u32).collect()
+    }
+
+    fn parent(ds: &Dataset, crit: Criterion) -> f64 {
+        let mut counts = vec![0u64; ds.num_classes() as usize];
+        for &l in ds.labels() {
+            counts[l as usize] += 1;
+        }
+        crit.weighted_impurity(&counts)
+    }
+
+    #[test]
+    fn finds_perfect_split() {
+        let d = ds(&[0.0, 1.0, 2.0, 10.0, 11.0, 12.0], &[0, 0, 0, 1, 1, 1]);
+        let p = parent(&d, Criterion::Gini);
+        let s = best_split_exact(&d, &all(6), 0, Criterion::Gini, p, 1, &mut vec![])
+            .expect("split exists");
+        assert!(s.threshold > 2.0 && s.threshold <= 10.0);
+        assert_eq!((s.n_left, s.n_right), (3, 3));
+        assert!((s.gain - p).abs() < 1e-9, "perfect split removes all impurity");
+    }
+
+    #[test]
+    fn constant_feature_yields_none() {
+        let d = ds(&[5.0; 8], &[0, 1, 0, 1, 0, 1, 0, 1]);
+        let p = parent(&d, Criterion::Gini);
+        assert!(best_split_exact(&d, &all(8), 0, Criterion::Gini, p, 1, &mut vec![]).is_none());
+    }
+
+    #[test]
+    fn pure_node_yields_none() {
+        let d = ds(&[1.0, 2.0, 3.0, 4.0], &[1, 1, 1, 1]);
+        let p = parent(&d, Criterion::Gini);
+        assert!(best_split_exact(&d, &all(4), 0, Criterion::Gini, p, 1, &mut vec![]).is_none());
+    }
+
+    #[test]
+    fn min_samples_leaf_blocks_extreme_splits() {
+        // With min_samples_leaf = 3 no boundary of 4 samples is legal.
+        let d = ds(&[0.0, 10.0, 11.0, 12.0], &[1, 0, 0, 0]);
+        let p = parent(&d, Criterion::Gini);
+        let s = best_split_exact(&d, &all(4), 0, Criterion::Gini, p, 3, &mut vec![]);
+        assert!(s.is_none());
+        // With min_samples_leaf = 2 only the 2/2 boundary is legal and it
+        // has positive gain, so it must be chosen.
+        let s = best_split_exact(&d, &all(4), 0, Criterion::Gini, p, 2, &mut vec![])
+            .expect("2/2 split is legal");
+        assert_eq!((s.n_left, s.n_right), (2, 2));
+    }
+
+    #[test]
+    fn threshold_separates_duplicated_boundary_values() {
+        let d = ds(&[1.0, 1.0, 1.0, 2.0, 2.0], &[0, 0, 0, 1, 1]);
+        let p = parent(&d, Criterion::Gini);
+        let s = best_split_exact(&d, &all(5), 0, Criterion::Gini, p, 1, &mut vec![]).unwrap();
+        // All the 1.0s go left, all the 2.0s go right.
+        assert!(1.0 < s.threshold && s.threshold <= 2.0);
+        assert_eq!((s.n_left, s.n_right), (3, 2));
+    }
+
+    #[test]
+    fn respects_subset_of_samples() {
+        let d = ds(&[0.0, 100.0, 1.0, 101.0], &[0, 1, 0, 1]);
+        let p = {
+            let crit = Criterion::Gini;
+            crit.weighted_impurity(&[1, 1])
+        };
+        // Only rows 0 and 1.
+        let s = best_split_exact(&d, &[0, 1], 0, Criterion::Gini, p, 1, &mut vec![]).unwrap();
+        assert!(s.threshold > 0.0 && s.threshold <= 100.0);
+        assert_eq!((s.n_left, s.n_right), (1, 1));
+    }
+
+    #[test]
+    fn entropy_also_works() {
+        let d = ds(&[0.0, 1.0, 2.0, 3.0], &[0, 0, 1, 1]);
+        let p = parent(&d, Criterion::Entropy);
+        let s = best_split_exact(&d, &all(4), 0, Criterion::Entropy, p, 1, &mut vec![]).unwrap();
+        assert!(s.threshold > 1.0 && s.threshold <= 2.0);
+    }
+}

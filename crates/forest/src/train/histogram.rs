@@ -1,0 +1,322 @@
+//! Histogram (binned) split finding.
+//!
+//! Features are quantized once per training run into at most 256
+//! quantile-spaced bins per column (the approach of LightGBM-style
+//! trainers). A node then scores a feature in O(n + bins) instead of
+//! O(n log n): accumulate a `bins × classes` count table over the node's
+//! samples and sweep the bin boundaries.
+//!
+//! Bin semantics: for ascending edge vector `e`, `bin(v)` is the number of
+//! edges `≤ v`, so *"bins `0..=j` go left"* is exactly the predicate
+//! `v < e[j]` — the threshold written into the tree is a real edge value
+//! and inference needs no knowledge of the binning.
+
+use super::criterion::Criterion;
+use super::splitter::{Split, MIN_GAIN};
+use crate::dataset::Dataset;
+
+/// Maximum number of bins (bin ids fit in a `u8`).
+pub const MAX_BINS: usize = 256;
+
+/// A column-major quantized copy of a dataset, shared by every tree of a
+/// training run.
+#[derive(Debug, Clone)]
+pub struct BinnedDataset {
+    /// `bins[feature * num_rows + row]` = bin id of that value.
+    bins: Vec<u8>,
+    /// Ascending distinct candidate thresholds per feature; `edges[f][j]`
+    /// separates bins `<= j` (left) from bins `> j` (right).
+    edges: Vec<Vec<f32>>,
+    num_rows: usize,
+    num_features: usize,
+}
+
+impl BinnedDataset {
+    /// Quantizes `ds` into at most `max_bins` bins per feature using
+    /// quantiles of a sample of at most `sample_cap` rows per column.
+    pub fn build(ds: &Dataset, max_bins: usize, sample_cap: usize) -> Self {
+        let max_bins = max_bins.clamp(2, MAX_BINS);
+        let num_rows = ds.num_rows();
+        let num_features = ds.num_features();
+        let mut bins = vec![0u8; num_rows * num_features];
+        let mut edges = Vec::with_capacity(num_features);
+
+        // Deterministic stride sample of each column for quantile edges.
+        let stride = (num_rows / sample_cap.max(1)).max(1);
+        let mut col: Vec<f32> = Vec::with_capacity(num_rows.div_ceil(stride));
+        for f in 0..num_features {
+            col.clear();
+            let mut r = 0;
+            while r < num_rows {
+                col.push(ds.value(r, f));
+                r += stride;
+            }
+            col.sort_unstable_by(f32::total_cmp);
+            col.dedup();
+            let fe = quantile_edges(&col, max_bins);
+            // Quantize the full column against the chosen edges.
+            let out = &mut bins[f * num_rows..(f + 1) * num_rows];
+            for (r, b) in out.iter_mut().enumerate() {
+                let v = ds.value(r, f);
+                *b = fe.partition_point(|e| *e <= v) as u8;
+            }
+            edges.push(fe);
+        }
+        Self { bins, edges, num_rows, num_features }
+    }
+
+    /// Bin id of `(row, feature)`.
+    #[inline]
+    pub fn bin(&self, row: usize, feature: usize) -> u8 {
+        self.bins[feature * self.num_rows + row]
+    }
+
+    /// Candidate thresholds for `feature`.
+    #[inline]
+    pub fn edges(&self, feature: usize) -> &[f32] {
+        &self.edges[feature]
+    }
+
+    /// Number of rows quantized.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of feature columns.
+    #[inline]
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+}
+
+/// Chooses at most `max_bins - 1` ascending distinct edges from a sorted,
+/// deduplicated value sample.
+fn quantile_edges(sorted_distinct: &[f32], max_bins: usize) -> Vec<f32> {
+    let n = sorted_distinct.len();
+    if n <= 1 {
+        return Vec::new(); // constant column: no candidate thresholds
+    }
+    let want = (max_bins - 1).min(n - 1);
+    let mut edges = Vec::with_capacity(want);
+    for k in 1..=want {
+        // Edge between ranks: pick interior distinct values evenly.
+        let idx = k * n / (want + 1);
+        let idx = idx.clamp(1, n - 1);
+        edges.push(sorted_distinct[idx]);
+    }
+    edges.dedup();
+    edges
+}
+
+/// Finds the best binned split of `samples` on `feature`.
+///
+/// `hist` is a caller-owned scratch table of at least
+/// `MAX_BINS * num_classes` u64s (cleared here).
+#[allow(clippy::too_many_arguments)]
+pub fn best_split_histogram(
+    binned: &BinnedDataset,
+    labels: &[u32],
+    samples: &[u32],
+    feature: u16,
+    criterion: Criterion,
+    parent_weighted: f64,
+    min_samples_leaf: usize,
+    num_classes: usize,
+    hist: &mut [u64],
+) -> Option<Split> {
+    let edges = binned.edges(feature as usize);
+    if edges.is_empty() {
+        return None; // constant feature
+    }
+    let nbins = edges.len() + 1;
+    let used = nbins * num_classes;
+    hist[..used].fill(0);
+    for &s in samples {
+        let b = binned.bin(s as usize, feature as usize) as usize;
+        hist[b * num_classes + labels[s as usize] as usize] += 1;
+    }
+
+    let n = samples.len();
+    let mut left = vec![0u64; num_classes];
+    let mut right = vec![0u64; num_classes];
+    for b in 0..nbins {
+        for c in 0..num_classes {
+            right[c] += hist[b * num_classes + c];
+        }
+    }
+
+    let mut best: Option<Split> = None;
+    let mut n_left = 0usize;
+    for j in 0..edges.len() {
+        let row = &hist[j * num_classes..(j + 1) * num_classes];
+        let moved: u64 = row.iter().sum();
+        for c in 0..num_classes {
+            left[c] += row[c];
+            right[c] -= row[c];
+        }
+        n_left += moved as usize;
+        let n_right = n - n_left;
+        if n_left < min_samples_leaf || n_right < min_samples_leaf {
+            continue;
+        }
+        if n_left == 0 || n_right == 0 {
+            continue;
+        }
+        let gain = criterion.gain(parent_weighted, &left, &right);
+        if gain > MIN_GAIN && best.as_ref().is_none_or(|b| gain > b.gain) {
+            best = Some(Split { feature, threshold: edges[j], gain, n_left, n_right });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds(values: &[f32], labels: &[u32]) -> Dataset {
+        Dataset::from_rows(values.to_vec(), 1, labels.to_vec()).unwrap()
+    }
+
+    fn scratch() -> Vec<u64> {
+        vec![0u64; MAX_BINS * 4]
+    }
+
+    #[test]
+    fn binning_is_order_preserving() {
+        let vals: Vec<f32> = (0..1000).map(|i| (i as f32).sin()).collect();
+        let labels = vec![0u32; 1000];
+        let d = ds(&vals, &labels);
+        let b = BinnedDataset::build(&d, 64, 10_000);
+        for r in 0..999 {
+            for r2 in r + 1..1000.min(r + 10) {
+                let (v1, v2) = (d.value(r, 0), d.value(r2, 0));
+                let (b1, b2) = (b.bin(r, 0), b.bin(r2, 0));
+                if v1 < v2 {
+                    assert!(b1 <= b2, "binning must be monotone");
+                } else if v1 > v2 {
+                    assert!(b1 >= b2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bin_matches_threshold_predicate() {
+        // The invariant the tree relies on: bins <= j  <=>  v < edges[j].
+        let vals: Vec<f32> = (0..500).map(|i| (i % 37) as f32 * 0.3).collect();
+        let d = ds(&vals, &vec![0u32; 500]);
+        let b = BinnedDataset::build(&d, 16, 10_000);
+        let edges = b.edges(0);
+        assert!(!edges.is_empty());
+        for r in 0..500 {
+            let v = d.value(r, 0);
+            let bin = b.bin(r, 0) as usize;
+            for (j, &e) in edges.iter().enumerate() {
+                assert_eq!(bin <= j, v < e, "v={v} e={e} bin={bin} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_column_has_no_edges() {
+        let d = ds(&[3.0; 50], &vec![0u32; 50]);
+        let b = BinnedDataset::build(&d, 32, 10_000);
+        assert!(b.edges(0).is_empty());
+        let s = best_split_histogram(
+            &b,
+            d.labels(),
+            &(0..50).collect::<Vec<u32>>(),
+            0,
+            Criterion::Gini,
+            1.0,
+            1,
+            2,
+            &mut scratch(),
+        );
+        assert!(s.is_none());
+    }
+
+    #[test]
+    fn finds_clean_split() {
+        let vals: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let labels: Vec<u32> = (0..100).map(|i| (i >= 50) as u32).collect();
+        let d = ds(&vals, &labels);
+        let b = BinnedDataset::build(&d, 64, 10_000);
+        let parent = Criterion::Gini.weighted_impurity(&[50, 50]);
+        let samples: Vec<u32> = (0..100).collect();
+        let s = best_split_histogram(
+            &b, d.labels(), &samples, 0, Criterion::Gini, parent, 1, 2, &mut scratch(),
+        )
+        .expect("split exists");
+        // Threshold must route <50 left and >=50 right (an edge near 50).
+        let left: Vec<u32> =
+            samples.iter().copied().filter(|&i| d.value(i as usize, 0) < s.threshold).collect();
+        assert!(left.len() >= 40 && left.len() <= 60);
+        assert!(s.gain > 0.5 * parent, "most impurity removed");
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let vals: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let labels = vec![1, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        let d = ds(&vals, &labels);
+        let b = BinnedDataset::build(&d, 32, 10_000);
+        let parent = Criterion::Gini.weighted_impurity(&[9, 1]);
+        let samples: Vec<u32> = (0..10).collect();
+        let s = best_split_histogram(
+            &b, d.labels(), &samples, 0, Criterion::Gini, parent, 3, 2, &mut scratch(),
+        );
+        if let Some(s) = s {
+            assert!(s.n_left >= 3 && s.n_right >= 3);
+        }
+    }
+
+    #[test]
+    fn split_agrees_with_exact_on_separable_data() {
+        // On cleanly separable data both finders should isolate the classes.
+        let vals: Vec<f32> = (0..200).map(|i| if i < 120 { i as f32 } else { 1000.0 + i as f32 }).collect();
+        let labels: Vec<u32> = (0..200).map(|i| (i >= 120) as u32).collect();
+        let d = ds(&vals, &labels);
+        let samples: Vec<u32> = (0..200).collect();
+        let parent = Criterion::Gini.weighted_impurity(&[120, 80]);
+
+        let b = BinnedDataset::build(&d, 128, 10_000);
+        let hs = best_split_histogram(
+            &b, d.labels(), &samples, 0, Criterion::Gini, parent, 1, 2, &mut scratch(),
+        )
+        .unwrap();
+        let es = super::super::exact::best_split_exact(
+            &d, &samples, 0, Criterion::Gini, parent, 1, &mut vec![],
+        )
+        .unwrap();
+        // Same partition even if thresholds differ numerically.
+        let part = |t: f32| samples.iter().filter(|&&i| d.value(i as usize, 0) < t).count();
+        assert_eq!(part(hs.threshold), part(es.threshold));
+        assert!((hs.gain - es.gain).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multifeature_binning_uses_right_column() {
+        // Two features; only feature 1 separates the classes.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..100 {
+            rows.push(0.5f32); // constant feature 0
+            rows.push(i as f32);
+            labels.push((i >= 50) as u32);
+        }
+        let d = Dataset::from_rows(rows, 2, labels).unwrap();
+        let b = BinnedDataset::build(&d, 32, 10_000);
+        assert!(b.edges(0).is_empty());
+        assert!(!b.edges(1).is_empty());
+        let parent = Criterion::Gini.weighted_impurity(&[50, 50]);
+        let samples: Vec<u32> = (0..100).collect();
+        let s = best_split_histogram(
+            &b, d.labels(), &samples, 1, Criterion::Gini, parent, 1, 2, &mut scratch(),
+        )
+        .unwrap();
+        assert_eq!(s.feature, 1);
+    }
+}

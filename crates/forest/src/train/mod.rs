@@ -1,0 +1,172 @@
+//! CART training: configuration and submodules.
+//!
+//! The public entry point is [`crate::RandomForest::fit`]; this module holds
+//! the pieces: impurity [`criterion`]s, the [`exact`] and [`histogram`]
+//! split finders, feature subsampling ([`splitter`]), and single-tree
+//! growth ([`builder`]).
+
+pub mod builder;
+pub mod criterion;
+pub mod exact;
+pub mod histogram;
+pub mod splitter;
+
+pub use criterion::Criterion;
+pub use histogram::BinnedDataset;
+pub use splitter::MaxFeatures;
+
+use crate::error::ForestError;
+use serde::{Deserialize, Serialize};
+
+/// Which split-finding algorithm to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SplitFinder {
+    /// Sort-based exact splits (CART textbook algorithm). Best accuracy,
+    /// O(n log n) per feature per node.
+    Exact,
+    /// Quantile-binned histogram splits: O(n) per feature per node with at
+    /// most `max_bins` candidate thresholds. The default — it is what makes
+    /// training the paper's million-sample forests tractable.
+    Histogram {
+        /// Maximum bins per feature (2..=256).
+        max_bins: usize,
+    },
+}
+
+impl Default for SplitFinder {
+    fn default() -> Self {
+        SplitFinder::Histogram { max_bins: 256 }
+    }
+}
+
+/// Random-forest training configuration, mirroring the scikit-learn
+/// parameters the paper sweeps (`n_estimators`, `max_depth`) plus the usual
+/// regularizers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of trees (paper: 10–150, fixed at 100 for timing runs).
+    pub n_trees: usize,
+    /// Maximum tree depth (paper: 5–50).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples each child of a split must keep.
+    pub min_samples_leaf: usize,
+    /// Features considered per node.
+    pub max_features: MaxFeatures,
+    /// Impurity criterion.
+    pub criterion: Criterion,
+    /// Split-finding algorithm.
+    pub split_finder: SplitFinder,
+    /// Whether each tree sees a bootstrap resample (true for a random
+    /// forest; false trains every tree on the full data).
+    pub bootstrap: bool,
+    /// Master RNG seed; tree `i` uses an independent stream derived from
+    /// `(seed, i)`, so results are identical regardless of thread count.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 100,
+            max_depth: 25,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: MaxFeatures::Sqrt,
+            criterion: Criterion::Gini,
+            split_finder: SplitFinder::default(),
+            bootstrap: true,
+            seed: 0,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Validates field ranges.
+    pub fn validate(&self) -> Result<(), ForestError> {
+        if self.n_trees == 0 {
+            return Err(ForestError::InvalidConfig {
+                field: "n_trees",
+                detail: "must be at least 1".into(),
+            });
+        }
+        if self.min_samples_split < 2 {
+            return Err(ForestError::InvalidConfig {
+                field: "min_samples_split",
+                detail: "must be at least 2".into(),
+            });
+        }
+        if self.min_samples_leaf == 0 {
+            return Err(ForestError::InvalidConfig {
+                field: "min_samples_leaf",
+                detail: "must be at least 1".into(),
+            });
+        }
+        if let SplitFinder::Histogram { max_bins } = self.split_finder {
+            if !(2..=histogram::MAX_BINS).contains(&max_bins) {
+                return Err(ForestError::InvalidConfig {
+                    field: "split_finder.max_bins",
+                    detail: format!("must be in 2..=256, got {max_bins}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the histogram finder is selected.
+    pub fn use_histogram(&self) -> bool {
+        matches!(self.split_finder, SplitFinder::Histogram { .. })
+    }
+
+    /// Bin count for the histogram finder (256 if exact is selected, which
+    /// callers should not rely on).
+    pub fn histogram_bins(&self) -> usize {
+        match self.split_finder {
+            SplitFinder::Histogram { max_bins } => max_bins,
+            SplitFinder::Exact => histogram::MAX_BINS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setup() {
+        let c = TrainConfig::default();
+        assert_eq!(c.n_trees, 100);
+        assert_eq!(c.max_features, MaxFeatures::Sqrt);
+        assert_eq!(c.criterion, Criterion::Gini);
+        assert!(c.bootstrap);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let mut c = TrainConfig { n_trees: 0, ..TrainConfig::default() };
+        assert!(c.validate().is_err());
+        c.n_trees = 1;
+        c.min_samples_split = 1;
+        assert!(c.validate().is_err());
+        c.min_samples_split = 2;
+        c.min_samples_leaf = 0;
+        assert!(c.validate().is_err());
+        c.min_samples_leaf = 1;
+        c.split_finder = SplitFinder::Histogram { max_bins: 1 };
+        assert!(c.validate().is_err());
+        c.split_finder = SplitFinder::Histogram { max_bins: 4096 };
+        assert!(c.validate().is_err());
+        c.split_finder = SplitFinder::Histogram { max_bins: 256 };
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn config_roundtrips_through_serde() {
+        let c = TrainConfig { max_depth: 35, seed: 99, ..TrainConfig::default() };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: TrainConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

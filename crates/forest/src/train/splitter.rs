@@ -1,0 +1,139 @@
+//! Shared split-finding types and feature subsampling.
+
+use rand::Rng;
+
+/// Gains at or below this value are treated as "no useful split"; guards
+/// against floating-point noise promoting a null split.
+pub const MIN_GAIN: f64 = 1e-12;
+
+/// A candidate split of a node: `query[feature] < threshold` goes left.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Split {
+    /// Feature column compared.
+    pub feature: u16,
+    /// Comparison threshold.
+    pub threshold: f32,
+    /// Weighted-impurity decrease of this split (larger is better).
+    pub gain: f64,
+    /// Sample count routed left.
+    pub n_left: usize,
+    /// Sample count routed right.
+    pub n_right: usize,
+}
+
+/// How many features each node considers, mirroring scikit-learn's
+/// `max_features` parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize, Default)]
+pub enum MaxFeatures {
+    /// `ceil(sqrt(num_features))` — scikit-learn's classifier default and
+    /// what the paper's forests use.
+    #[default]
+    Sqrt,
+    /// `ceil(log2(num_features))`.
+    Log2,
+    /// All features (bagged decision trees rather than a random forest).
+    All,
+    /// An explicit count (clamped to the number of features).
+    Count(usize),
+}
+
+impl MaxFeatures {
+    /// Resolves to a concrete feature count for a dataset width.
+    pub fn resolve(self, num_features: usize) -> usize {
+        let k = match self {
+            MaxFeatures::Sqrt => (num_features as f64).sqrt().ceil() as usize,
+            MaxFeatures::Log2 => (num_features as f64).log2().ceil().max(1.0) as usize,
+            MaxFeatures::All => num_features,
+            MaxFeatures::Count(c) => c,
+        };
+        k.clamp(1, num_features)
+    }
+}
+
+/// Draws `k` distinct feature indices out of `num_features` by partial
+/// Fisher–Yates over a caller-provided permutation buffer (kept across
+/// calls to avoid reallocating at every tree node).
+pub fn sample_features<R: Rng>(
+    rng: &mut R,
+    num_features: usize,
+    k: usize,
+    perm: &mut Vec<u16>,
+) -> usize {
+    if perm.len() != num_features {
+        perm.clear();
+        perm.extend(0..num_features as u16);
+    }
+    let k = k.min(num_features);
+    for i in 0..k {
+        let j = rng.gen_range(i..num_features);
+        perm.swap(i, j);
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn max_features_resolution() {
+        assert_eq!(MaxFeatures::Sqrt.resolve(54), 8); // ceil(7.35)
+        assert_eq!(MaxFeatures::Sqrt.resolve(18), 5); // ceil(4.24)
+        assert_eq!(MaxFeatures::Sqrt.resolve(1), 1);
+        assert_eq!(MaxFeatures::Log2.resolve(28), 5);
+        assert_eq!(MaxFeatures::All.resolve(10), 10);
+        assert_eq!(MaxFeatures::Count(3).resolve(10), 3);
+        assert_eq!(MaxFeatures::Count(99).resolve(10), 10, "clamped");
+        assert_eq!(MaxFeatures::Count(0).resolve(10), 1, "at least one");
+    }
+
+    #[test]
+    fn sampled_features_are_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut perm = Vec::new();
+        for _ in 0..100 {
+            let k = sample_features(&mut rng, 20, 6, &mut perm);
+            assert_eq!(k, 6);
+            let mut chosen: Vec<u16> = perm[..k].to_vec();
+            chosen.sort_unstable();
+            chosen.dedup();
+            assert_eq!(chosen.len(), 6, "duplicates drawn");
+            assert!(chosen.iter().all(|&f| f < 20));
+        }
+    }
+
+    #[test]
+    fn sampling_k_equals_n_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut perm = Vec::new();
+        let k = sample_features(&mut rng, 8, 8, &mut perm);
+        assert_eq!(k, 8);
+        let mut all: Vec<u16> = perm.clone();
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<u16>>());
+    }
+
+    #[test]
+    fn oversized_k_is_clamped() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut perm = Vec::new();
+        assert_eq!(sample_features(&mut rng, 4, 100, &mut perm), 4);
+    }
+
+    #[test]
+    fn all_features_eventually_sampled() {
+        // Over many draws of k=2 from 6, every feature should appear.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut perm = Vec::new();
+        let mut seen = [false; 6];
+        for _ in 0..200 {
+            let k = sample_features(&mut rng, 6, 2, &mut perm);
+            for &f in &perm[..k] {
+                seen[f as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

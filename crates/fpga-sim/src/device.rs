@@ -1,0 +1,113 @@
+//! Device model, with the Alveo U250 preset the paper synthesizes for.
+
+use serde::{Deserialize, Serialize};
+
+/// FPGA cost-model configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpgaConfig {
+    /// Super logic regions on the card.
+    pub num_slrs: u32,
+    /// BRAM + URAM bytes usable per SLR (§2.3 quotes 13.5 MB).
+    pub onchip_bytes_per_slr: u64,
+    /// External DDR bandwidth per SLR in GB/s (the U250's four 16 GB DDR4
+    /// channels total ≈ 77 GB/s, one channel per SLR).
+    pub ext_bw_gbps_per_slr: f64,
+    /// Target clock in MHz (Vitis default target used by the paper).
+    pub default_freq_mhz: f64,
+    /// Latency of a dependent random external-memory read, cycles.
+    pub lat_ext: u32,
+    /// Latency of a dependent BRAM/URAM read, cycles.
+    pub lat_onchip: u32,
+    /// Latency of a dependent ALU op, cycles.
+    pub lat_alu: u32,
+    /// Latency of a dependent compare, cycles.
+    pub lat_compare: u32,
+    /// Extra dependent-access latency added per additional CU sharing one
+    /// SLR's DDR channel (random-access contention).
+    pub contention_cycles_per_extra_cu: u32,
+    /// Burst-read throughput of one CU's AXI port, bytes per cycle.
+    pub burst_bytes_per_cycle_per_cu: f64,
+    /// Pipeline fill (depth) added once per pipelined loop execution.
+    pub pipeline_fill: u32,
+    /// Peak random-request service rate of one SLR's DDR channel,
+    /// requests per cycle, when a single CU streams from it.
+    pub stream_req_capacity_per_slr: f64,
+    /// DDR efficiency collapse under concurrent streams: the effective
+    /// request capacity is `cap / (1 + factor · (cus_per_slr − 1))`
+    /// (row-buffer conflicts between interleaved streams). This is what
+    /// makes replicating stream-fed stages (hybrid stage 1,
+    /// collaborative) counter-productive — §4.4's finding.
+    pub stream_conflict_factor: f64,
+}
+
+impl FpgaConfig {
+    /// The paper's card: Xilinx Alveo U250, 4 SLRs, 4×16 GB DDR4-2400
+    /// (≈ 77 GB/s total), 13.5 MB on-chip per SLR, 300 MHz kernels.
+    ///
+    /// `lat_ext = 72` is the value that, through [`crate::ops::chain_ii`],
+    /// reproduces every II the paper reports (292 / 76 / 3).
+    pub fn alveo_u250() -> Self {
+        Self {
+            num_slrs: 4,
+            onchip_bytes_per_slr: 13_500 * 1024,
+            ext_bw_gbps_per_slr: 77.0 / 4.0,
+            default_freq_mhz: 300.0,
+            lat_ext: 72,
+            lat_onchip: 2,
+            lat_alu: 1,
+            lat_compare: 1,
+            contention_cycles_per_extra_cu: 2,
+            burst_bytes_per_cycle_per_cu: 8.0,
+            pipeline_fill: 100,
+            stream_req_capacity_per_slr: 0.125,
+            stream_conflict_factor: 0.15,
+        }
+    }
+
+    /// A small device for unit tests: 2 SLRs, tiny on-chip budget, low
+    /// latencies.
+    pub fn tiny_test() -> Self {
+        Self {
+            num_slrs: 2,
+            onchip_bytes_per_slr: 64 * 1024,
+            ext_bw_gbps_per_slr: 4.0,
+            default_freq_mhz: 100.0,
+            lat_ext: 10,
+            lat_onchip: 2,
+            lat_alu: 1,
+            lat_compare: 1,
+            contention_cycles_per_extra_cu: 1,
+            burst_bytes_per_cycle_per_cu: 4.0,
+            pipeline_fill: 10,
+            stream_req_capacity_per_slr: 1.0,
+            stream_conflict_factor: 1.0,
+        }
+    }
+
+    /// DDR bytes per kernel cycle available to one SLR at `freq_mhz`.
+    pub fn slr_bytes_per_cycle(&self, freq_mhz: f64) -> f64 {
+        self.ext_bw_gbps_per_slr * 1e9 / (freq_mhz * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u250_matches_paper_quotes() {
+        let c = FpgaConfig::alveo_u250();
+        assert_eq!(c.num_slrs, 4);
+        assert_eq!(c.onchip_bytes_per_slr, 13_500 * 1024);
+        assert!((c.ext_bw_gbps_per_slr * 4.0 - 77.0).abs() < 1e-9);
+        assert_eq!(c.default_freq_mhz, 300.0);
+    }
+
+    #[test]
+    fn slr_bandwidth_per_cycle() {
+        let c = FpgaConfig::alveo_u250();
+        // 19.25 GB/s at 300 MHz = ~64 B/cycle.
+        let bpc = c.slr_bytes_per_cycle(300.0);
+        assert!((bpc - 64.17).abs() < 0.1, "{bpc}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Dependency-chain operations and initiation-interval derivation.
+//!
+//! Vitis HLS pipelines a loop at the smallest II that honors its
+//! loop-carried dependencies. For tree traversal the chain is "current
+//! node → load node → compare → next node", so the II equals the summed
+//! latency of the operations on that chain. The paper reports measured
+//! IIs for each variant (Table 3); deriving them from the chains
+//! reproduces those numbers exactly — see the tests below.
+
+use crate::device::FpgaConfig;
+use serde::{Deserialize, Serialize};
+
+/// One operation on a loop-carried dependency chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Random-access read from external DDR (a node fetch from the
+    /// off-chip tree arrays).
+    ExtMemLoad,
+    /// Read from BRAM/URAM (query features, buffered subtrees).
+    OnChipLoad,
+    /// Integer/address arithmetic.
+    Alu,
+    /// Floating-point/threshold compare.
+    Compare,
+}
+
+impl Op {
+    /// Dependent latency of this op, cycles.
+    pub fn latency(self, cfg: &FpgaConfig) -> u32 {
+        match self {
+            Op::ExtMemLoad => cfg.lat_ext,
+            Op::OnChipLoad => cfg.lat_onchip,
+            Op::Alu => cfg.lat_alu,
+            Op::Compare => cfg.lat_compare,
+        }
+    }
+
+    /// Whether the op touches external memory (subject to CU contention).
+    pub fn is_external(self) -> bool {
+        matches!(self, Op::ExtMemLoad)
+    }
+}
+
+/// Base initiation interval of a loop whose carried dependency chain is
+/// `chain`: the summed dependent latency, at least 1.
+pub fn chain_ii(chain: &[Op], cfg: &FpgaConfig) -> u32 {
+    chain.iter().map(|op| op.latency(cfg)).sum::<u32>().max(1)
+}
+
+/// II under replication: every external access on the chain pays
+/// additional latency for the other CUs contending for the same SLR's DDR
+/// channel.
+pub fn chain_ii_contended(chain: &[Op], cfg: &FpgaConfig, cus_per_slr: u32) -> u32 {
+    let extra = cfg.contention_cycles_per_extra_cu * cus_per_slr.saturating_sub(1);
+    chain
+        .iter()
+        .map(|op| op.latency(cfg) + if op.is_external() { extra } else { 0 })
+        .sum::<u32>()
+        .max(1)
+}
+
+/// The paper's four traversal chains, for reuse by kernels and tests.
+pub mod chains {
+    use super::Op;
+
+    /// CSR baseline: `children_arr_idx`, `children_arr`, `feature_id`,
+    /// `value` — four dependent external reads — then address arithmetic
+    /// and the threshold compare.
+    pub const CSR: &[Op] = &[
+        Op::ExtMemLoad,
+        Op::ExtMemLoad,
+        Op::ExtMemLoad,
+        Op::ExtMemLoad,
+        Op::Alu,
+        Op::Alu,
+        Op::Compare,
+        Op::Compare,
+    ];
+
+    /// Independent hierarchical variant: one external read of the packed
+    /// node attributes, query feature from BRAM (the paper's §3.2.2
+    /// optimization that cut the II from 147 to 76), arithmetic child
+    /// indexing, compare.
+    pub const INDEPENDENT: &[Op] =
+        &[Op::ExtMemLoad, Op::OnChipLoad, Op::Alu, Op::Compare];
+
+    /// Collaborative variant: subtree buffered on chip, query features on
+    /// chip — II 3.
+    pub const COLLABORATIVE: &[Op] = &[Op::OnChipLoad, Op::Compare];
+
+    /// Hybrid stage 1 (root subtree on chip) — same chain as
+    /// collaborative.
+    pub const HYBRID_STAGE1: &[Op] = COLLABORATIVE;
+
+    /// Hybrid stage 2 (remaining subtrees off chip) — same chain as
+    /// independent.
+    pub const HYBRID_STAGE2: &[Op] = INDEPENDENT;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// These three assertions tie the simulator to Table 3 of the paper:
+    /// the measured IIs (292, 76, 3) fall out of the dependency chains.
+    #[test]
+    fn paper_iis_are_reproduced() {
+        let cfg = FpgaConfig::alveo_u250();
+        assert_eq!(chain_ii(chains::CSR, &cfg), 292);
+        assert_eq!(chain_ii(chains::INDEPENDENT, &cfg), 76);
+        assert_eq!(chain_ii(chains::COLLABORATIVE, &cfg), 3);
+        assert_eq!(chain_ii(chains::HYBRID_STAGE2, &cfg), 76);
+    }
+
+    #[test]
+    fn empty_chain_has_ii_one() {
+        let cfg = FpgaConfig::alveo_u250();
+        assert_eq!(chain_ii(&[], &cfg), 1);
+    }
+
+    #[test]
+    fn contention_only_inflates_external_ops() {
+        let cfg = FpgaConfig::alveo_u250();
+        // 12 CUs per SLR: +2 cycles x 11 = +22 per external access.
+        assert_eq!(chain_ii_contended(chains::INDEPENDENT, &cfg, 12), 76 + 22);
+        assert_eq!(chain_ii_contended(chains::COLLABORATIVE, &cfg, 12), 3);
+        assert_eq!(chain_ii_contended(chains::CSR, &cfg, 12), 292 + 4 * 22);
+        // Single CU: no contention.
+        assert_eq!(chain_ii_contended(chains::INDEPENDENT, &cfg, 1), 76);
+    }
+}

@@ -1,0 +1,272 @@
+//! Per-compute-unit pipeline accounting.
+//!
+//! A kernel drives one [`CuPipeline`] per compute unit: it declares
+//! pipelined loop executions (iteration count × effective II), burst
+//! transfers, and wasted work. The result is a [`CuExecution`] with total
+//! cycles, useful cycles, and external traffic — from which replication
+//! combines device-level time and the stall percentage of Table 3.
+
+use crate::device::FpgaConfig;
+use crate::ops::{chain_ii, chain_ii_contended, Op};
+use serde::{Deserialize, Serialize};
+
+/// Accumulated execution record of one compute unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct CuExecution {
+    /// Total cycles the CU was busy.
+    pub cycles: u64,
+    /// Cycles spent on useful work at the *uncontended* II (everything
+    /// else is stall: contention inflation, wasted iterations, fills,
+    /// burst waits beyond the useful payload).
+    pub useful_cycles: u64,
+    /// Bytes read from external memory (random + burst).
+    pub ext_read_bytes: u64,
+    /// Pipelined-loop iterations executed.
+    pub iterations: u64,
+    /// Iterations that did no useful work (e.g. non-present queries pushed
+    /// through a subtree in the collaborative variant).
+    pub wasted_iterations: u64,
+}
+
+impl CuExecution {
+    /// Stall fraction: cycles not doing useful uncontended work.
+    pub fn stall_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            1.0 - self.useful_cycles as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Cost-model driver for one CU.
+#[derive(Debug, Clone)]
+pub struct CuPipeline<'a> {
+    cfg: &'a FpgaConfig,
+    cus_per_slr: u32,
+    exec: CuExecution,
+}
+
+impl<'a> CuPipeline<'a> {
+    /// A fresh CU on a device where `cus_per_slr` CUs share each SLR's
+    /// DDR channel.
+    pub fn new(cfg: &'a FpgaConfig, cus_per_slr: u32) -> Self {
+        assert!(cus_per_slr >= 1);
+        Self { cfg, cus_per_slr, exec: CuExecution::default() }
+    }
+
+    /// Base (uncontended) II of a dependency chain on this device.
+    pub fn ii(&self, chain: &[Op]) -> u32 {
+        chain_ii(chain, self.cfg)
+    }
+
+    /// Effective II of a chain once DDR contention from co-resident CUs is
+    /// applied.
+    pub fn ii_effective(&self, chain: &[Op]) -> u32 {
+        chain_ii_contended(chain, self.cfg, self.cus_per_slr)
+    }
+
+    /// Runs a pipelined loop: `iterations` total, of which `useful` do
+    /// real work, with the loop-carried chain `chain`. External bytes per
+    /// iteration feed the traffic ledger.
+    pub fn run_loop(&mut self, chain: &[Op], iterations: u64, useful: u64, ext_bytes_per_iter: u64) {
+        assert!(useful <= iterations, "useful {useful} > iterations {iterations}");
+        if iterations == 0 {
+            return;
+        }
+        let base = self.ii(chain) as u64;
+        let eff = self.ii_effective(chain) as u64;
+        let cycles = self.cfg.pipeline_fill as u64 + iterations * eff;
+        self.exec.cycles += cycles;
+        self.exec.useful_cycles += useful * base;
+        self.exec.iterations += iterations;
+        self.exec.wasted_iterations += iterations - useful;
+        self.exec.ext_read_bytes += iterations * ext_bytes_per_iter;
+    }
+
+    /// Runs a pipelined loop that **streams** `reqs_per_iter` random
+    /// external requests per iteration (e.g. a different query's feature
+    /// value every cycle — the hybrid stage-1 and collaborative feed
+    /// pattern). A single CU's pipeline hides those request latencies, but
+    /// the SLR's DDR channel can only service
+    /// `stream_req_capacity_per_slr / (1 + conflict·(n−1))` requests per
+    /// cycle across `n` concurrent CUs, so the effective II grows to the
+    /// feed rate when the channel saturates. This is the mechanism behind
+    /// the paper's finding that replicating hybrid stage 1 (or the
+    /// collaborative kernel) stalls on external memory.
+    pub fn run_streaming_loop(
+        &mut self,
+        chain: &[Op],
+        iterations: u64,
+        useful: u64,
+        ext_bytes_per_iter: u64,
+        reqs_per_iter: f64,
+    ) {
+        assert!(useful <= iterations, "useful {useful} > iterations {iterations}");
+        if iterations == 0 {
+            return;
+        }
+        let base = self.ii(chain) as u64;
+        let contended = self.ii_effective(chain) as u64;
+        let capacity = self.cfg.stream_req_capacity_per_slr
+            / (1.0 + self.cfg.stream_conflict_factor * (self.cus_per_slr as f64 - 1.0));
+        // Cycles between iterations needed to honor the feed rate across
+        // all co-resident CUs.
+        let feed_ii = (reqs_per_iter * self.cus_per_slr as f64 / capacity.max(1e-9)).ceil() as u64;
+        let eff = contended.max(feed_ii);
+        let cycles = self.cfg.pipeline_fill as u64 + iterations * eff;
+        self.exec.cycles += cycles;
+        self.exec.useful_cycles += useful * base;
+        self.exec.iterations += iterations;
+        self.exec.wasted_iterations += iterations - useful;
+        self.exec.ext_read_bytes += iterations * ext_bytes_per_iter;
+    }
+
+    /// Burst-reads `bytes` from external memory. Burst throughput is one
+    /// CU's AXI port rate, capped by the fair share of the SLR channel
+    /// when replicated. All burst cycles count as useful at the port rate
+    /// (the transfer itself is the work), with the contention slowdown
+    /// counted as stall.
+    pub fn burst_read(&mut self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let port = self.cfg.burst_bytes_per_cycle_per_cu;
+        let share =
+            self.cfg.slr_bytes_per_cycle(self.cfg.default_freq_mhz) / self.cus_per_slr as f64;
+        let eff = port.min(share).max(1e-9);
+        let cycles = (bytes as f64 / eff).ceil() as u64;
+        let useful = (bytes as f64 / port).ceil() as u64;
+        self.exec.cycles += cycles;
+        self.exec.useful_cycles += useful.min(cycles);
+        self.exec.ext_read_bytes += bytes;
+    }
+
+    /// Adds fixed sequential (non-pipelined) cycles, all useful — e.g.
+    /// per-query result write-back.
+    pub fn sequential(&mut self, cycles: u64) {
+        self.exec.cycles += cycles;
+        self.exec.useful_cycles += cycles;
+    }
+
+    /// Finishes the CU and returns its record.
+    pub fn finish(self) -> CuExecution {
+        self.exec
+    }
+
+    /// The record so far (for incremental inspection in tests).
+    pub fn snapshot(&self) -> CuExecution {
+        self.exec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::chains;
+
+    fn cfg() -> FpgaConfig {
+        FpgaConfig::alveo_u250()
+    }
+
+    #[test]
+    fn loop_cycles_are_fill_plus_n_times_ii() {
+        let c = cfg();
+        let mut cu = CuPipeline::new(&c, 1);
+        cu.run_loop(chains::INDEPENDENT, 1000, 1000, 6);
+        let e = cu.finish();
+        assert_eq!(e.cycles, 100 + 1000 * 76);
+        assert_eq!(e.useful_cycles, 1000 * 76);
+        assert_eq!(e.ext_read_bytes, 6000);
+        assert!(e.stall_fraction() < 0.01);
+    }
+
+    #[test]
+    fn wasted_iterations_become_stall() {
+        let c = cfg();
+        let mut cu = CuPipeline::new(&c, 1);
+        // Collaborative starvation: 10% of queries present.
+        cu.run_loop(chains::COLLABORATIVE, 10_000, 1_000, 0);
+        let e = cu.finish();
+        assert!(e.stall_fraction() > 0.85, "{}", e.stall_fraction());
+        assert_eq!(e.wasted_iterations, 9_000);
+    }
+
+    #[test]
+    fn contention_inflates_cycles_and_stall() {
+        let c = cfg();
+        let mut solo = CuPipeline::new(&c, 1);
+        solo.run_loop(chains::INDEPENDENT, 1000, 1000, 6);
+        let mut packed = CuPipeline::new(&c, 12);
+        packed.run_loop(chains::INDEPENDENT, 1000, 1000, 6);
+        let (s, p) = (solo.finish(), packed.finish());
+        assert!(p.cycles > s.cycles);
+        assert!((p.cycles - 100) / 1000 == (76 + 22) as u64);
+        assert!(p.stall_fraction() > 0.2, "{}", p.stall_fraction());
+    }
+
+    #[test]
+    fn burst_rate_is_port_limited_when_alone() {
+        let c = cfg();
+        let mut cu = CuPipeline::new(&c, 1);
+        cu.burst_read(8000);
+        let e = cu.finish();
+        assert_eq!(e.cycles, 1000, "8 B/cycle port");
+        assert!(e.stall_fraction() < 1e-9);
+    }
+
+    #[test]
+    fn burst_rate_is_share_limited_when_packed() {
+        let c = cfg();
+        // 12 CUs share ~64 B/cycle -> ~5.35 B/cycle each, below the 8 B port.
+        let mut cu = CuPipeline::new(&c, 12);
+        cu.burst_read(8000);
+        let e = cu.finish();
+        assert!(e.cycles > 1400, "{}", e.cycles);
+        assert!(e.stall_fraction() > 0.2);
+    }
+
+    #[test]
+    fn empty_loop_is_free() {
+        let c = cfg();
+        let mut cu = CuPipeline::new(&c, 4);
+        cu.run_loop(chains::CSR, 0, 0, 0);
+        cu.burst_read(0);
+        assert_eq!(cu.finish(), CuExecution::default());
+    }
+
+    #[test]
+    fn streaming_loop_is_feed_limited_and_collapses_when_packed() {
+        let c = cfg();
+        let feed = |cus: u32| -> u64 {
+            let cap = c.stream_req_capacity_per_slr
+                / (1.0 + c.stream_conflict_factor * (cus as f64 - 1.0));
+            (cus as f64 / cap).ceil() as u64
+        };
+
+        // A single CU is already limited by the DDR random-request rate
+        // (capacity 0.125 req/cy -> one iteration per 8 cycles), which is
+        // the paper's single-CU hybrid stall.
+        let mut solo = CuPipeline::new(&c, 1);
+        solo.run_streaming_loop(chains::HYBRID_STAGE1, 1000, 1000, 4, 1.0);
+        let s = solo.finish();
+        assert_eq!(s.cycles, 100 + 1000 * feed(1).max(3));
+        assert!(s.stall_fraction() > 0.3, "{}", s.stall_fraction());
+
+        // Twelve CUs per SLR collapse the feed far below 1/12 each.
+        let mut packed = CuPipeline::new(&c, 12);
+        packed.run_streaming_loop(chains::HYBRID_STAGE1, 1000, 1000, 4, 1.0);
+        let p = packed.finish();
+        assert_eq!(p.cycles, 100 + 1000 * feed(12).max(3));
+        assert!(p.cycles > 10 * s.cycles, "replication must be counter-productive");
+        assert!(p.stall_fraction() > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "useful")]
+    fn useful_cannot_exceed_iterations() {
+        let c = cfg();
+        let mut cu = CuPipeline::new(&c, 1);
+        cu.run_loop(chains::CSR, 1, 2, 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Virtual device address space.
+//!
+//! The simulator never stores array contents — kernels read real data from
+//! host slices — but the cost model needs *addresses* to coalesce and to
+//! cache. [`AddressSpace`] hands out non-overlapping, 128-byte-aligned
+//! regions so distinct arrays never share cache lines spuriously.
+
+use serde::{Deserialize, Serialize};
+
+/// Device allocation granularity and cache-line size (bytes).
+pub const LINE_BYTES: u64 = 128;
+
+/// One registered device array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceBuffer {
+    base: u64,
+    elem_bytes: u32,
+    len: u64,
+}
+
+impl DeviceBuffer {
+    /// Device address of element `index`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `index` is out of range.
+    #[inline]
+    pub fn addr(&self, index: u64) -> u64 {
+        debug_assert!(index < self.len, "index {index} out of {} elements", self.len);
+        self.base + index * self.elem_bytes as u64
+    }
+
+    /// Element size in bytes.
+    #[inline]
+    pub fn elem_bytes(&self) -> u32 {
+        self.elem_bytes
+    }
+
+    /// Element count.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the buffer holds zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base device address.
+    #[inline]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Total byte size.
+    #[inline]
+    pub fn size_bytes(&self) -> u64 {
+        self.len * self.elem_bytes as u64
+    }
+}
+
+/// Bump allocator for device arrays.
+#[derive(Debug, Default)]
+pub struct AddressSpace {
+    next: u64,
+    allocations: Vec<(String, DeviceBuffer)>,
+}
+
+impl AddressSpace {
+    /// An empty address space starting at a non-zero base (so address 0 is
+    /// never valid — it would mask bugs).
+    pub fn new() -> Self {
+        Self { next: LINE_BYTES, allocations: Vec::new() }
+    }
+
+    /// Registers an array of `len` elements of `elem_bytes` each, aligned
+    /// to the cache-line size.
+    pub fn alloc(&mut self, label: &str, elem_bytes: u32, len: u64) -> DeviceBuffer {
+        assert!(elem_bytes > 0, "zero-sized elements");
+        let buf = DeviceBuffer { base: self.next, elem_bytes, len };
+        let bytes = (len * elem_bytes as u64).div_ceil(LINE_BYTES) * LINE_BYTES;
+        self.next += bytes.max(LINE_BYTES);
+        self.allocations.push((label.to_string(), buf));
+        buf
+    }
+
+    /// Total bytes allocated so far (device-memory footprint of the
+    /// registered arrays).
+    pub fn allocated_bytes(&self) -> u64 {
+        self.next - LINE_BYTES
+    }
+
+    /// Registered allocations, in order, with their labels.
+    pub fn allocations(&self) -> &[(String, DeviceBuffer)] {
+        &self.allocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_disjoint_and_aligned() {
+        let mut a = AddressSpace::new();
+        let b1 = a.alloc("x", 4, 100);
+        let b2 = a.alloc("y", 2, 3);
+        let b3 = a.alloc("z", 12, 1000);
+        for b in [b1, b2, b3] {
+            assert_eq!(b.base() % LINE_BYTES, 0);
+        }
+        assert!(b1.base() + b1.size_bytes() <= b2.base());
+        assert!(b2.base() + b2.size_bytes() <= b3.base());
+        assert!(b1.base() >= LINE_BYTES, "address zero is never handed out");
+    }
+
+    #[test]
+    fn element_addressing() {
+        let mut a = AddressSpace::new();
+        let b = a.alloc("x", 12, 10);
+        assert_eq!(b.addr(0), b.base());
+        assert_eq!(b.addr(3), b.base() + 36);
+        assert_eq!(b.elem_bytes(), 12);
+        assert_eq!(b.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    #[cfg(debug_assertions)]
+    fn out_of_range_index_panics_in_debug() {
+        let mut a = AddressSpace::new();
+        let b = a.alloc("x", 4, 2);
+        let _ = b.addr(2);
+    }
+
+    #[test]
+    fn footprint_accounting() {
+        let mut a = AddressSpace::new();
+        a.alloc("x", 4, 32); // exactly one line
+        a.alloc("y", 4, 1); // rounds up to one line
+        assert_eq!(a.allocated_bytes(), 256);
+        assert_eq!(a.allocations().len(), 2);
+        assert_eq!(a.allocations()[0].0, "x");
+    }
+}

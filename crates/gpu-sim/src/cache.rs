@@ -1,0 +1,157 @@
+//! Set-associative LRU caches (per-SM L1 and L2 slice).
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u32,
+    /// Line size in bytes (128 on Nvidia parts).
+    pub line_bytes: u32,
+    /// Associativity (ways per set).
+    pub ways: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn num_sets(&self) -> u32 {
+        (self.capacity_bytes / self.line_bytes / self.ways).max(1)
+    }
+}
+
+/// A set-associative cache with true-LRU replacement. Tracks hit/miss
+/// counts; contents are tags only (the simulator never stores data).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// Per set: line tags ordered most- to least-recently used.
+    sets: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// An empty (cold) cache.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.line_bytes > 0 && config.ways > 0);
+        let sets = vec![Vec::with_capacity(config.ways as usize); config.num_sets() as usize];
+        Self { config, sets, hits: 0, misses: 0 }
+    }
+
+    /// Probes the line containing `addr`, updating LRU order and inserting
+    /// on miss. Returns `true` on hit.
+    #[inline]
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.config.line_bytes as u64;
+        let set_idx = (line % self.sets.len() as u64) as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            let tag = set.remove(pos);
+            set.insert(0, tag);
+            self.hits += 1;
+            true
+        } else {
+            if set.len() == self.config.ways as usize {
+                set.pop();
+            }
+            set.insert(0, line);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Hit count so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Drops all contents and counters (used between independent kernel
+    /// launches).
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 128-byte lines.
+        Cache::new(CacheConfig { capacity_bytes: 512, line_bytes: 128, ways: 2 })
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = tiny();
+        assert!(!c.access(0));
+        assert!(c.access(4), "same line");
+        assert!(c.access(127));
+        assert!(!c.access(128), "next line");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 map to set 0 (2 sets -> even lines to set 0).
+        assert!(!c.access(0 * 128));
+        assert!(!c.access(2 * 128));
+        assert!(!c.access(4 * 128)); // evicts line 0
+        assert!(!c.access(0 * 128), "line 0 was evicted");
+        assert!(c.access(4 * 128), "line 4 still resident");
+    }
+
+    #[test]
+    fn lru_order_updated_on_hit() {
+        let mut c = tiny();
+        c.access(0 * 128);
+        c.access(2 * 128);
+        c.access(0 * 128); // 0 becomes MRU
+        c.access(4 * 128); // evicts 2, not 0
+        assert!(c.access(0 * 128));
+        assert!(!c.access(2 * 128));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        c.access(0 * 128); // set 0
+        c.access(1 * 128); // set 1
+        c.access(3 * 128); // set 1
+        c.access(5 * 128); // set 1: evicts line 1
+        assert!(c.access(0 * 128), "set 0 untouched by set-1 traffic");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(0);
+        c.reset();
+        assert_eq!((c.hits(), c.misses()), (0, 0));
+        assert!(!c.access(0), "cold after reset");
+    }
+
+    #[test]
+    fn geometry() {
+        let cfg = CacheConfig { capacity_bytes: 24 * 1024, line_bytes: 128, ways: 8 };
+        assert_eq!(cfg.num_sets(), 24);
+    }
+}

@@ -1,0 +1,75 @@
+//! Memory-transaction coalescing (§2.3 of the paper).
+//!
+//! Global memory moves in aligned 128-byte transactions. The accesses of a
+//! warp's active lanes are grouped by the distinct 128-byte segments they
+//! touch: 32 consecutive `f32` reads coalesce into a single transaction,
+//! while 32 scattered reads cost up to 32.
+
+use crate::addr::LINE_BYTES;
+
+/// Collects the distinct 128-byte segment base addresses touched by the
+/// given `(addr, bytes)` accesses into `out` (cleared first, returned
+/// sorted). An access may straddle a segment boundary and contribute two
+/// (or more) segments.
+pub fn segments(accesses: impl Iterator<Item = (u64, u32)>, out: &mut Vec<u64>) {
+    out.clear();
+    for (addr, bytes) in accesses {
+        debug_assert!(bytes > 0, "zero-byte access");
+        let first = addr / LINE_BYTES;
+        let last = (addr + bytes as u64 - 1) / LINE_BYTES;
+        for seg in first..=last {
+            out.push(seg * LINE_BYTES);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn segs(acc: &[(u64, u32)]) -> Vec<u64> {
+        let mut out = Vec::new();
+        segments(acc.iter().copied(), &mut out);
+        out
+    }
+
+    #[test]
+    fn consecutive_f32_reads_coalesce_to_one() {
+        let acc: Vec<(u64, u32)> = (0..32).map(|i| (i * 4, 4)).collect();
+        assert_eq!(segs(&acc), vec![0]);
+    }
+
+    #[test]
+    fn strided_reads_explode() {
+        let acc: Vec<(u64, u32)> = (0..32).map(|i| (i * 256, 4)).collect();
+        assert_eq!(segs(&acc).len(), 32);
+    }
+
+    #[test]
+    fn straddling_access_touches_two_segments() {
+        assert_eq!(segs(&[(126, 4)]), vec![0, 128]);
+        assert_eq!(segs(&[(120, 8)]), vec![0]);
+        // A 12-byte FIL node at offset 120 spills into the next segment.
+        assert_eq!(segs(&[(120, 12)]), vec![0, 128]);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let acc: Vec<(u64, u32)> = (0..32).map(|_| (512, 4)).collect();
+        assert_eq!(segs(&acc), vec![512]);
+    }
+
+    #[test]
+    fn two_groups() {
+        let mut acc: Vec<(u64, u32)> = (0..16).map(|i| (i * 4, 4)).collect();
+        acc.extend((0..16).map(|i| (4096 + i * 4, 4)));
+        assert_eq!(segs(&acc), vec![0, 4096]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(segs(&[]).is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Device configuration, with the Titan Xp preset the paper evaluates on.
+
+use crate::cache::CacheConfig;
+use serde::{Deserialize, Serialize};
+
+/// Full GPU cost-model configuration. Two presets are provided; every
+/// field is public so studies can perturb the model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Streaming multiprocessors.
+    pub num_sms: u32,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Shared memory per SM in bytes (48 KB on the Titan Xp — the paper's
+    /// root-subtree size limit).
+    pub shared_mem_per_sm: u32,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Per-SM L1 geometry.
+    pub l1: CacheConfig,
+    /// The device-shared L2 as seen by one SM. The full 3 MB is visible
+    /// to every SM (it is address-interleaved, not partitioned), so each
+    /// simulated SM carries a full-size L2 model; cross-SM sharing of
+    /// tree data is the only effect this approximation misses.
+    pub l2_slice: CacheConfig,
+    /// DRAM bandwidth in GB/s (547.5 on the Titan Xp, quoted in §4.5).
+    pub dram_bw_gbps: f64,
+    /// Load-to-use latency of an L1 hit, cycles.
+    pub lat_l1: u32,
+    /// Load-to-use latency of an L2 hit, cycles.
+    pub lat_l2: u32,
+    /// Load-to-use latency of a DRAM access, cycles.
+    pub lat_dram: u32,
+    /// Load-to-use latency of a shared-memory access, cycles.
+    pub lat_shared: u32,
+    /// Dependent-ALU latency, cycles.
+    pub lat_alu: u32,
+    /// Issue cost of each transaction that misses L1 (LSU + miss-queue
+    /// occupancy).
+    pub tx_issue_cycles: u32,
+    /// Issue cost of each transaction served by L1 (fast replay).
+    pub hit_issue_cycles: u32,
+}
+
+impl GpuConfig {
+    /// The paper's GPU: Pascal Titan Xp — 30 SMs × 128 cores, 48 KB shared
+    /// memory per SM, 3 MB L2, 547.5 GB/s GDDR5X, ~1.58 GHz boost clock.
+    /// Latencies follow the Pascal microbenchmarks of Mei & Chu (TPDS 2017, the paper's reference 12).
+    pub fn titan_xp() -> Self {
+        Self {
+            num_sms: 30,
+            warp_size: 32,
+            clock_ghz: 1.58,
+            shared_mem_per_sm: 48 * 1024,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 16,
+            l1: CacheConfig { capacity_bytes: 24 * 1024, line_bytes: 128, ways: 8 },
+            l2_slice: CacheConfig { capacity_bytes: 3 * 1024 * 1024, line_bytes: 128, ways: 16 },
+            dram_bw_gbps: 547.5,
+            lat_l1: 30,
+            lat_l2: 190,
+            lat_dram: 400,
+            lat_shared: 25,
+            lat_alu: 6,
+            tx_issue_cycles: 4,
+            hit_issue_cycles: 1,
+        }
+    }
+
+    /// A one-SM **slice** of the Titan Xp: identical per-SM resources with
+    /// 1/30th of the DRAM bandwidth. Simulating a slice with 1/30th of the
+    /// query set reproduces the full device's per-SM occupancy and
+    /// cache/bandwidth pressure at 1/30th of the simulation cost — the
+    /// standard scaling methodology for architecture simulators. Device
+    /// throughput = 30 × slice throughput.
+    pub fn titan_xp_slice() -> Self {
+        let mut cfg = Self::titan_xp();
+        cfg.num_sms = 1;
+        cfg.dram_bw_gbps /= 30.0;
+        cfg
+    }
+
+    /// A deliberately tiny device for fast, readable unit tests: 2 SMs,
+    /// small caches, low latencies.
+    pub fn tiny_test() -> Self {
+        Self {
+            num_sms: 2,
+            warp_size: 32,
+            clock_ghz: 1.0,
+            shared_mem_per_sm: 4 * 1024,
+            max_warps_per_sm: 8,
+            max_blocks_per_sm: 4,
+            l1: CacheConfig { capacity_bytes: 1024, line_bytes: 128, ways: 2 },
+            l2_slice: CacheConfig { capacity_bytes: 4096, line_bytes: 128, ways: 4 },
+            dram_bw_gbps: 10.0,
+            lat_l1: 10,
+            lat_l2: 50,
+            lat_dram: 100,
+            lat_shared: 8,
+            lat_alu: 2,
+            tx_issue_cycles: 2,
+            hit_issue_cycles: 1,
+        }
+    }
+
+    /// DRAM bandwidth in bytes per core-clock cycle (whole device).
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.dram_bw_gbps * 1e9 / (self.clock_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_xp_matches_paper_quotes() {
+        let c = GpuConfig::titan_xp();
+        assert_eq!(c.num_sms, 30);
+        assert_eq!(c.shared_mem_per_sm, 48 * 1024);
+        assert!((c.dram_bw_gbps - 547.5).abs() < 1e-9);
+        assert_eq!(c.warp_size, 32);
+    }
+
+    #[test]
+    fn l2_is_3mb_device_shared() {
+        let c = GpuConfig::titan_xp();
+        assert_eq!(c.l2_slice.capacity_bytes, 3 * 1024 * 1024);
+    }
+
+    #[test]
+    fn bandwidth_per_cycle() {
+        let c = GpuConfig::titan_xp();
+        let bpc = c.dram_bytes_per_cycle();
+        assert!((bpc - 547.5 / 1.58).abs() < 0.01, "{bpc}");
+    }
+
+    #[test]
+    fn config_roundtrips_serde() {
+        let c = GpuConfig::titan_xp();
+        let s = serde_json::to_string(&c).unwrap();
+        let back: GpuConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+}

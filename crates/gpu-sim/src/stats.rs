@@ -1,0 +1,127 @@
+//! Kernel-launch statistics — the simulator's "hardware counters".
+
+use serde::{Deserialize, Serialize};
+
+/// Counters and timing of one kernel launch. Counter names follow the
+/// `nvprof` metrics the paper reports in Fig. 8.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct GpuStats {
+    /// 128-byte global **load** transactions issued (after coalescing).
+    pub global_load_transactions: u64,
+    /// 128-byte global **store** transactions issued.
+    pub global_store_transactions: u64,
+    /// Transactions served by L1.
+    pub l1_hits: u64,
+    /// Transactions missing L1.
+    pub l1_misses: u64,
+    /// L1 misses served by the L2 slice.
+    pub l2_hits: u64,
+    /// Transactions going to DRAM.
+    pub l2_misses: u64,
+    /// Shared-memory accesses (warp-level instructions).
+    pub shared_accesses: u64,
+    /// Warp-level branch instructions executed.
+    pub branch_total: u64,
+    /// Branches whose active lanes all agreed.
+    pub branch_uniform: u64,
+    /// Warp-level ALU instruction issues.
+    pub alu_ops: u64,
+    /// Total warps launched.
+    pub warps_launched: u64,
+    /// Blocks launched.
+    pub blocks_launched: u64,
+    /// Modeled kernel duration in core-clock cycles.
+    pub device_cycles: u64,
+    /// Modeled kernel duration in seconds (`device_cycles / clock`), after
+    /// applying the DRAM-bandwidth roofline.
+    pub device_seconds: f64,
+    /// Which of the three bounds set the kernel time.
+    pub bound: TimeBound,
+}
+
+/// Which roofline term determined the kernel duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum TimeBound {
+    /// Warp-issue (compute) throughput.
+    #[default]
+    Issue,
+    /// Dependent-load latency, after occupancy overlap.
+    Latency,
+    /// DRAM bandwidth.
+    DramBandwidth,
+}
+
+impl GpuStats {
+    /// Branch efficiency: uniform branches ÷ all branches (1.0 when no
+    /// branches executed), as plotted in Fig. 8.
+    pub fn branch_efficiency(&self) -> f64 {
+        if self.branch_total == 0 {
+            1.0
+        } else {
+            self.branch_uniform as f64 / self.branch_total as f64
+        }
+    }
+
+    /// Bytes moved from DRAM.
+    pub fn dram_bytes(&self) -> u64 {
+        self.l2_misses * 128
+    }
+
+    /// L1 hit rate over global transactions (1.0 when no accesses).
+    pub fn l1_hit_rate(&self) -> f64 {
+        let total = self.l1_hits + self.l1_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.l1_hits as f64 / total as f64
+        }
+    }
+
+    /// Merges counters of another launch segment into this one (used by
+    /// the per-SM parallel simulation; timing fields are combined by the
+    /// engine, not here).
+    pub fn merge_counters(&mut self, other: &GpuStats) {
+        self.global_load_transactions += other.global_load_transactions;
+        self.global_store_transactions += other.global_store_transactions;
+        self.l1_hits += other.l1_hits;
+        self.l1_misses += other.l1_misses;
+        self.l2_hits += other.l2_hits;
+        self.l2_misses += other.l2_misses;
+        self.shared_accesses += other.shared_accesses;
+        self.branch_total += other.branch_total;
+        self.branch_uniform += other.branch_uniform;
+        self.alu_ops += other.alu_ops;
+        self.warps_launched += other.warps_launched;
+        self.blocks_launched += other.blocks_launched;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_efficiency_edge_cases() {
+        let mut s = GpuStats::default();
+        assert_eq!(s.branch_efficiency(), 1.0);
+        s.branch_total = 10;
+        s.branch_uniform = 7;
+        assert!((s.branch_efficiency() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = GpuStats { l1_hits: 3, branch_total: 2, ..Default::default() };
+        let b = GpuStats { l1_hits: 4, branch_total: 5, l2_misses: 1, ..Default::default() };
+        a.merge_counters(&b);
+        assert_eq!(a.l1_hits, 7);
+        assert_eq!(a.branch_total, 7);
+        assert_eq!(a.dram_bytes(), 128);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let s = GpuStats { l1_hits: 3, l1_misses: 1, ..Default::default() };
+        assert!((s.l1_hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,80 @@
+//! CPU inference engines (functional reference and practical path).
+
+use rayon::prelude::*;
+use rfx_core::{CsrForest, FilForest, HierForest, Label};
+use rfx_forest::dataset::QueryView;
+use rfx_forest::RandomForest;
+
+/// Sequential majority-vote inference over the node-vector forest — the
+/// single source of truth every other engine is tested against.
+pub fn predict_reference(forest: &RandomForest, queries: QueryView) -> Vec<Label> {
+    forest.predict_batch(queries)
+}
+
+/// Rayon-parallel inference over the node-vector forest.
+pub fn predict_parallel(forest: &RandomForest, queries: QueryView) -> Vec<Label> {
+    forest.predict_batch_parallel(queries)
+}
+
+/// Rayon-parallel inference over the hierarchical layout (the fastest CPU
+/// path: arithmetic child indexing and compact subtree working sets help
+/// on CPUs too).
+pub fn predict_hier_parallel(h: &HierForest, queries: QueryView) -> Vec<Label> {
+    (0..queries.num_rows())
+        .into_par_iter()
+        .map(|r| h.predict(queries.row(r)))
+        .collect()
+}
+
+/// Rayon-parallel inference over the CSR layout.
+pub fn predict_csr_parallel(csr: &CsrForest, queries: QueryView) -> Vec<Label> {
+    (0..queries.num_rows())
+        .into_par_iter()
+        .map(|r| csr.predict(queries.row(r)))
+        .collect()
+}
+
+/// Rayon-parallel inference over the FIL-style layout.
+pub fn predict_fil_parallel(fil: &FilForest, queries: QueryView) -> Vec<Label> {
+    (0..queries.num_rows())
+        .into_par_iter()
+        .map(|r| fil.predict(queries.row(r)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rfx_core::hier::{builder::build_forest, HierConfig};
+    use rfx_forest::DecisionTree;
+
+    fn fixture() -> (RandomForest, Vec<f32>, usize) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let trees: Vec<DecisionTree> =
+            (0..9).map(|_| DecisionTree::random(&mut rng, 8, 5, 3, 0.3)).collect();
+        let forest = RandomForest::from_trees(trees, 5, 3).unwrap();
+        let queries: Vec<f32> = (0..500 * 5).map(|_| rng.gen()).collect();
+        (forest, queries, 5)
+    }
+
+    #[test]
+    fn all_cpu_engines_agree() {
+        let (forest, queries, nf) = fixture();
+        let qv = QueryView::new(&queries, nf).unwrap();
+        let reference = predict_reference(&forest, qv);
+        assert_eq!(predict_parallel(&forest, qv), reference);
+
+        let csr = CsrForest::build(&forest);
+        assert_eq!(predict_csr_parallel(&csr, qv), reference);
+
+        let fil = FilForest::build(&forest);
+        assert_eq!(predict_fil_parallel(&fil, qv), reference);
+
+        for cfg in [HierConfig::uniform(2), HierConfig::uniform(4), HierConfig::with_root(3, 7)] {
+            let h = build_forest(&forest, cfg).unwrap();
+            assert_eq!(predict_hier_parallel(&h, qv), reference, "{cfg:?}");
+        }
+    }
+}

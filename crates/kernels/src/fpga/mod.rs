@@ -1,0 +1,79 @@
+//! FPGA kernels (§3.2.2) on the HLS pipeline simulator.
+//!
+//! Queries are processed sequentially per compute unit with parallelism
+//! from pipelining (and from CU replication). Each kernel walks the real
+//! layout to produce predictions while charging the pipeline model the
+//! exact loop iterations the traversal performs; the initiation intervals
+//! come from the dependency chains in [`rfx_fpga_sim::ops::chains`], which
+//! reproduce the paper's measured IIs (CSR 292, independent 76,
+//! collaborative 3, hybrid 3/76).
+
+pub mod collaborative;
+pub mod csr;
+pub mod hybrid;
+pub mod independent;
+
+use rfx_core::Label;
+use rfx_fpga_sim::FpgaStats;
+use std::ops::Range;
+
+/// Result of one simulated FPGA inference run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaRun {
+    /// Majority-vote prediction per query.
+    pub predictions: Vec<Label>,
+    /// Device-level statistics (one Table-3 row).
+    pub stats: FpgaStats,
+    /// Inner-loop II description as printed in Table 3 (e.g. `"76"`,
+    /// `"3/76"`).
+    pub ii_label: String,
+}
+
+/// Splits `n` queries into `parts` near-equal contiguous ranges (the host
+/// dispatches one range per CU).
+pub(crate) fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    assert!(parts >= 1);
+    let base = n / parts;
+    let rem = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+/// Majority vote over per-tree labels.
+pub(crate) fn vote(labels_per_tree: impl Iterator<Item = Label>, num_classes: u32) -> Label {
+    let mut votes = vec![0u32; num_classes as usize];
+    for l in labels_per_tree {
+        votes[l as usize] += 1;
+    }
+    rfx_core::majority(&votes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_partition_evenly() {
+        let r = split_ranges(10, 3);
+        assert_eq!(r, vec![0..4, 4..7, 7..10]);
+        let r = split_ranges(48_000, 48);
+        assert!(r.iter().all(|r| r.len() == 1000));
+        let r = split_ranges(5, 8);
+        assert_eq!(r.iter().map(|r| r.len()).sum::<usize>(), 5);
+        assert!(r.iter().all(|r| r.len() <= 1));
+    }
+
+    #[test]
+    fn vote_majority() {
+        assert_eq!(vote([0, 1, 1].into_iter(), 2), 1);
+        assert_eq!(vote([2, 2, 0, 1].into_iter(), 3), 2);
+        assert_eq!(vote([1, 0].into_iter(), 2), 0, "tie breaks low");
+    }
+}

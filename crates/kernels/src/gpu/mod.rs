@@ -1,0 +1,133 @@
+//! GPU kernels (§3.2.1) on the SIMT simulator.
+//!
+//! All variants map **one query to one thread** (as the paper does) with
+//! [`crate::THREADS_PER_BLOCK`]-thread blocks, traverse the forest tree by
+//! tree accumulating votes in registers, and write one 4-byte prediction
+//! per query at the end. They differ exactly where the paper's variants
+//! differ:
+//!
+//! | kernel | node topology reads / level | node residence |
+//! |---|---|---|
+//! | [`csr`] | 4 scattered global reads + query read | global |
+//! | [`independent`] | 2 global reads (attributes) + query read; connection reads only at subtree hops | global |
+//! | [`hybrid`] | root subtree: shared-memory reads; below: as independent | shared + global |
+//! | [`collaborative`] | every subtree staged to shared; all queries pushed through every subtree | shared (staged) |
+//! | [`fil`] | 1 colocated 12-byte node read + query read | global |
+//! | [`block_per_tree`] | as independent, but one block per tree over all queries (§3.2.1 ablation) | global |
+
+pub mod block_per_tree;
+pub mod collaborative;
+pub mod csr;
+pub mod fil;
+pub mod hybrid;
+pub mod independent;
+
+use crate::THREADS_PER_BLOCK;
+use rfx_core::Label;
+use rfx_gpu_sim::{DeviceBuffer, GpuStats, Grid, LaneAccess};
+use std::sync::Mutex;
+
+/// Result of one simulated GPU inference run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuRun {
+    /// Majority-vote prediction per query.
+    pub predictions: Vec<Label>,
+    /// Simulator counters and modeled time.
+    pub stats: GpuStats,
+}
+
+/// Launch geometry for `num_queries` one-query-per-thread kernels.
+pub(crate) fn grid_for(num_queries: usize) -> Grid {
+    Grid {
+        num_blocks: num_queries.div_ceil(THREADS_PER_BLOCK).max(1),
+        threads_per_block: THREADS_PER_BLOCK,
+    }
+}
+
+/// Maps the 32 lanes of `(block, warp)` to query indices (None past the
+/// end of the batch).
+pub(crate) fn lane_queries(
+    ctx: &rfx_gpu_sim::BlockCtx,
+    warp: usize,
+    num_queries: usize,
+) -> [Option<u32>; 32] {
+    std::array::from_fn(|l| {
+        let tid = ctx.thread_id(warp, l);
+        (tid < num_queries).then_some(tid as u32)
+    })
+}
+
+/// Bitmask of lanes holding a query.
+pub(crate) fn mask_of(lanes: &[Option<u32>; 32]) -> u32 {
+    lanes
+        .iter()
+        .enumerate()
+        .fold(0u32, |m, (l, q)| if q.is_some() { m | (1 << l) } else { m })
+}
+
+/// Per-lane vote counters for one warp.
+pub(crate) struct WarpVotes {
+    votes: Vec<u32>,
+    num_classes: usize,
+}
+
+impl WarpVotes {
+    pub fn new(num_classes: usize) -> Self {
+        Self { votes: vec![0; 32 * num_classes], num_classes }
+    }
+
+    #[inline]
+    pub fn add(&mut self, lane: usize, label: Label) {
+        self.votes[lane * self.num_classes + label as usize] += 1;
+    }
+
+    #[inline]
+    pub fn winner(&self, lane: usize) -> Label {
+        let row = &self.votes[lane * self.num_classes..(lane + 1) * self.num_classes];
+        rfx_core::majority(row)
+    }
+}
+
+/// Shared output sink: each block writes its disjoint query range.
+pub(crate) struct PredictionSink {
+    out: Mutex<Vec<Label>>,
+}
+
+impl PredictionSink {
+    pub fn new(num_queries: usize) -> Self {
+        Self { out: Mutex::new(vec![0; num_queries]) }
+    }
+
+    pub fn write(&self, entries: &[(u32, Label)]) {
+        let mut out = self.out.lock().expect("prediction sink poisoned");
+        for &(q, label) in entries {
+            out[q as usize] = label;
+        }
+    }
+
+    pub fn into_vec(self) -> Vec<Label> {
+        self.out.into_inner().expect("prediction sink poisoned")
+    }
+}
+
+/// Issues the warp store of final predictions (4 B per live lane) and
+/// records them in the sink.
+pub(crate) fn store_predictions(
+    ctx: &mut rfx_gpu_sim::BlockCtx,
+    warp: usize,
+    lanes: &[Option<u32>; 32],
+    votes: &WarpVotes,
+    out_buf: &DeviceBuffer,
+    sink: &PredictionSink,
+) {
+    let mut acc = [LaneAccess::NONE; 32];
+    let mut writes = Vec::with_capacity(32);
+    for (l, q) in lanes.iter().enumerate() {
+        if let Some(q) = q {
+            acc[l] = LaneAccess::read(out_buf.addr(*q as u64), 4);
+            writes.push((*q, votes.winner(l)));
+        }
+    }
+    ctx.global_write(warp, &acc);
+    sink.write(&writes);
+}

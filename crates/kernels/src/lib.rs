@@ -1,0 +1,28 @@
+//! # rfx-kernels
+//!
+//! The paper's random-forest **classification code variants** (§3.2),
+//! implemented three ways:
+//!
+//! * [`gpu`] — warp-synchronous kernels on the `rfx-gpu-sim` SIMT
+//!   simulator: the CSR baseline, the *independent* and *hybrid*
+//!   hierarchical variants, the *collaborative* variant (kept for the
+//!   ablation — the paper measures it 10–20× slower), and a FIL-style
+//!   kernel standing in for Nvidia cuML.
+//! * [`fpga`] — pipeline-model kernels on the `rfx-fpga-sim` simulator:
+//!   CSR, independent, collaborative, hybrid, and the hybrid-split
+//!   multi-CU design of §4.4, each with compute-unit replication.
+//! * [`cpu`] — plain Rayon inference engines used as the functional
+//!   reference and as the practical CPU path.
+//!
+//! Every kernel returns its real predictions alongside the simulator's
+//! statistics, and the test suite asserts bit-identical agreement with
+//! the scalar reference traversals in `rfx-core`.
+
+pub mod cpu;
+pub mod fpga;
+pub mod gpu;
+pub mod trace;
+
+/// Threads per block used by all GPU kernels (four warps — a common
+/// choice for latency-bound traversal kernels).
+pub const THREADS_PER_BLOCK: usize = 128;

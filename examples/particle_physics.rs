@@ -1,0 +1,84 @@
+//! Particle-physics classification: the paper's SUSY/HIGGS scenario.
+//!
+//! Reproduces the evaluation pipeline end to end on a Susy-like workload:
+//! accuracy-guided depth selection (the paper's Fig. 5 methodology), then
+//! an accelerator comparison at the chosen depth (the paper's Fig. 7/10
+//! methodology).
+//!
+//! ```sh
+//! cargo run --release --example particle_physics
+//! ```
+
+use rfx::core::hier::builder::build_forest;
+use rfx::core::{CsrForest, HierConfig};
+use rfx::data::specs::{DatasetKind, DatasetSpec};
+use rfx::data::train_test_split;
+use rfx::forest::metrics::accuracy;
+use rfx::forest::train::TrainConfig;
+use rfx::forest::RandomForest;
+use rfx::fpga::{FpgaConfig, Replication};
+use rfx::gpu::{GpuConfig, GpuSim};
+use rfx::kernels::{fpga, gpu};
+
+fn main() {
+    // Susy-like events (3M at paper scale; 40k here).
+    let data = DatasetSpec::scaled(DatasetKind::SusyLike, 40_000).generate();
+    let (train, test) = train_test_split(&data, 0.5, 11);
+
+    // Accuracy-guided parameter selection (§4.1): sweep tree depth, pick
+    // the shallowest depth within ~0.3% of the best accuracy.
+    println!("depth sweep (25 trees):");
+    let mut best: (usize, f64) = (0, 0.0);
+    let mut accs = Vec::new();
+    for depth in [5usize, 10, 15, 20, 25] {
+        let tc = TrainConfig { n_trees: 25, max_depth: depth, seed: 4, ..TrainConfig::default() };
+        let f = RandomForest::fit(&train, &tc).expect("training failed");
+        let acc = accuracy(&f.predict_batch_parallel(&test), test.labels());
+        println!("  depth {depth:2}: {:.2}%", 100.0 * acc);
+        accs.push((depth, acc));
+        if acc > best.1 {
+            best = (depth, acc);
+        }
+    }
+    let chosen = accs
+        .iter()
+        .find(|(_, a)| *a >= best.1 - 0.003)
+        .map(|&(d, _)| d)
+        .unwrap_or(best.0);
+    println!("chosen depth: {chosen} (within 0.3% of best {:.2}%)", 100.0 * best.1);
+
+    // Final model + accelerator comparison at the chosen depth.
+    let tc = TrainConfig { n_trees: 50, max_depth: chosen, seed: 4, ..TrainConfig::default() };
+    let forest = RandomForest::fit(&train, &tc).expect("training failed");
+    let queries = (&test).into();
+    let reference = forest.predict_batch_parallel(queries);
+
+    let csr = CsrForest::build(&forest);
+    let hier = build_forest(&forest, HierConfig::with_root(8, 10)).expect("layout failed");
+    let sim = GpuSim::new(GpuConfig::titan_xp_slice());
+
+    let csr_run = gpu::csr::run_csr(&sim, &csr, queries);
+    let ind = gpu::independent::run_independent(&sim, &hier, queries);
+    let hyb = gpu::hybrid::run_hybrid(&sim, &hier, queries).expect("launch failed");
+    assert_eq!(hyb.predictions, reference);
+    println!("\nGPU (Titan Xp slice), speedup over CSR:");
+    println!("  independent: {:.1}x", csr_run.stats.device_seconds / ind.stats.device_seconds);
+    println!("  hybrid:      {:.1}x", csr_run.stats.device_seconds / hyb.stats.device_seconds);
+
+    let fcfg = FpgaConfig::alveo_u250();
+    let rep = Replication::new(&fcfg, 4, 12);
+    let fpga_ind =
+        fpga::independent::run_independent(&fcfg, rep, &hier, queries).expect("kernel failed");
+    assert_eq!(fpga_ind.predictions, reference);
+    println!(
+        "\nFPGA (Alveo U250, 4S12C): independent {:.3}s at II={}, stall {:.0}%",
+        fpga_ind.stats.seconds,
+        fpga_ind.ii_label,
+        100.0 * fpga_ind.stats.stall_fraction
+    );
+    println!(
+        "GPU vs FPGA throughput ratio: {:.0}x (queries/s, full devices)",
+        (30.0 * test.num_rows() as f64 / hyb.stats.device_seconds)
+            / (test.num_rows() as f64 / fpga_ind.stats.seconds)
+    );
+}
