@@ -1,0 +1,195 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Keeps the bench sources compiling and produces honest (if simple)
+//! numbers: each benchmark runs a short warmup then `sample_size` timed
+//! iterations, reporting min/median/mean wall-clock time per iteration
+//! and derived throughput. No statistical analysis, plotting, or saved
+//! baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 10 }
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and parameter value.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId { label: format!("{name}/{param}") }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` for warmup plus `sample_size` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warmup + forces at least one run
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks a closure under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{name}", self.name), self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Benchmarks a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.label), self.sample_size, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (report lines are emitted eagerly; nothing to do).
+    pub fn finish(&mut self) {}
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { name: name.to_string(), throughput: None, sample_size, _criterion: self }
+    }
+
+    /// Benchmarks a standalone closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&name.to_string(), self.default_sample_size, None, f);
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher { samples: Vec::with_capacity(sample_size), sample_size };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    let min = b.samples[0];
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    let rate = throughput
+        .map(|t| {
+            let per_sec = match t {
+                Throughput::Elements(n) => {
+                    format!("{:.3e} elem/s", n as f64 / median.as_secs_f64())
+                }
+                Throughput::Bytes(n) => format!("{:.3e} B/s", n as f64 / median.as_secs_f64()),
+            };
+            format!("  ({per_sec})")
+        })
+        .unwrap_or_default();
+    println!("{label:<40} min {min:>12?}  median {median:>12?}  mean {mean:>12?}{rate}");
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a set of criterion groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_api_works() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(3);
+        let mut runs = 0;
+        group.bench_function("f", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("g2", 7), &5usize, |b, &n| b.iter(|| n * 2));
+        group.finish();
+        assert!(runs >= 3);
+    }
+}

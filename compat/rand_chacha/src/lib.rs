@@ -1,0 +1,81 @@
+//! Offline stand-in for `rand_chacha`'s `ChaCha8Rng`.
+//!
+//! The workspace only needs a second, independent deterministic stream
+//! type-distinct from `StdRng`; this shim provides xoshiro256** (a
+//! different scrambler than `StdRng`'s ++ variant, so the two never
+//! produce correlated streams even from identical seeds). It is not the
+//! ChaCha cipher — no in-repo test depends on upstream-exact streams.
+
+use rand::{RngCore, SeedableRng};
+
+/// Deterministic generator standing in for the ChaCha8-based RNG.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Distinct SplitMix64 offset from StdRng so ChaCha8Rng(seed) and
+        // StdRng(seed) diverge immediately.
+        let mut sm = seed ^ 0xC8AC_8AC8_AC8A_C8AC;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *slot = z ^ (z >> 31);
+        }
+        ChaCha8Rng { s }
+    }
+}
+
+impl ChaCha8Rng {
+    /// Selects an independent stream: same seed + different stream gives
+    /// an uncorrelated sequence (the property `tree_rng` relies on for
+    /// schedule-independent per-tree randomness).
+    pub fn set_stream(&mut self, stream: u64) {
+        // Re-derive the fourth state word from the stream id so streams
+        // are decorrelated regardless of how much was drawn before.
+        let mut z = stream ^ 0x5851_F42D_4C95_7F2D;
+        z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        z = (z ^ (z >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        self.s[3] ^= z ^ (z >> 33);
+        // A few warmup rounds so near-equal stream ids diverge fully.
+        for _ in 0..4 {
+            self.next_u64();
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn independent_of_stdrng_and_deterministic() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        let mut std = rand::rngs::StdRng::seed_from_u64(1);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        assert_eq!(xs, (0..8).map(|_| b.gen()).collect::<Vec<u64>>());
+        assert_ne!(xs, (0..8).map(|_| std.gen()).collect::<Vec<u64>>());
+    }
+}

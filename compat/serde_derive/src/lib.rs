@@ -1,0 +1,376 @@
+//! Dependency-free `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the vendored serde shim.
+//!
+//! Instead of syn/quote (unavailable offline), this walks the raw
+//! `proc_macro::TokenTree` stream directly. It supports exactly the item
+//! shapes this workspace defines: structs with named fields, and enums
+//! whose variants are units or have named fields (externally tagged, as
+//! upstream serde encodes them). Anything else panics with a clear
+//! message at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated invalid Deserialize impl")
+}
+
+/// A variant's shape.
+enum VariantKind {
+    /// `Foo`
+    Unit,
+    /// `Foo { a: T, b: U }` — named field list
+    Named(Vec<String>),
+    /// `Foo(T, ...)` — tuple fields, by arity
+    Tuple(usize),
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// Parsed derive input.
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+
+    let body = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde shim derive: `{name}` must have a braced body (found {other:?}); \
+             tuple structs/unit structs are not supported"
+        ),
+    };
+
+    match keyword.as_str() {
+        "struct" => Item::Struct { name, fields: parse_named_fields(body) },
+        "enum" => Item::Enum { name, variants: parse_variants(body) },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Skips leading `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1; // '#'
+                *pos += 1; // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde shim derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        fields.push(expect_ident(&tokens, &mut pos));
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde shim derive: expected `:` after field, found {other:?}"),
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(pos) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            pos += 1;
+        }
+        pos += 1; // consume the comma (or run off the end)
+    }
+    fields
+}
+
+/// Parses enum variants: `Unit, Named { a: T }, ...`.
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                pos += 1;
+                variants.push(Variant { name, kind: VariantKind::Named(fields) });
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                pos += 1;
+                variants.push(Variant { name, kind: VariantKind::Tuple(arity) });
+            }
+            _ => variants.push(Variant { name, kind: VariantKind::Unit }),
+        }
+        // Skip to the next comma (covers `= discriminant`).
+        while let Some(tok) = tokens.get(pos) {
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+            pos += 1;
+        }
+        pos += 1;
+    }
+    variants
+}
+
+/// Counts tuple-variant fields: top-level commas + 1 (types may nest
+/// generics, whose commas are shielded by angle-bracket depth tracking).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut fields = 1;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    fields += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    fields - usize::from(trailing_comma)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{pushes}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),"
+                    )),
+                    VariantKind::Named(fields) => {
+                        let bindings = fields.join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {bindings} }} => ::serde::Value::Object(vec![(\
+                                 \"{vname}\".to_string(), \
+                                 ::serde::Value::Object(vec![{pushes}])\
+                             )]),"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(f0) => ::serde::Value::Object(vec![(\
+                             \"{vname}\".to_string(), ::serde::Serialize::to_value(f0)\
+                         )]),"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let bindings: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let pushes: Vec<String> = bindings
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![(\
+                                 \"{vname}\".to_string(), \
+                                 ::serde::Value::Array(vec![{}])\
+                             )]),",
+                            bindings.join(", "),
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!("{f}: ::serde::field(v, \"{f}\")?,"));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Object(_) => Ok({name} {{ {inits} }}),\n\
+                             other => Err(::serde::Error::msg(format!(\
+                                 \"expected object for `{name}`, found {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let units: Vec<&Variant> =
+                variants.iter().filter(|v| matches!(v.kind, VariantKind::Unit)).collect();
+            let tagged: Vec<&Variant> =
+                variants.iter().filter(|v| !matches!(v.kind, VariantKind::Unit)).collect();
+
+            let mut arms = String::new();
+            if !units.is_empty() {
+                let mut unit_arms = String::new();
+                for v in &units {
+                    let vname = &v.name;
+                    unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),"));
+                }
+                arms.push_str(&format!(
+                    "::serde::Value::String(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => Err(::serde::Error::msg(format!(\
+                             \"unknown variant `{{other}}` for `{name}`\"))),\n\
+                     }},"
+                ));
+            }
+            if !tagged.is_empty() {
+                let mut tag_arms = String::new();
+                for v in &tagged {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Named(fields) => {
+                            let mut inits = String::new();
+                            for f in fields {
+                                inits.push_str(&format!("{f}: ::serde::field(inner, \"{f}\")?,"));
+                            }
+                            tag_arms.push_str(&format!(
+                                "\"{vname}\" => Ok({name}::{vname} {{ {inits} }}),"
+                            ));
+                        }
+                        VariantKind::Tuple(1) => tag_arms.push_str(&format!(
+                            "\"{vname}\" => Ok({name}::{vname}(\
+                                 ::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantKind::Tuple(arity) => {
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            tag_arms.push_str(&format!(
+                                "\"{vname}\" => match inner {{\n\
+                                     ::serde::Value::Array(items) if items.len() == {arity} => \
+                                         Ok({name}::{vname}({})),\n\
+                                     _ => Err(::serde::Error::msg(\
+                                         \"expected {arity}-element array for `{vname}`\")),\n\
+                                 }},",
+                                elems.join(", ")
+                            ));
+                        }
+                        VariantKind::Unit => unreachable!(),
+                    }
+                }
+                arms.push_str(&format!(
+                    "::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                         let (tag, inner) = &fields[0];\n\
+                         match tag.as_str() {{\n\
+                             {tag_arms}\n\
+                             other => Err(::serde::Error::msg(format!(\
+                                 \"unknown variant `{{other}}` for `{name}`\"))),\n\
+                         }}\n\
+                     }},"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             {arms}\n\
+                             other => Err(::serde::Error::msg(format!(\
+                                 \"invalid encoding for enum `{name}`: {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

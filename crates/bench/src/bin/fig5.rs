@@ -38,9 +38,7 @@ fn prefix_accuracies(forest: &RandomForest, test: &rfx_forest::Dataset) -> Vec<f
         }
         if checkpoint < TREE_COUNTS.len() && t + 1 == TREE_COUNTS[checkpoint] {
             let correct = (0..n)
-                .filter(|&r| {
-                    rfx_core::majority(&votes[r * nc..(r + 1) * nc]) == test.label(r)
-                })
+                .filter(|&r| rfx_core::majority(&votes[r * nc..(r + 1) * nc]) == test.label(r))
                 .count();
             out.push(correct as f64 / n as f64);
             checkpoint += 1;

@@ -26,8 +26,8 @@ fn main() {
             let mut cells = vec![format!("{depth}")];
             let mut ratios = Vec::new();
             for sd in SDS {
-                let hier = build_forest(&forest, HierConfig::uniform(sd))
-                    .expect("layout build failed");
+                let hier =
+                    build_forest(&forest, HierConfig::uniform(sd)).expect("layout build failed");
                 let ratio = hier.footprint().ratio_to(&csr);
                 cells.push(format!("{ratio:.2}"));
                 ratios.push(ratio);

@@ -26,9 +26,15 @@ fn main() {
             let w = timing_workload(kind, depth, scale);
             let csr = runner::gpu_csr(&w);
             let fil = runner::gpu_fil(&w);
-            let mut cells =
-                vec![format!("{depth}"), format!("{:.4}", csr.device_seconds), speedup(csr.device_seconds, fil.device_seconds)];
-            let mut record = vec![("csr".to_string(), csr.device_seconds), ("fil".to_string(), fil.device_seconds)];
+            let mut cells = vec![
+                format!("{depth}"),
+                format!("{:.4}", csr.device_seconds),
+                speedup(csr.device_seconds, fil.device_seconds),
+            ];
+            let mut record = vec![
+                ("csr".to_string(), csr.device_seconds),
+                ("fil".to_string(), fil.device_seconds),
+            ];
             for sd in SDS {
                 let layout = runner::hier(&w, HierConfig::uniform(sd));
                 let ind = runner::gpu_independent(&w, &layout);

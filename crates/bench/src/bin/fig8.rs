@@ -30,7 +30,10 @@ fn main() {
                 format!("{sd}"),
                 format!("{}", ind.global_load_transactions),
                 format!("{}", hyb.global_load_transactions),
-                format!("{:.2}", hyb.global_load_transactions as f64 / ind.global_load_transactions as f64),
+                format!(
+                    "{:.2}",
+                    hyb.global_load_transactions as f64 / ind.global_load_transactions as f64
+                ),
                 format!("{:.3}", ind.branch_efficiency()),
                 format!("{:.3}", hyb.branch_efficiency()),
             ]);

@@ -1,0 +1,114 @@
+//! Serving benchmark: drives `rfx-serve` with the deterministic
+//! closed-loop load generator across scheduling policies and request
+//! shapes, reporting throughput, latency percentiles, batch occupancy,
+//! and the per-backend query split.
+//!
+//! The load is concurrent by construction (many closed-loop clients), so
+//! the dynamic batcher must coalesce — the report asserts mean batch
+//! occupancy > 1, the property that separates *serving* from
+//! one-query-at-a-time inference.
+
+use rfx_bench::harness::{write_json, Table};
+use rfx_bench::scale::Scale;
+use rfx_bench::workloads::trained_forest;
+use rfx_data::DatasetKind;
+use rfx_serve::{
+    run_closed_loop, BackendKind, LoadGenConfig, LoadReport, RfxServe, SchedulePolicy, ServeConfig,
+    ServeModel, ServeStats,
+};
+use serde::Serialize;
+use std::time::Duration;
+
+#[derive(Serialize)]
+struct Scenario {
+    name: String,
+    policy: String,
+    clients: usize,
+    rows_per_request: usize,
+    load: LoadReport,
+    stats: ServeStats,
+}
+
+fn policy_name(policy: SchedulePolicy) -> String {
+    match policy {
+        SchedulePolicy::Auto => "auto".into(),
+        SchedulePolicy::RoundRobin => "round-robin".into(),
+        SchedulePolicy::Fixed(kind) => format!("fixed:{}", kind.name()),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (requests_per_client, depth, trees) = match scale {
+        Scale::Tiny => (40, 8, 10),
+        _ => (150, 12, 20),
+    };
+    let (forest, _test) = trained_forest(DatasetKind::SusyLike, depth, trees, scale);
+    let model = ServeModel::prepare(forest).expect("hier layout fits the Titan Xp budget");
+
+    let scenarios: Vec<(&str, SchedulePolicy, usize, usize)> = vec![
+        ("singles-auto", SchedulePolicy::Auto, 16, 1),
+        ("singles-round-robin", SchedulePolicy::RoundRobin, 16, 1),
+        ("singles-cpu-only", SchedulePolicy::Fixed(BackendKind::CpuParallel), 16, 1),
+        ("micro-batch-auto", SchedulePolicy::Auto, 8, 8),
+    ];
+
+    let mut table = Table::new(
+        "rfx-serve: closed-loop load, dynamic batching (occupancy = rows/batch)",
+        &["Scenario", "qps", "p50 us", "p95 us", "p99 us", "occupancy", "rejects", "top backend"],
+    );
+    let mut results = Vec::new();
+    for (name, policy, clients, rows_per_request) in scenarios {
+        let serve = RfxServe::start(
+            model.clone(),
+            ServeConfig {
+                max_batch_size: 256,
+                max_batch_delay: Duration::from_millis(1),
+                policy,
+                ..ServeConfig::default()
+            },
+        );
+        let load = run_closed_loop(
+            &serve,
+            &LoadGenConfig {
+                clients,
+                requests_per_client,
+                rows_per_request,
+                seed: 0xBEEF,
+                ..LoadGenConfig::default()
+            },
+        );
+        let stats = serve.shutdown();
+        let top = stats
+            .backends
+            .iter()
+            .max_by_key(|b| b.queries)
+            .map(|b| format!("{} ({:.0}%)", b.backend, b.share_of_queries * 100.0))
+            .unwrap_or_default();
+        table.row(vec![
+            name.to_string(),
+            format!("{:.0}", stats.throughput_qps),
+            format!("{}", stats.request_latency.p50_us),
+            format!("{}", stats.request_latency.p95_us),
+            format!("{}", stats.request_latency.p99_us),
+            format!("{:.2}", stats.mean_batch_occupancy),
+            format!("{}", load.rejections),
+            top,
+        ]);
+        assert!(
+            stats.mean_batch_occupancy > 1.0,
+            "{name}: concurrent closed-loop load must batch (occupancy {:.2})",
+            stats.mean_batch_occupancy
+        );
+        results.push(Scenario {
+            name: name.to_string(),
+            policy: policy_name(policy),
+            clients,
+            rows_per_request,
+            load,
+            stats,
+        });
+    }
+    table.print();
+    write_json("serve", scale.label(), &results);
+}

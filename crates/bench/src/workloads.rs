@@ -30,7 +30,13 @@ fn cache_dir() -> PathBuf {
 }
 
 fn cache_key(kind: DatasetKind, depth: usize, trees: usize, train_rows: usize) -> PathBuf {
-    cache_dir().join(format!("{}-d{}-t{}-n{}.rfxf", kind.name().to_lowercase(), depth, trees, train_rows))
+    cache_dir().join(format!(
+        "{}-d{}-t{}-n{}.rfxf",
+        kind.name().to_lowercase(),
+        depth,
+        trees,
+        train_rows
+    ))
 }
 
 /// Trains (or loads from cache) a forest for `kind` at `max_depth` with
@@ -96,9 +102,8 @@ pub fn synthetic_workload(d: usize, t: usize, q: usize, nf: u16, seed: u64) -> W
     let mut rng = StdRng::seed_from_u64(seed);
     // Bushy trees (low leaf probability) mimic the dense synthetic forest
     // the paper's FPGA study uses.
-    let trees: Vec<rfx_forest::DecisionTree> = (0..t)
-        .map(|_| rfx_forest::DecisionTree::random(&mut rng, d, nf, 2, 0.12))
-        .collect();
+    let trees: Vec<rfx_forest::DecisionTree> =
+        (0..t).map(|_| rfx_forest::DecisionTree::random(&mut rng, d, nf, 2, 0.12)).collect();
     let forest = RandomForest::from_trees(trees, nf as usize, 2).expect("valid random forest");
     let features: Vec<f32> = (0..q * nf as usize).map(|_| rng.gen()).collect();
     let labels = vec![0u32; q];

@@ -17,15 +17,16 @@ use rfx_forest::RandomForest;
 ///
 /// Deterministic: centroids are seeded by evenly spaced trees and Lloyd
 /// iterations run to convergence or `max_iters`.
-pub fn cluster_trees(forest: &RandomForest, k: usize, max_iters: usize) -> (Vec<usize>, Vec<usize>) {
+pub fn cluster_trees(
+    forest: &RandomForest,
+    k: usize,
+    max_iters: usize,
+) -> (Vec<usize>, Vec<usize>) {
     let n = forest.num_trees();
     let k = k.clamp(1, n);
     let d = forest.num_features();
-    let profiles: Vec<Vec<f32>> = forest
-        .trees()
-        .iter()
-        .map(|t| feature_usage_profile(t, d))
-        .collect();
+    let profiles: Vec<Vec<f32>> =
+        forest.trees().iter().map(|t| feature_usage_profile(t, d)).collect();
 
     // Evenly spaced initial centroids (deterministic, spread out).
     let mut centroids: Vec<Vec<f32>> = (0..k).map(|c| profiles[c * n / k].clone()).collect();
@@ -36,9 +37,7 @@ pub fn cluster_trees(forest: &RandomForest, k: usize, max_iters: usize) -> (Vec<
         let mut changed = false;
         for (t, p) in profiles.iter().enumerate() {
             let best = (0..k)
-                .min_by(|&a, &b| {
-                    dist2(p, &centroids[a]).total_cmp(&dist2(p, &centroids[b]))
-                })
+                .min_by(|&a, &b| dist2(p, &centroids[a]).total_cmp(&dist2(p, &centroids[b])))
                 .expect("k >= 1");
             if assignment[t] != best {
                 assignment[t] = best;
@@ -50,12 +49,8 @@ pub fn cluster_trees(forest: &RandomForest, k: usize, max_iters: usize) -> (Vec<
         }
         // Update.
         for (c, centroid) in centroids.iter_mut().enumerate() {
-            let members: Vec<&Vec<f32>> = profiles
-                .iter()
-                .zip(&assignment)
-                .filter(|(_, &a)| a == c)
-                .map(|(p, _)| p)
-                .collect();
+            let members: Vec<&Vec<f32>> =
+                profiles.iter().zip(&assignment).filter(|(_, &a)| a == c).map(|(p, _)| p).collect();
             if members.is_empty() {
                 continue; // keep the old centroid
             }

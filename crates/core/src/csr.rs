@@ -209,10 +209,7 @@ mod tests {
         let csr = CsrForest::build(&forest_of(vec![paper_tree()], 21));
         // Fig. 2c attribute rows.
         assert_eq!(csr.feature_id(), &[1, -1, 4, 8, 20, -1, -1, -1, -1]);
-        assert_eq!(
-            csr.value(),
-            &[2.5, 0.0, 0.5, 5.4, 8.8, 1.0, 0.0, 0.0, 1.0]
-        );
+        assert_eq!(csr.value(), &[2.5, 0.0, 0.5, 5.4, 8.8, 1.0, 0.0, 0.0, 1.0]);
         // Fig. 2b topology: children of node 4 live at children_arr[6..8].
         assert_eq!(csr.children_arr_idx()[4], 6);
         assert_eq!(&csr.children_arr()[6..8], &[5, 6]);

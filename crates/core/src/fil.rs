@@ -174,7 +174,7 @@ mod tests {
                 if node.feature >= 0 {
                     let l = base + node.left_child as usize;
                     assert!(l + 1 < end + 1 && l > n, "children after parent, in range");
-                    assert!(l + 1 <= end, "right sibling in range");
+                    assert!(l < end, "right sibling in range");
                 }
             }
         }

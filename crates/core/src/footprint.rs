@@ -61,9 +61,8 @@ mod tests {
         // completeness padding grows.
         let f = forest(20, 3);
         let csr = CsrForest::build(&f).footprint();
-        let ratio = |sd: u8| {
-            build_forest(&f, HierConfig::uniform(sd)).unwrap().footprint().ratio_to(&csr)
-        };
+        let ratio =
+            |sd: u8| build_forest(&f, HierConfig::uniform(sd)).unwrap().footprint().ratio_to(&csr);
         let (r4, r6, r8) = (ratio(4), ratio(6), ratio(8));
         assert!(r8 > r6 && r6 > r4, "padding cost grows with SD: {r4} {r6} {r8}");
         // At SD=8 a sparse deep tree pads heavily past the CSR footprint.

@@ -283,10 +283,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(19);
         let tree = DecisionTree::random(&mut rng, 9, 5, 2, 0.25);
         let h = build_tree(&tree, 5, 2, HierConfig::uniform(4)).unwrap();
-        assert_eq!(
-            *h.subtree_node_offset().last().unwrap() as usize,
-            h.total_slots()
-        );
+        assert_eq!(*h.subtree_node_offset().last().unwrap() as usize, h.total_slots());
         let stats = h.stats();
         assert_eq!(stats.real_slots, tree.num_nodes(), "every node placed exactly once");
         assert_eq!(stats.total_slots, stats.real_slots + stats.pad_slots);

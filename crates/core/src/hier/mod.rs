@@ -258,8 +258,9 @@ impl HierForest {
     pub fn stats(&self) -> HierStats {
         let pad_slots = self.feature_id.iter().filter(|&&f| f == PAD_FEATURE).count();
         let real_slots = self.total_slots() - pad_slots;
-        let root_slots: usize =
-            (0..self.num_trees()).map(|t| self.subtree_size(self.tree_root_subtree(t)) as usize).sum();
+        let root_slots: usize = (0..self.num_trees())
+            .map(|t| self.subtree_size(self.tree_root_subtree(t)) as usize)
+            .sum();
         HierStats {
             num_subtrees: self.num_subtrees(),
             total_slots: self.total_slots(),

@@ -52,7 +52,7 @@ pub fn validate_hier(h: &HierForest) -> Result<(), LayoutError> {
             // Connection block shape.
             let cstart = h.connection_offset()[s as usize] as usize;
             let cend = h.connection_offset()[s as usize + 1] as usize;
-            let bottom_slots = (size as usize + 1) / 2;
+            let bottom_slots = (size as usize).div_ceil(2);
             if cend != cstart && cend - cstart != 2 * bottom_slots {
                 return corrupt(format!(
                     "subtree {s}: {} connection entries, expected 0 or {}",

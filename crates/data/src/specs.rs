@@ -112,9 +112,11 @@ impl DatasetSpec {
             DatasetKind::SusyLike => {
                 physics::generate(&physics::PhysicsConfig::susy_like(), self.num_samples, self.seed)
             }
-            DatasetKind::HiggsLike => {
-                physics::generate(&physics::PhysicsConfig::higgs_like(), self.num_samples, self.seed)
-            }
+            DatasetKind::HiggsLike => physics::generate(
+                &physics::PhysicsConfig::higgs_like(),
+                self.num_samples,
+                self.seed,
+            ),
             DatasetKind::Mixture => {
                 mixture::generate(&mixture::MixtureConfig::default(), self.num_samples, self.seed)
             }

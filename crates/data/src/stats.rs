@@ -50,12 +50,7 @@ pub fn summarize(ds: &Dataset) -> DatasetSummary {
         }
         let mean = sum / n as f64;
         let var = (sumsq / n as f64 - mean * mean).max(0.0);
-        feature_stats.push(FeatureStats {
-            min,
-            max,
-            mean: mean as f32,
-            std: var.sqrt() as f32,
-        });
+        feature_stats.push(FeatureStats { min, max, mean: mean as f32, std: var.sqrt() as f32 });
     }
     DatasetSummary {
         num_samples: n,
@@ -72,8 +67,8 @@ mod tests {
 
     #[test]
     fn summary_of_known_data() {
-        let ds = Dataset::from_rows(vec![0.0, 10.0, 2.0, 10.0, 4.0, 10.0], 2, vec![0, 1, 1])
-            .unwrap();
+        let ds =
+            Dataset::from_rows(vec![0.0, 10.0, 2.0, 10.0, 4.0, 10.0], 2, vec![0, 1, 1]).unwrap();
         let s = summarize(&ds);
         assert_eq!(s.num_samples, 3);
         assert_eq!(s.num_features, 2);

@@ -42,8 +42,7 @@ pub fn generate(cfg: &MixtureConfig, n: usize, seed: u64) -> Dataset {
     for _ in 0..n {
         let class = rng.gen_range(0..cfg.num_classes);
         let cluster = rng.gen_range(0..cfg.clusters_per_class);
-        let center = &centers
-            [(class as usize * cfg.clusters_per_class + cluster) * nf..][..nf];
+        let center = &centers[(class as usize * cfg.clusters_per_class + cluster) * nf..][..nf];
         for &c in center {
             features.push(c + cfg.cluster_std * standard_normal(&mut rng));
         }

@@ -34,8 +34,7 @@ mod tests {
         let n = 20_000;
         let xs: Vec<f32> = (0..n).map(|_| standard_normal(&mut rng)).collect();
         let mean: f64 = xs.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
-        let var: f64 =
-            xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var: f64 = xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.03, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
     }

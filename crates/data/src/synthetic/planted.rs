@@ -280,7 +280,8 @@ mod tests {
         let test = generate(&cfg, 4000, 12);
         let mut accs = Vec::new();
         for depth in [2usize, 6, 12] {
-            let tc = TrainConfig { n_trees: 20, max_depth: depth, seed: 5, ..TrainConfig::default() };
+            let tc =
+                TrainConfig { n_trees: 20, max_depth: depth, seed: 5, ..TrainConfig::default() };
             let f = RandomForest::fit(&train, &tc).unwrap();
             accs.push(rfx_forest::metrics::accuracy(&f.predict_batch(&test), test.labels()));
         }

@@ -31,7 +31,7 @@ impl Dataset {
         if num_features == 0 {
             return Err(ForestError::EmptyDataset);
         }
-        if features.len() % num_features != 0 {
+        if !features.len().is_multiple_of(num_features) {
             return Err(ForestError::ShapeMismatch {
                 detail: format!(
                     "feature buffer of {} values is not a multiple of {} features",
@@ -129,12 +129,7 @@ impl Dataset {
             features.extend_from_slice(self.row(r));
             labels.push(self.labels[r]);
         }
-        Dataset {
-            features,
-            labels,
-            num_features: self.num_features,
-            num_classes: self.num_classes,
-        }
+        Dataset { features, labels, num_features: self.num_features, num_classes: self.num_classes }
     }
 
     /// Takes the first `n` rows (cheap deterministic sub-sample; generators
@@ -189,7 +184,7 @@ pub struct QueryView<'a> {
 impl<'a> QueryView<'a> {
     /// Wraps a row-major feature buffer as a query batch.
     pub fn new(features: &'a [f32], num_features: usize) -> Result<Self, ForestError> {
-        if num_features == 0 || features.len() % num_features != 0 {
+        if num_features == 0 || !features.len().is_multiple_of(num_features) {
             return Err(ForestError::ShapeMismatch {
                 detail: format!(
                     "{} values is not a whole number of {num_features}-wide rows",
@@ -266,13 +261,15 @@ mod tests {
     #[test]
     fn rejects_empty() {
         assert_eq!(Dataset::from_rows(vec![], 3, vec![]).unwrap_err(), ForestError::EmptyDataset);
-        assert_eq!(Dataset::from_rows(vec![1.0], 0, vec![0]).unwrap_err(), ForestError::EmptyDataset);
+        assert_eq!(
+            Dataset::from_rows(vec![1.0], 0, vec![0]).unwrap_err(),
+            ForestError::EmptyDataset
+        );
     }
 
     #[test]
     fn explicit_class_count_checks_labels() {
-        let err =
-            Dataset::from_rows_with_classes(vec![0.0, 1.0], 1, vec![0, 5], 2).unwrap_err();
+        let err = Dataset::from_rows_with_classes(vec![0.0, 1.0], 1, vec![0, 5], 2).unwrap_err();
         assert_eq!(err, ForestError::LabelOutOfRange { label: 5, num_classes: 2 });
         let ds = Dataset::from_rows_with_classes(vec![0.0, 1.0], 1, vec![0, 0], 7).unwrap();
         assert_eq!(ds.num_classes(), 7);

@@ -67,9 +67,6 @@ mod tests {
     #[test]
     fn errors_are_comparable() {
         assert_eq!(ForestError::EmptyDataset, ForestError::EmptyDataset);
-        assert_ne!(
-            ForestError::EmptyDataset,
-            ForestError::Corrupt { detail: "x".into() }
-        );
+        assert_ne!(ForestError::EmptyDataset, ForestError::Corrupt { detail: "x".into() });
     }
 }

@@ -39,9 +39,7 @@ impl RandomForest {
             });
         }
         for (i, t) in trees.iter().enumerate() {
-            t.validate().map_err(|e| ForestError::Corrupt {
-                detail: format!("tree {i}: {e}"),
-            })?;
+            t.validate().map_err(|e| ForestError::Corrupt { detail: format!("tree {i}: {e}") })?;
         }
         Ok(Self { trees, num_features, num_classes })
     }
@@ -55,9 +53,8 @@ impl RandomForest {
         if ds.num_rows() == 0 {
             return Err(ForestError::EmptyDataset);
         }
-        let binned = cfg
-            .use_histogram()
-            .then(|| BinnedDataset::build(ds, cfg.histogram_bins(), 65_536));
+        let binned =
+            cfg.use_histogram().then(|| BinnedDataset::build(ds, cfg.histogram_bins(), 65_536));
         let trees: Vec<DecisionTree> = (0..cfg.n_trees)
             .into_par_iter()
             .map(|i| {
@@ -214,8 +211,7 @@ mod tests {
     fn different_seeds_give_different_forests() {
         let ds = diag_dataset(600);
         let f1 = RandomForest::fit(&ds, &quick_cfg()).unwrap();
-        let f2 =
-            RandomForest::fit(&ds, &TrainConfig { seed: 14, ..quick_cfg() }).unwrap();
+        let f2 = RandomForest::fit(&ds, &TrainConfig { seed: 14, ..quick_cfg() }).unwrap();
         assert_ne!(f1, f2);
     }
 

@@ -96,8 +96,10 @@ pub fn read_forest<R: Read>(mut r: R) -> Result<RandomForest, ForestError> {
                 }
             }
         }
-        trees.push(DecisionTree::from_nodes(nodes)
-            .map_err(|e| ForestError::Corrupt { detail: format!("tree {t}: {e}") })?);
+        trees.push(
+            DecisionTree::from_nodes(nodes)
+                .map_err(|e| ForestError::Corrupt { detail: format!("tree {t}: {e}") })?,
+        );
     }
     RandomForest::from_trees(trees, num_features, num_classes)
 }

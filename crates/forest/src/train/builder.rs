@@ -33,11 +33,7 @@ struct WorkItem {
 impl<'a> TreeBuilder<'a> {
     /// Creates a builder. `binned` must be provided when the config selects
     /// the histogram split finder.
-    pub fn new(
-        ds: &'a Dataset,
-        binned: Option<&'a BinnedDataset>,
-        cfg: &'a TrainConfig,
-    ) -> Self {
+    pub fn new(ds: &'a Dataset, binned: Option<&'a BinnedDataset>, cfg: &'a TrainConfig) -> Self {
         Self { ds, binned, cfg, num_classes: ds.num_classes() as usize }
     }
 
@@ -69,7 +65,14 @@ impl<'a> TreeBuilder<'a> {
             let split = if make_leaf {
                 None
             } else {
-                self.find_split(node_samples, &counts, rng, &mut perm, &mut hist, &mut exact_scratch)
+                self.find_split(
+                    node_samples,
+                    &counts,
+                    rng,
+                    &mut perm,
+                    &mut hist,
+                    &mut exact_scratch,
+                )
             };
 
             match split {
@@ -128,8 +131,7 @@ impl<'a> TreeBuilder<'a> {
         let k = self.cfg.max_features.resolve(self.ds.num_features());
         let k = sample_features(rng, self.ds.num_features(), k, perm);
         let mut best: Option<Split> = None;
-        for i in 0..k {
-            let feature = perm[i];
+        for &feature in perm.iter().take(k) {
             let cand = match (self.cfg.use_histogram(), self.binned) {
                 (true, Some(binned)) => best_split_histogram(
                     binned,
@@ -170,8 +172,7 @@ impl<'a> TreeBuilder<'a> {
 fn better_split(c: &Split, b: &Split) -> bool {
     c.gain > b.gain
         || (c.gain == b.gain
-            && (c.feature < b.feature
-                || (c.feature == b.feature && c.threshold < b.threshold)))
+            && (c.feature < b.feature || (c.feature == b.feature && c.threshold < b.threshold)))
 }
 
 /// Unstable in-place partition: samples with `value < threshold` move to the
@@ -226,9 +227,8 @@ mod tests {
     }
 
     fn grow_one(ds: &Dataset, cfg: &TrainConfig) -> DecisionTree {
-        let binned = cfg
-            .use_histogram()
-            .then(|| BinnedDataset::build(ds, cfg.histogram_bins(), 10_000));
+        let binned =
+            cfg.use_histogram().then(|| BinnedDataset::build(ds, cfg.histogram_bins(), 10_000));
         let builder = TreeBuilder::new(ds, binned.as_ref(), cfg);
         let mut samples: Vec<u32> = (0..ds.num_rows() as u32).collect();
         builder.grow(&mut samples, &mut StdRng::seed_from_u64(cfg.seed))
@@ -238,9 +238,8 @@ mod tests {
     fn learns_xor_with_exact_finder() {
         let ds = band_dataset(400);
         let tree = grow_one(&ds, &cfg(SplitFinder::Exact));
-        let correct = (0..ds.num_rows())
-            .filter(|&r| tree.predict(ds.row(r)) == ds.label(r))
-            .count();
+        let correct =
+            (0..ds.num_rows()).filter(|&r| tree.predict(ds.row(r)) == ds.label(r)).count();
         assert!(correct as f64 / ds.num_rows() as f64 > 0.92, "{correct}/400");
     }
 
@@ -248,9 +247,8 @@ mod tests {
     fn learns_xor_with_histogram_finder() {
         let ds = band_dataset(400);
         let tree = grow_one(&ds, &cfg(SplitFinder::Histogram { max_bins: 64 }));
-        let correct = (0..ds.num_rows())
-            .filter(|&r| tree.predict(ds.row(r)) == ds.label(r))
-            .count();
+        let correct =
+            (0..ds.num_rows()).filter(|&r| tree.predict(ds.row(r)) == ds.label(r)).count();
         assert!(correct as f64 / ds.num_rows() as f64 > 0.92, "{correct}/400");
     }
 

@@ -221,7 +221,7 @@ mod tests {
 
     #[test]
     fn constant_column_has_no_edges() {
-        let d = ds(&[3.0; 50], &vec![0u32; 50]);
+        let d = ds(&[3.0; 50], &[0u32; 50]);
         let b = BinnedDataset::build(&d, 32, 10_000);
         assert!(b.edges(0).is_empty());
         let s = best_split_histogram(
@@ -247,7 +247,15 @@ mod tests {
         let parent = Criterion::Gini.weighted_impurity(&[50, 50]);
         let samples: Vec<u32> = (0..100).collect();
         let s = best_split_histogram(
-            &b, d.labels(), &samples, 0, Criterion::Gini, parent, 1, 2, &mut scratch(),
+            &b,
+            d.labels(),
+            &samples,
+            0,
+            Criterion::Gini,
+            parent,
+            1,
+            2,
+            &mut scratch(),
         )
         .expect("split exists");
         // Threshold must route <50 left and >=50 right (an edge near 50).
@@ -266,7 +274,15 @@ mod tests {
         let parent = Criterion::Gini.weighted_impurity(&[9, 1]);
         let samples: Vec<u32> = (0..10).collect();
         let s = best_split_histogram(
-            &b, d.labels(), &samples, 0, Criterion::Gini, parent, 3, 2, &mut scratch(),
+            &b,
+            d.labels(),
+            &samples,
+            0,
+            Criterion::Gini,
+            parent,
+            3,
+            2,
+            &mut scratch(),
         );
         if let Some(s) = s {
             assert!(s.n_left >= 3 && s.n_right >= 3);
@@ -276,7 +292,8 @@ mod tests {
     #[test]
     fn split_agrees_with_exact_on_separable_data() {
         // On cleanly separable data both finders should isolate the classes.
-        let vals: Vec<f32> = (0..200).map(|i| if i < 120 { i as f32 } else { 1000.0 + i as f32 }).collect();
+        let vals: Vec<f32> =
+            (0..200).map(|i| if i < 120 { i as f32 } else { 1000.0 + i as f32 }).collect();
         let labels: Vec<u32> = (0..200).map(|i| (i >= 120) as u32).collect();
         let d = ds(&vals, &labels);
         let samples: Vec<u32> = (0..200).collect();
@@ -284,11 +301,25 @@ mod tests {
 
         let b = BinnedDataset::build(&d, 128, 10_000);
         let hs = best_split_histogram(
-            &b, d.labels(), &samples, 0, Criterion::Gini, parent, 1, 2, &mut scratch(),
+            &b,
+            d.labels(),
+            &samples,
+            0,
+            Criterion::Gini,
+            parent,
+            1,
+            2,
+            &mut scratch(),
         )
         .unwrap();
         let es = super::super::exact::best_split_exact(
-            &d, &samples, 0, Criterion::Gini, parent, 1, &mut vec![],
+            &d,
+            &samples,
+            0,
+            Criterion::Gini,
+            parent,
+            1,
+            &mut vec![],
         )
         .unwrap();
         // Same partition even if thresholds differ numerically.
@@ -314,7 +345,15 @@ mod tests {
         let parent = Criterion::Gini.weighted_impurity(&[50, 50]);
         let samples: Vec<u32> = (0..100).collect();
         let s = best_split_histogram(
-            &b, d.labels(), &samples, 1, Criterion::Gini, parent, 1, 2, &mut scratch(),
+            &b,
+            d.labels(),
+            &samples,
+            1,
+            Criterion::Gini,
+            parent,
+            1,
+            2,
+            &mut scratch(),
         )
         .unwrap();
         assert_eq!(s.feature, 1);

@@ -192,8 +192,7 @@ impl DecisionTree {
         let mut stack = vec![(0u32, 0usize)];
         while let Some((id, depth)) = stack.pop() {
             let force_inner = id == 0 && max_depth > 0;
-            let make_inner =
-                force_inner || (depth < max_depth && !rng.gen_bool(leaf_prob));
+            let make_inner = force_inner || (depth < max_depth && !rng.gen_bool(leaf_prob));
             if make_inner {
                 let left = nodes.len() as u32;
                 nodes.push(Node::Leaf { label: 0 });
@@ -283,12 +282,10 @@ mod tests {
 
     #[test]
     fn validate_rejects_out_of_range_child() {
-        let r = DecisionTree::from_nodes(vec![Node::Inner {
-            feature: 0,
-            threshold: 0.0,
-            left: 1,
-            right: 9,
-        }, Node::Leaf { label: 0 }]);
+        let r = DecisionTree::from_nodes(vec![
+            Node::Inner { feature: 0, threshold: 0.0, left: 1, right: 9 },
+            Node::Leaf { label: 0 },
+        ]);
         assert!(matches!(r, Err(ForestError::Corrupt { .. })));
     }
 

@@ -81,8 +81,7 @@ pub mod chains {
     /// node attributes, query feature from BRAM (the paper's §3.2.2
     /// optimization that cut the II from 147 to 76), arithmetic child
     /// indexing, compare.
-    pub const INDEPENDENT: &[Op] =
-        &[Op::ExtMemLoad, Op::OnChipLoad, Op::Alu, Op::Compare];
+    pub const INDEPENDENT: &[Op] = &[Op::ExtMemLoad, Op::OnChipLoad, Op::Alu, Op::Compare];
 
     /// Collaborative variant: subtree buffered on chip, query features on
     /// chip — II 3.

@@ -69,7 +69,13 @@ impl<'a> CuPipeline<'a> {
     /// Runs a pipelined loop: `iterations` total, of which `useful` do
     /// real work, with the loop-carried chain `chain`. External bytes per
     /// iteration feed the traffic ledger.
-    pub fn run_loop(&mut self, chain: &[Op], iterations: u64, useful: u64, ext_bytes_per_iter: u64) {
+    pub fn run_loop(
+        &mut self,
+        chain: &[Op],
+        iterations: u64,
+        useful: u64,
+        ext_bytes_per_iter: u64,
+    ) {
         assert!(useful <= iterations, "useful {useful} > iterations {iterations}");
         if iterations == 0 {
             return;

@@ -88,6 +88,8 @@ impl Cache {
 }
 
 #[cfg(test)]
+// `n * 128` spells "line index × line size" in the access patterns below.
+#[allow(clippy::erasing_op, clippy::identity_op)]
 mod tests {
     use super::*;
 

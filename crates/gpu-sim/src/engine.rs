@@ -75,10 +75,9 @@ pub enum LaunchError {
 impl std::fmt::Display for LaunchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LaunchError::SharedMemExceeded { requested, available } => write!(
-                f,
-                "kernel requests {requested} B of shared memory, SM offers {available} B"
-            ),
+            LaunchError::SharedMemExceeded { requested, available } => {
+                write!(f, "kernel requests {requested} B of shared memory, SM offers {available} B")
+            }
             LaunchError::EmptyGrid => write!(f, "empty grid"),
         }
     }
@@ -211,7 +210,10 @@ impl<'a> BlockCtx<'a> {
         } else {
             // Dependent-chain latency: the slowest segment plus the issue
             // serialization of the remaining replays.
-            self.warp_latency[warp] += worst + issue.saturating_sub(self.cfg.tx_issue_cycles as u64).min((n as u64 - 1) * self.cfg.tx_issue_cycles as u64);
+            self.warp_latency[warp] += worst
+                + issue
+                    .saturating_sub(self.cfg.tx_issue_cycles as u64)
+                    .min((n as u64 - 1) * self.cfg.tx_issue_cycles as u64);
         }
         n
     }
@@ -298,11 +300,9 @@ impl GpuSim {
         }
         let warps_per_block = grid.threads_per_block.div_ceil(cfg.warp_size as usize);
         // Occupancy: blocks resident on one SM at a time.
-        let by_shared = if shared == 0 {
-            cfg.max_blocks_per_sm as usize
-        } else {
-            (cfg.shared_mem_per_sm as usize / shared).max(1)
-        };
+        let by_shared = (cfg.shared_mem_per_sm as usize)
+            .checked_div(shared)
+            .map_or(cfg.max_blocks_per_sm as usize, |b| b.max(1));
         let by_warps = (cfg.max_warps_per_sm as usize / warps_per_block).max(1);
         let resident_blocks = by_shared.min(by_warps).min(cfg.max_blocks_per_sm as usize);
 
@@ -377,11 +377,7 @@ impl GpuSim {
         };
         total.device_cycles = device_cycles;
         total.device_seconds = compute_seconds.max(dram_seconds);
-        total.bound = if latency_bound_hit {
-            TimeBound::DramBandwidth
-        } else {
-            TimeBound::Latency
-        };
+        total.bound = if latency_bound_hit { TimeBound::DramBandwidth } else { TimeBound::Latency };
         Ok(total)
     }
 }
@@ -443,7 +439,8 @@ mod tests {
     fn coalesced_stream_counts_one_tx_per_warp() {
         let mut mem = AddressSpace::new();
         let data = mem.alloc("d", 4, 1024);
-        let stats = sim().launch(Grid { num_blocks: 4, threads_per_block: 256 }, &StreamKernel { data });
+        let stats =
+            sim().launch(Grid { num_blocks: 4, threads_per_block: 256 }, &StreamKernel { data });
         // 4 blocks * 8 warps = 32 warps, 1 tx each.
         assert_eq!(stats.global_load_transactions, 32);
         assert_eq!(stats.warps_launched, 32);
@@ -515,9 +512,8 @@ mod tests {
             }
             fn run(&self, _: &mut BlockCtx) {}
         }
-        let err = sim()
-            .try_launch(Grid { num_blocks: 1, threads_per_block: 32 }, &Hog)
-            .unwrap_err();
+        let err =
+            sim().try_launch(Grid { num_blocks: 1, threads_per_block: 32 }, &Hog).unwrap_err();
         assert!(matches!(err, LaunchError::SharedMemExceeded { .. }));
     }
 
@@ -566,10 +562,8 @@ mod tests {
         // of all warp latencies.
         let mut mem = AddressSpace::new();
         let data = mem.alloc("d", 4, 1 << 20);
-        let st = sim().launch(
-            Grid { num_blocks: 16, threads_per_block: 256 },
-            &ScatterKernel { data },
-        );
+        let st =
+            sim().launch(Grid { num_blocks: 16, threads_per_block: 256 }, &ScatterKernel { data });
         // Naive serial latency: every tx at least l1-hit latency.
         let serial_floor = st.global_load_transactions * 10;
         assert!(
@@ -583,8 +577,10 @@ mod tests {
     fn more_blocks_take_longer() {
         let mut mem = AddressSpace::new();
         let data = mem.alloc("d", 4, 1 << 22);
-        let small = sim().launch(Grid { num_blocks: 8, threads_per_block: 128 }, &ScatterKernel { data });
-        let large = sim().launch(Grid { num_blocks: 64, threads_per_block: 128 }, &ScatterKernel { data });
+        let small =
+            sim().launch(Grid { num_blocks: 8, threads_per_block: 128 }, &ScatterKernel { data });
+        let large =
+            sim().launch(Grid { num_blocks: 64, threads_per_block: 128 }, &ScatterKernel { data });
         assert!(large.device_seconds > small.device_seconds);
     }
 

@@ -1,9 +1,19 @@
 //! CPU inference engines (functional reference and practical path).
+//!
+//! Two API layers:
+//!
+//! * **Batch-slice engines** (`*_range_into`): predict a contiguous query
+//!   range into a caller-provided output slice, allocation-free. These are
+//!   what the `rfx-serve` dynamic batcher and the bench harnesses drive —
+//!   an online service re-predicts small batches at high rate, where a
+//!   fresh `Vec` per call is measurable garbage.
+//! * **Whole-batch engines** (`predict_*`): the original allocate-and-
+//!   return entry points, now thin wrappers over the slice engines.
 
-use rayon::prelude::*;
 use rfx_core::{CsrForest, FilForest, HierForest, Label};
 use rfx_forest::dataset::QueryView;
 use rfx_forest::RandomForest;
+use std::ops::Range;
 
 /// Sequential majority-vote inference over the node-vector forest — the
 /// single source of truth every other engine is tested against.
@@ -11,35 +21,130 @@ pub fn predict_reference(forest: &RandomForest, queries: QueryView) -> Vec<Label
     forest.predict_batch(queries)
 }
 
-/// Rayon-parallel inference over the node-vector forest.
-pub fn predict_parallel(forest: &RandomForest, queries: QueryView) -> Vec<Label> {
-    forest.predict_batch_parallel(queries)
+/// Serial slice engine over the node-vector forest: predicts
+/// `queries[range]` into `out` (`out.len()` must equal `range.len()`).
+pub fn predict_range_into(
+    forest: &RandomForest,
+    queries: QueryView,
+    range: Range<usize>,
+    out: &mut [Label],
+) {
+    assert_eq!(out.len(), range.len(), "output slice must match query range");
+    for (slot, r) in out.iter_mut().zip(range) {
+        *slot = forest.predict(queries.row(r));
+    }
 }
 
-/// Rayon-parallel inference over the hierarchical layout (the fastest CPU
+/// Serial slice engine over the hierarchical layout.
+pub fn predict_hier_range_into(
+    h: &HierForest,
+    queries: QueryView,
+    range: Range<usize>,
+    out: &mut [Label],
+) {
+    assert_eq!(out.len(), range.len(), "output slice must match query range");
+    for (slot, r) in out.iter_mut().zip(range) {
+        *slot = h.predict(queries.row(r));
+    }
+}
+
+/// Serial slice engine over the CSR layout.
+pub fn predict_csr_range_into(
+    csr: &CsrForest,
+    queries: QueryView,
+    range: Range<usize>,
+    out: &mut [Label],
+) {
+    assert_eq!(out.len(), range.len(), "output slice must match query range");
+    for (slot, r) in out.iter_mut().zip(range) {
+        *slot = csr.predict(queries.row(r));
+    }
+}
+
+/// Serial slice engine over the FIL-style layout.
+pub fn predict_fil_range_into(
+    fil: &FilForest,
+    queries: QueryView,
+    range: Range<usize>,
+    out: &mut [Label],
+) {
+    assert_eq!(out.len(), range.len(), "output slice must match query range");
+    for (slot, r) in out.iter_mut().zip(range) {
+        *slot = fil.predict(queries.row(r));
+    }
+}
+
+/// Multi-core slice engine: splits `queries[range]` across threads and
+/// predicts each block serially into the matching sub-slice of `out`.
+/// Allocation-free on the prediction path; `predict_row` must be a cheap,
+/// `Sync` per-row closure.
+pub fn predict_parallel_range_into<F>(range: Range<usize>, out: &mut [Label], predict_row: F)
+where
+    F: Fn(usize) -> Label + Sync,
+{
+    assert_eq!(out.len(), range.len(), "output slice must match query range");
+    let n = out.len();
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(n)
+        .max(1);
+    if workers <= 1 {
+        for (slot, r) in out.iter_mut().zip(range) {
+            *slot = predict_row(r);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut offset = range.start;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (block, tail) = rest.split_at_mut(take);
+            let start = offset;
+            let f = &predict_row;
+            scope.spawn(move || {
+                for (i, slot) in block.iter_mut().enumerate() {
+                    *slot = f(start + i);
+                }
+            });
+            rest = tail;
+            offset += take;
+        }
+    });
+}
+
+/// Rayon-style parallel inference over the node-vector forest.
+pub fn predict_parallel(forest: &RandomForest, queries: QueryView) -> Vec<Label> {
+    let mut out = vec![0; queries.num_rows()];
+    predict_parallel_range_into(0..queries.num_rows(), &mut out, |r| {
+        forest.predict(queries.row(r))
+    });
+    out
+}
+
+/// Parallel inference over the hierarchical layout (the fastest CPU
 /// path: arithmetic child indexing and compact subtree working sets help
 /// on CPUs too).
 pub fn predict_hier_parallel(h: &HierForest, queries: QueryView) -> Vec<Label> {
-    (0..queries.num_rows())
-        .into_par_iter()
-        .map(|r| h.predict(queries.row(r)))
-        .collect()
+    let mut out = vec![0; queries.num_rows()];
+    predict_parallel_range_into(0..queries.num_rows(), &mut out, |r| h.predict(queries.row(r)));
+    out
 }
 
-/// Rayon-parallel inference over the CSR layout.
+/// Parallel inference over the CSR layout.
 pub fn predict_csr_parallel(csr: &CsrForest, queries: QueryView) -> Vec<Label> {
-    (0..queries.num_rows())
-        .into_par_iter()
-        .map(|r| csr.predict(queries.row(r)))
-        .collect()
+    let mut out = vec![0; queries.num_rows()];
+    predict_parallel_range_into(0..queries.num_rows(), &mut out, |r| csr.predict(queries.row(r)));
+    out
 }
 
-/// Rayon-parallel inference over the FIL-style layout.
+/// Parallel inference over the FIL-style layout.
 pub fn predict_fil_parallel(fil: &FilForest, queries: QueryView) -> Vec<Label> {
-    (0..queries.num_rows())
-        .into_par_iter()
-        .map(|r| fil.predict(queries.row(r)))
-        .collect()
+    let mut out = vec![0; queries.num_rows()];
+    predict_parallel_range_into(0..queries.num_rows(), &mut out, |r| fil.predict(queries.row(r)));
+    out
 }
 
 #[cfg(test)]
@@ -76,5 +181,42 @@ mod tests {
             let h = build_forest(&forest, cfg).unwrap();
             assert_eq!(predict_hier_parallel(&h, qv), reference, "{cfg:?}");
         }
+    }
+
+    #[test]
+    fn slice_engines_agree_on_subranges() {
+        let (forest, queries, nf) = fixture();
+        let qv = QueryView::new(&queries, nf).unwrap();
+        let reference = predict_reference(&forest, qv);
+        let csr = CsrForest::build(&forest);
+        let fil = FilForest::build(&forest);
+        let hier = build_forest(&forest, HierConfig::uniform(3)).unwrap();
+
+        for range in [0..1, 0..500, 17..17, 17..93, 499..500] {
+            let mut out = vec![0; range.len()];
+            predict_range_into(&forest, qv, range.clone(), &mut out);
+            assert_eq!(out, reference[range.clone()], "forest {range:?}");
+
+            predict_csr_range_into(&csr, qv, range.clone(), &mut out);
+            assert_eq!(out, reference[range.clone()], "csr {range:?}");
+
+            predict_fil_range_into(&fil, qv, range.clone(), &mut out);
+            assert_eq!(out, reference[range.clone()], "fil {range:?}");
+
+            predict_hier_range_into(&hier, qv, range.clone(), &mut out);
+            assert_eq!(out, reference[range.clone()], "hier {range:?}");
+
+            predict_parallel_range_into(range.clone(), &mut out, |r| forest.predict(qv.row(r)));
+            assert_eq!(out, reference[range.clone()], "parallel {range:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output slice must match")]
+    fn slice_engines_check_output_length() {
+        let (forest, queries, nf) = fixture();
+        let qv = QueryView::new(&queries, nf).unwrap();
+        let mut out = vec![0; 3];
+        predict_range_into(&forest, qv, 0..10, &mut out);
     }
 }

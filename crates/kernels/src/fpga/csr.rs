@@ -36,12 +36,7 @@ fn traverse(csr: &CsrForest, t: usize, query: &[f32]) -> (Label, u64) {
 }
 
 /// Runs CSR-based classification on the simulated FPGA.
-pub fn run_csr(
-    cfg: &FpgaConfig,
-    rep: Replication,
-    csr: &CsrForest,
-    queries: QueryView,
-) -> FpgaRun {
+pub fn run_csr(cfg: &FpgaConfig, rep: Replication, csr: &CsrForest, queries: QueryView) -> FpgaRun {
     rep.validate(cfg).expect("invalid replication");
     let ranges = split_ranges(queries.num_rows(), rep.total_cus() as usize);
     let per_cu: Vec<(Vec<Label>, rfx_fpga_sim::CuExecution)> = ranges

@@ -20,7 +20,9 @@ use rfx_core::Label;
 use rfx_forest::dataset::QueryView;
 use rfx_fpga_sim::budget::OnChipOverflow;
 use rfx_fpga_sim::ops::chains;
-use rfx_fpga_sim::{combine_cus, CuExecution, CuPipeline, FpgaConfig, FpgaStats, OnChipBudget, Replication};
+use rfx_fpga_sim::{
+    combine_cus, CuExecution, CuPipeline, FpgaConfig, FpgaStats, OnChipBudget, Replication,
+};
 
 const NODE_BYTES: u64 = 6;
 const BYTES_PER_STEP: u64 = 6;
@@ -36,12 +38,8 @@ struct StageWork {
 fn stage_split(hier: &HierForest, t: usize, query: &[f32]) -> (Label, StageWork) {
     let tr = trace_tree(hier, t, query);
     let root = hier.tree_root_subtree(t);
-    let stage1: u64 = tr
-        .subtree_path
-        .iter()
-        .filter(|&&(s, _)| s == root)
-        .map(|&(_, l)| l as u64)
-        .sum();
+    let stage1: u64 =
+        tr.subtree_path.iter().filter(|&&(s, _)| s == root).map(|&(_, l)| l as u64).sum();
     (
         tr.label,
         StageWork {
@@ -166,29 +164,28 @@ pub fn run_hybrid_split(
         .collect();
 
     // Stage 2: replicated CUs finish the off-chip portion and vote.
-    let per_cu: Vec<(Vec<Label>, CuExecution)> =
-        split_ranges(nq, rep2.total_cus() as usize)
-            .into_par_iter()
-            .map(|range| {
-                let mut cu = CuPipeline::new(cfg, stage2_cus_per_slr);
-                let mut predictions = Vec::with_capacity(range.len());
-                let mut s2 = 0u64;
-                let mut hops = 0u64;
-                for q in range {
-                    let row = queries.row(q);
-                    let labels = (0..hier.num_trees()).map(|t| {
-                        let (label, work) = stage_split(hier, t, row);
-                        s2 += work.stage2_visits;
-                        hops += work.crossings;
-                        label
-                    });
-                    predictions.push(vote(labels, hier.num_classes()));
-                }
-                cu.run_loop(chains::HYBRID_STAGE2, s2, s2, BYTES_PER_STEP);
-                cu.run_loop(HOP_CHAIN, hops, hops, BYTES_PER_HOP);
-                (predictions, cu.finish())
-            })
-            .collect();
+    let per_cu: Vec<(Vec<Label>, CuExecution)> = split_ranges(nq, rep2.total_cus() as usize)
+        .into_par_iter()
+        .map(|range| {
+            let mut cu = CuPipeline::new(cfg, stage2_cus_per_slr);
+            let mut predictions = Vec::with_capacity(range.len());
+            let mut s2 = 0u64;
+            let mut hops = 0u64;
+            for q in range {
+                let row = queries.row(q);
+                let labels = (0..hier.num_trees()).map(|t| {
+                    let (label, work) = stage_split(hier, t, row);
+                    s2 += work.stage2_visits;
+                    hops += work.crossings;
+                    label
+                });
+                predictions.push(vote(labels, hier.num_classes()));
+            }
+            cu.run_loop(chains::HYBRID_STAGE2, s2, s2, BYTES_PER_STEP);
+            cu.run_loop(HOP_CHAIN, hops, hops, BYTES_PER_HOP);
+            (predictions, cu.finish())
+        })
+        .collect();
 
     let mut predictions = Vec::with_capacity(nq);
     let mut stage2_cus = Vec::with_capacity(per_cu.len());
@@ -204,7 +201,11 @@ pub fn run_hybrid_split(
     let useful: u64 = stage1_cus.iter().chain(&stage2_cus).map(|c| c.useful_cycles).sum();
     let stats = FpgaStats {
         seconds: s1.seconds + s2.seconds,
-        stall_fraction: if total_cycles == 0 { 0.0 } else { 1.0 - useful as f64 / total_cycles as f64 },
+        stall_fraction: if total_cycles == 0 {
+            0.0
+        } else {
+            1.0 - useful as f64 / total_cycles as f64
+        },
         freq_mhz,
         replication: format!("{}S{}C split", slrs, stage2_cus_per_slr),
         cycles: s1.cycles + s2.cycles,

@@ -82,8 +82,8 @@ impl BlockKernel for BlockPerTreeKernel<'_> {
                             let slot = (h.subtree_base(sub[l]) + node[l]) as usize;
                             if h.feature_id()[slot] == LEAF_FEATURE {
                                 leaf_mask |= 1 << l;
-                                local_votes[q.unwrap() as usize * nc
-                                    + h.value()[slot] as usize] += 1;
+                                local_votes[q.unwrap() as usize * nc + h.value()[slot] as usize] +=
+                                    1;
                             }
                         }
                     }
@@ -154,19 +154,13 @@ pub fn run_block_per_tree(sim: &GpuSim, hier: &HierForest, queries: QueryView) -
     let nc = hier.num_classes() as usize;
     let mut mem = AddressSpace::new();
     let bufs = HierBuffers::alloc(&mut mem, hier, &queries);
-    let kernel = BlockPerTreeKernel {
-        hier,
-        queries,
-        bufs,
-        votes: Mutex::new(vec![0u32; nq * nc]),
-    };
+    let kernel = BlockPerTreeKernel { hier, queries, bufs, votes: Mutex::new(vec![0u32; nq * nc]) };
     let grid = Grid { num_blocks: hier.num_trees(), threads_per_block: THREADS_PER_BLOCK };
     let stats = sim.launch(grid, &kernel);
     let votes = kernel.votes.into_inner().expect("vote buffer poisoned");
     let sink = PredictionSink::new(nq);
-    let entries: Vec<(u32, Label)> = (0..nq)
-        .map(|q| (q as u32, rfx_core::majority(&votes[q * nc..(q + 1) * nc])))
-        .collect();
+    let entries: Vec<(u32, Label)> =
+        (0..nq).map(|q| (q as u32, rfx_core::majority(&votes[q * nc..(q + 1) * nc]))).collect();
     sink.write(&entries);
     GpuRun { predictions: sink.into_vec(), stats }
 }

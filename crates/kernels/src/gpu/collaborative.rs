@@ -7,9 +7,15 @@
 //! query not present in the subtree still costs its presence check, and
 //! the block cannot advance until the slowest lane finishes. The
 //! simulator reproduces the starvation mechanically.
+// Lane loops (`for l in 0..32`) index several per-lane arrays in step
+// with the `1 << l` mask bit; iterator forms would hide the warp-lane
+// correspondence the simulator code mirrors from CUDA.
+#![allow(clippy::needless_range_loop)]
 
 use super::independent::HierBuffers;
-use super::{grid_for, lane_queries, mask_of, store_predictions, GpuRun, PredictionSink, WarpVotes};
+use super::{
+    grid_for, lane_queries, mask_of, store_predictions, GpuRun, PredictionSink, WarpVotes,
+};
 use rfx_core::hier::{HierForest, LEAF_FEATURE};
 use rfx_forest::dataset::QueryView;
 use rfx_gpu_sim::engine::LaunchError;
@@ -63,7 +69,7 @@ impl BlockKernel for CollaborativeKernel<'_> {
             // Subtree ids within a tree only grow along any path, so one
             // forward pass visits each staged subtree exactly once.
             for s in h.tree_subtrees(t) {
-                if !waiting.iter().any(|&x| x == s) {
+                if !waiting.contains(&s) {
                     // "unless no threads in the block need to visit it".
                     continue;
                 }
@@ -155,9 +161,9 @@ impl BlockKernel for CollaborativeKernel<'_> {
                             for l in 0..32 {
                                 if hop_mask & (1 << l) != 0 {
                                     acc_sc[l] = LaneAccess::read(
-                                        self.bufs.subtree_connection.addr(
-                                            h.connection_base(s) as u64,
-                                        ),
+                                        self.bufs
+                                            .subtree_connection
+                                            .addr(h.connection_base(s) as u64),
                                         4,
                                     );
                                 }
@@ -172,7 +178,14 @@ impl BlockKernel for CollaborativeKernel<'_> {
         }
         for w in 0..num_warps {
             if masks[w] != 0 {
-                store_predictions(ctx, w, &lanes_per_warp[w], &votes[w], &self.bufs.out, &self.sink);
+                store_predictions(
+                    ctx,
+                    w,
+                    &lanes_per_warp[w],
+                    &votes[w],
+                    &self.bufs.out,
+                    &self.sink,
+                );
             }
         }
     }
@@ -194,9 +207,9 @@ impl CollaborativeKernel<'_> {
                 for (l, a) in acc.iter_mut().enumerate() {
                     if word + l < words {
                         *a = LaneAccess::read(
-                            self.bufs
-                                .value
-                                .addr((base_word + (word + l) as u64).min(self.bufs.value.len() - 1)),
+                            self.bufs.value.addr(
+                                (base_word + (word + l) as u64).min(self.bufs.value.len() - 1),
+                            ),
                             4,
                         );
                     }

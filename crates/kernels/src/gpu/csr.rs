@@ -1,6 +1,8 @@
 //! CSR baseline GPU kernel (the paper's §2.3 reference implementation).
 
-use super::{grid_for, lane_queries, mask_of, store_predictions, GpuRun, PredictionSink, WarpVotes};
+use super::{
+    grid_for, lane_queries, mask_of, store_predictions, GpuRun, PredictionSink, WarpVotes,
+};
 use rfx_core::csr::{CsrForest, LEAF_FEATURE};
 use rfx_forest::dataset::QueryView;
 use rfx_gpu_sim::{AddressSpace, BlockCtx, BlockKernel, DeviceBuffer, GpuSim, LaneAccess};
@@ -84,8 +86,10 @@ impl BlockKernel for CsrKernel<'_> {
                             let n = node_base + node[l] as u64;
                             acc_i[l] = LaneAccess::read(self.bufs.children_arr_idx.addr(n), 4);
                             let f = self.csr.feature_id()[n as usize] as u64;
-                            acc_q[l] =
-                                LaneAccess::read(self.bufs.queries.addr(q.unwrap() as u64 * nf + f), 4);
+                            acc_q[l] = LaneAccess::read(
+                                self.bufs.queries.addr(q.unwrap() as u64 * nf + f),
+                                4,
+                            );
                         }
                     }
                     ctx.global_read(w, &acc_i);

@@ -3,8 +3,14 @@
 //! One thread per query; each level costs a single colocated 12-byte node
 //! read plus the query-feature read. This is the memory behaviour that
 //! puts cuML at ≈4–5× over CSR in the paper's Fig. 7.
+// Lane loops (`for l in 0..32`) index several per-lane arrays in step
+// with the `1 << l` mask bit; iterator forms would hide the warp-lane
+// correspondence the simulator code mirrors from CUDA.
+#![allow(clippy::needless_range_loop)]
 
-use super::{grid_for, lane_queries, mask_of, store_predictions, GpuRun, PredictionSink, WarpVotes};
+use super::{
+    grid_for, lane_queries, mask_of, store_predictions, GpuRun, PredictionSink, WarpVotes,
+};
 use rfx_core::fil::{FilForest, FIL_NODE_BYTES};
 use rfx_forest::dataset::QueryView;
 use rfx_gpu_sim::{AddressSpace, BlockCtx, BlockKernel, DeviceBuffer, GpuSim, LaneAccess};
@@ -80,9 +86,9 @@ impl BlockKernel for FilKernel<'_> {
                                 self.bufs.queries.addr(q.unwrap() as u64 * nf + rec.feature as u64),
                                 4,
                             );
-                            let go_right =
-                                self.queries.row(q.unwrap() as usize)[rec.feature as usize]
-                                    >= rec.value;
+                            let go_right = self.queries.row(q.unwrap() as usize)
+                                [rec.feature as usize]
+                                >= rec.value;
                             if go_right {
                                 right_mask |= 1 << l;
                             }

@@ -8,9 +8,15 @@
 //! traversed from global memory exactly like the independent kernel. The
 //! root-subtree depth (RSD) is bounded by the 48 KB shared-memory budget —
 //! requesting more is a typed launch error, the same wall the paper hits.
+// Lane loops (`for l in 0..32`) index several per-lane arrays in step
+// with the `1 << l` mask bit; iterator forms would hide the warp-lane
+// correspondence the simulator code mirrors from CUDA.
+#![allow(clippy::needless_range_loop)]
 
 use super::independent::HierBuffers;
-use super::{grid_for, lane_queries, mask_of, store_predictions, GpuRun, PredictionSink, WarpVotes};
+use super::{
+    grid_for, lane_queries, mask_of, store_predictions, GpuRun, PredictionSink, WarpVotes,
+};
 use rfx_core::hier::{HierForest, LEAF_FEATURE};
 use rfx_forest::dataset::QueryView;
 use rfx_gpu_sim::engine::LaunchError;
@@ -65,7 +71,14 @@ impl BlockKernel for HybridKernel<'_> {
         }
         for w in 0..num_warps {
             if masks[w] != 0 {
-                store_predictions(ctx, w, &lanes_per_warp[w], &votes[w], &self.bufs.out, &self.sink);
+                store_predictions(
+                    ctx,
+                    w,
+                    &lanes_per_warp[w],
+                    &votes[w],
+                    &self.bufs.out,
+                    &self.sink,
+                );
             }
         }
     }
@@ -98,7 +111,9 @@ impl HybridKernel<'_> {
                     let word = chunk * 32 + l;
                     if word < words {
                         *a = LaneAccess::read(
-                            self.bufs.value.addr((base_word + word as u64).min(self.bufs.value.len() - 1)),
+                            self.bufs
+                                .value
+                                .addr((base_word + word as u64).min(self.bufs.value.len() - 1)),
                             4,
                         );
                     }
@@ -182,7 +197,8 @@ impl HybridKernel<'_> {
                 if active & (1 << l) != 0 {
                     let slot = (h.subtree_base(cur[l].subtree) + cur[l].node) as usize;
                     let f = h.feature_id()[slot] as u64;
-                    acc_q[l] = LaneAccess::read(self.bufs.queries.addr(q.unwrap() as u64 * nf + f), 4);
+                    acc_q[l] =
+                        LaneAccess::read(self.bufs.queries.addr(q.unwrap() as u64 * nf + f), 4);
                 }
             }
             ctx.global_read(w, &acc_q);
@@ -281,7 +297,8 @@ mod tests {
         let (forest, queries) = fixture(11, 9);
         let qv = QueryView::new(&queries, 6).unwrap();
         let sim = GpuSim::new(GpuConfig::tiny_test());
-        for cfg in [HierConfig::uniform(3), HierConfig::with_root(3, 6), HierConfig::with_root(2, 8)]
+        for cfg in
+            [HierConfig::uniform(3), HierConfig::with_root(3, 6), HierConfig::with_root(2, 8)]
         {
             let h = build_forest(&forest, cfg).unwrap();
             let run = run_hybrid(&sim, &h, qv).unwrap();

@@ -5,8 +5,14 @@
 //! attribute reads instead of four scattered reads, and the CSR-like
 //! indirection (connection arrays) is paid only when the traversal hops
 //! between subtrees.
+// Lane loops (`for l in 0..32`) index several per-lane arrays in step
+// with the `1 << l` mask bit; iterator forms would hide the warp-lane
+// correspondence the simulator code mirrors from CUDA.
+#![allow(clippy::needless_range_loop)]
 
-use super::{grid_for, lane_queries, mask_of, store_predictions, GpuRun, PredictionSink, WarpVotes};
+use super::{
+    grid_for, lane_queries, mask_of, store_predictions, GpuRun, PredictionSink, WarpVotes,
+};
 use rfx_core::hier::{HierForest, LEAF_FEATURE};
 use rfx_forest::dataset::QueryView;
 use rfx_gpu_sim::{AddressSpace, BlockCtx, BlockKernel, DeviceBuffer, GpuSim, LaneAccess};
@@ -26,12 +32,21 @@ impl HierBuffers {
         Self {
             feature_id: mem.alloc("hier.feature_id", 2, h.total_slots() as u64),
             value: mem.alloc("hier.value", 4, h.total_slots() as u64),
-            subtree_node_offset: mem
-                .alloc("hier.subtree_node_offset", 4, h.subtree_node_offset().len() as u64),
-            connection_offset: mem
-                .alloc("hier.connection_offset", 4, h.connection_offset().len() as u64),
-            subtree_connection: mem
-                .alloc("hier.subtree_connection", 4, h.subtree_connection().len().max(1) as u64),
+            subtree_node_offset: mem.alloc(
+                "hier.subtree_node_offset",
+                4,
+                h.subtree_node_offset().len() as u64,
+            ),
+            connection_offset: mem.alloc(
+                "hier.connection_offset",
+                4,
+                h.connection_offset().len() as u64,
+            ),
+            subtree_connection: mem.alloc(
+                "hier.subtree_connection",
+                4,
+                h.subtree_connection().len().max(1) as u64,
+            ),
             queries: mem.alloc("queries", 4, (queries.num_rows() * queries.num_features()) as u64),
             out: mem.alloc("out", 4, queries.num_rows() as u64),
         }
@@ -137,7 +152,8 @@ impl IndependentKernel<'_> {
                 if active & (1 << l) != 0 {
                     let slot = (h.subtree_base(cur[l].subtree) + cur[l].node) as usize;
                     let f = h.feature_id()[slot] as u64;
-                    acc_q[l] = LaneAccess::read(self.bufs.queries.addr(q.unwrap() as u64 * nf + f), 4);
+                    acc_q[l] =
+                        LaneAccess::read(self.bufs.queries.addr(q.unwrap() as u64 * nf + f), 4);
                 }
             }
             ctx.global_read(w, &acc_q);
@@ -243,11 +259,7 @@ mod tests {
         let sim = GpuSim::new(GpuConfig::tiny_test());
         let h = build_forest(&forest, HierConfig::uniform(6)).unwrap();
         let ind = run_independent(&sim, &h, qv);
-        let csr = super::super::csr::run_csr(
-            &sim,
-            &rfx_core::CsrForest::build(&forest),
-            qv,
-        );
+        let csr = super::super::csr::run_csr(&sim, &rfx_core::CsrForest::build(&forest), qv);
         assert!(
             ind.stats.global_load_transactions < csr.stats.global_load_transactions,
             "independent {} vs csr {}",

@@ -59,10 +59,7 @@ pub(crate) fn lane_queries(
 
 /// Bitmask of lanes holding a query.
 pub(crate) fn mask_of(lanes: &[Option<u32>; 32]) -> u32 {
-    lanes
-        .iter()
-        .enumerate()
-        .fold(0u32, |m, (l, q)| if q.is_some() { m | (1 << l) } else { m })
+    lanes.iter().enumerate().fold(0u32, |m, (l, q)| if q.is_some() { m | (1 << l) } else { m })
 }
 
 /// Per-lane vote counters for one warp.

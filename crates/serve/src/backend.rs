@@ -1,0 +1,147 @@
+//! Pluggable inference backends.
+//!
+//! Each backend turns one formed batch into labels. The simulated device
+//! backends (`gpu-sim-hybrid`, `fpga-sim-independent`) run the same
+//! kernels as the offline benchmarks, so their simulated-vs-wall-clock
+//! cost structure is what the scheduler's EWMA learns; if a device kernel
+//! refuses a batch (e.g. the layout outgrew shared memory), the backend
+//! degrades to a CPU traversal of the same layout and counts the
+//! fallback rather than failing the request.
+
+use crate::model::ServeModel;
+use rfx_core::Label;
+use rfx_forest::dataset::QueryView;
+use rfx_kernels::cpu;
+use rfx_kernels::fpga::independent::run_independent;
+use rfx_kernels::gpu::hybrid::run_hybrid;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The backend families the executor pool can host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Multi-core CPU over the node-vector forest (rayon-style blocks).
+    CpuParallel,
+    /// Simulated GPU running the paper's hybrid shared-memory kernel.
+    GpuSimHybrid,
+    /// Simulated FPGA running the independent hierarchical kernel.
+    FpgaSimIndependent,
+}
+
+impl BackendKind {
+    /// All kinds, in default executor-pool order.
+    pub const ALL: [BackendKind; 3] =
+        [BackendKind::CpuParallel, BackendKind::GpuSimHybrid, BackendKind::FpgaSimIndependent];
+
+    /// Stable identifier used in stats and bench reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::CpuParallel => "cpu-parallel",
+            BackendKind::GpuSimHybrid => "gpu-sim-hybrid",
+            BackendKind::FpgaSimIndependent => "fpga-sim-independent",
+        }
+    }
+}
+
+/// One executor: predicts a whole batch into a caller-provided slice.
+pub(crate) trait Backend: Send + Sync {
+    fn kind(&self) -> BackendKind;
+    fn predict(&self, queries: QueryView, out: &mut [Label]);
+    /// Device-refusal fallbacks taken so far (0 for CPU).
+    fn fallbacks(&self) -> u64 {
+        0
+    }
+}
+
+pub(crate) fn make_backend(kind: BackendKind, model: &ServeModel) -> Box<dyn Backend + Sync> {
+    match kind {
+        BackendKind::CpuParallel => Box::new(CpuParallel { model: model.clone() }),
+        BackendKind::GpuSimHybrid => {
+            Box::new(GpuSimHybrid { model: model.clone(), fallbacks: AtomicU64::new(0) })
+        }
+        BackendKind::FpgaSimIndependent => {
+            Box::new(FpgaSimIndependent { model: model.clone(), fallbacks: AtomicU64::new(0) })
+        }
+    }
+}
+
+struct CpuParallel {
+    model: ServeModel,
+}
+
+impl Backend for CpuParallel {
+    fn kind(&self) -> BackendKind {
+        BackendKind::CpuParallel
+    }
+
+    fn predict(&self, queries: QueryView, out: &mut [Label]) {
+        let forest = self.model.forest();
+        cpu::predict_parallel_range_into(0..queries.num_rows(), out, |r| {
+            forest.predict(queries.row(r))
+        });
+    }
+}
+
+struct GpuSimHybrid {
+    model: ServeModel,
+    fallbacks: AtomicU64,
+}
+
+impl Backend for GpuSimHybrid {
+    fn kind(&self) -> BackendKind {
+        BackendKind::GpuSimHybrid
+    }
+
+    fn predict(&self, queries: QueryView, out: &mut [Label]) {
+        match run_hybrid(self.model.gpu(), self.model.hier(), queries) {
+            Ok(run) => out.copy_from_slice(&run.predictions),
+            Err(_) => {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                cpu::predict_hier_range_into(
+                    self.model.hier(),
+                    queries,
+                    0..queries.num_rows(),
+                    out,
+                );
+            }
+        }
+    }
+
+    fn fallbacks(&self) -> u64 {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+}
+
+struct FpgaSimIndependent {
+    model: ServeModel,
+    fallbacks: AtomicU64,
+}
+
+impl Backend for FpgaSimIndependent {
+    fn kind(&self) -> BackendKind {
+        BackendKind::FpgaSimIndependent
+    }
+
+    fn predict(&self, queries: QueryView, out: &mut [Label]) {
+        match run_independent(
+            self.model.fpga(),
+            self.model.replication(),
+            self.model.hier(),
+            queries,
+        ) {
+            Ok(run) => out.copy_from_slice(&run.predictions),
+            Err(_) => {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                cpu::predict_hier_range_into(
+                    self.model.hier(),
+                    queries,
+                    0..queries.num_rows(),
+                    out,
+                );
+            }
+        }
+    }
+
+    fn fallbacks(&self) -> u64 {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+}

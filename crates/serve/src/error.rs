@@ -1,0 +1,40 @@
+//! Error types for the serving layer.
+
+use std::fmt;
+
+/// Why a submission or wait failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded request queue is full — shed load and retry later.
+    Overloaded {
+        /// Rows currently admitted (queued, not yet batched).
+        queued_rows: usize,
+        /// The queue's row capacity.
+        capacity: usize,
+    },
+    /// The service is shutting down and no longer admits requests.
+    ShuttingDown,
+    /// The submitted feature slice does not match the model width.
+    BadRequest {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The service dropped the request without fulfilling it (worker
+    /// panic or teardown race) — never expected in normal operation.
+    Dropped,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { queued_rows, capacity } => {
+                write!(f, "queue overloaded ({queued_rows}/{capacity} rows)")
+            }
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+            ServeError::Dropped => write!(f, "request dropped before completion"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,52 @@
+//! `rfx-serve` — online random-forest inference with dynamic batching
+//! and multi-backend scheduling.
+//!
+//! Offline benchmarks (the rest of this workspace) answer "how fast is a
+//! kernel on a fixed batch"; serving answers "what latency/throughput do
+//! concurrent clients see". The pieces, in request order:
+//!
+//! 1. **Admission** — [`RfxServe::submit`] / [`RfxServe::submit_micro_batch`]
+//!    copy the query into a bounded queue or reject it with a typed
+//!    [`ServeError::Overloaded`] (load shedding, never unbounded memory).
+//! 2. **Dynamic batcher** — one thread coalesces queued requests into
+//!    batches, flushing when `max_batch_size` rows are waiting *or*
+//!    `max_batch_delay` has passed since the oldest request arrived,
+//!    whichever comes first. Large offline batches amortize per-launch
+//!    cost; the deadline bounds the latency a lone request pays for that
+//!    amortization.
+//! 3. **Scheduling** — a cost model picks the backend with the cheapest
+//!    estimated completion (per-query latency EWMA × outstanding rows),
+//!    learned online from measured batch latencies ([`SchedulePolicy`]).
+//! 4. **Executor pool** — one worker thread per backend
+//!    ([`BackendKind`]): multi-core CPU, the simulated-GPU hybrid kernel,
+//!    and the simulated-FPGA independent kernel. All backends agree with
+//!    the serial CPU reference bit-for-bit, so scheduling is invisible to
+//!    clients.
+//! 5. **Observability** — [`RfxServe::stats`] snapshots queue depth,
+//!    batch occupancy, p50/p95/p99 latencies, throughput, and per-backend
+//!    shares as a serializable [`ServeStats`].
+//!
+//! Shutdown ([`RfxServe::shutdown`]) drains: admission closes, queued
+//! work still executes, every issued [`Ticket`] resolves.
+//!
+//! [`loadgen`] provides the deterministic closed-loop load generator the
+//! tests and `serve_bench` drive the service with.
+
+mod backend;
+mod error;
+pub mod loadgen;
+mod metrics;
+mod model;
+mod queue;
+mod scheduler;
+mod service;
+mod ticket;
+
+pub use backend::BackendKind;
+pub use error::ServeError;
+pub use loadgen::{run_closed_loop, LoadGenConfig, LoadReport};
+pub use metrics::{BackendStats, LatencySummary, ServeStats};
+pub use model::ServeModel;
+pub use scheduler::SchedulePolicy;
+pub use service::{RfxServe, ServeConfig};
+pub use ticket::Ticket;

@@ -1,0 +1,285 @@
+//! Service metrics: lock-light recorders on the hot path, a serializable
+//! [`ServeStats`] snapshot for monitoring and bench reports.
+
+use crate::backend::BackendKind;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Cap on retained latency samples per series; beyond it the buffer
+/// wraps, keeping a recent window rather than unbounded history.
+const SAMPLE_CAP: usize = 1 << 18;
+
+/// Order-insensitive percentile summary of one latency series (µs).
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencySummary {
+    /// Samples the summary was computed over.
+    pub count: u64,
+    pub mean_us: f64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    fn empty() -> Self {
+        LatencySummary { count: 0, mean_us: 0.0, p50_us: 0, p95_us: 0, p99_us: 0, max_us: 0 }
+    }
+
+    fn from_samples(samples: &[u64], count: u64) -> Self {
+        if samples.is_empty() {
+            return Self::empty();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let pct = |p: f64| {
+            let rank = ((sorted.len() as f64) * p).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        let mean = sorted.iter().sum::<u64>() as f64 / sorted.len() as f64;
+        LatencySummary {
+            count,
+            mean_us: mean,
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+            p99_us: pct(0.99),
+            max_us: *sorted.last().unwrap(),
+        }
+    }
+}
+
+/// Wrapping sample buffer: cheap push, snapshot-on-demand.
+#[derive(Debug)]
+struct SampleRing {
+    samples: Mutex<Vec<u64>>,
+    pushed: AtomicU64,
+}
+
+impl SampleRing {
+    fn new() -> Self {
+        SampleRing { samples: Mutex::new(Vec::new()), pushed: AtomicU64::new(0) }
+    }
+
+    fn push(&self, value_us: u64) {
+        let n = self.pushed.fetch_add(1, Ordering::Relaxed) as usize;
+        let mut samples = self.samples.lock().unwrap();
+        if samples.len() < SAMPLE_CAP {
+            samples.push(value_us);
+        } else {
+            samples[n % SAMPLE_CAP] = value_us;
+        }
+    }
+
+    fn summary(&self) -> LatencySummary {
+        let samples = self.samples.lock().unwrap();
+        LatencySummary::from_samples(&samples, self.pushed.load(Ordering::Relaxed))
+    }
+}
+
+/// Per-backend counters.
+#[derive(Debug)]
+pub(crate) struct BackendRecorder {
+    batches: AtomicU64,
+    queries: AtomicU64,
+    batch_latency: SampleRing,
+}
+
+impl BackendRecorder {
+    fn new() -> Self {
+        BackendRecorder {
+            batches: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            batch_latency: SampleRing::new(),
+        }
+    }
+
+    pub(crate) fn record_batch(&self, rows: usize, elapsed_us: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.queries.fetch_add(rows as u64, Ordering::Relaxed);
+        self.batch_latency.push(elapsed_us);
+    }
+}
+
+/// Shared metrics hub, one per service.
+#[derive(Debug)]
+pub(crate) struct MetricsHub {
+    started: Instant,
+    submitted_rows: AtomicU64,
+    rejected_rows: AtomicU64,
+    completed_rows: AtomicU64,
+    batches: AtomicU64,
+    max_batch_rows: AtomicU64,
+    request_latency: SampleRing,
+    backends: Vec<(BackendKind, BackendRecorder)>,
+}
+
+impl MetricsHub {
+    pub(crate) fn new(backends: &[BackendKind]) -> Self {
+        MetricsHub {
+            started: Instant::now(),
+            submitted_rows: AtomicU64::new(0),
+            rejected_rows: AtomicU64::new(0),
+            completed_rows: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            max_batch_rows: AtomicU64::new(0),
+            request_latency: SampleRing::new(),
+            backends: backends.iter().map(|&k| (k, BackendRecorder::new())).collect(),
+        }
+    }
+
+    pub(crate) fn record_submit(&self, rows: usize) {
+        self.submitted_rows.fetch_add(rows as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_reject(&self, rows: usize) {
+        self.rejected_rows.fetch_add(rows as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch_formed(&self, rows: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.max_batch_rows.fetch_max(rows as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_request_done(&self, rows: usize, latency_us: u64) {
+        self.completed_rows.fetch_add(rows as u64, Ordering::Relaxed);
+        self.request_latency.push(latency_us);
+    }
+
+    pub(crate) fn recorder(&self, idx: usize) -> &BackendRecorder {
+        &self.backends[idx].1
+    }
+
+    pub(crate) fn snapshot(
+        &self,
+        queue_rows: usize,
+        backend_extra: impl Fn(usize) -> (f64, usize, u64),
+    ) -> ServeStats {
+        let batches = self.batches.load(Ordering::Relaxed);
+        let completed = self.completed_rows.load(Ordering::Relaxed);
+        let uptime = self.started.elapsed();
+        let backends = self
+            .backends
+            .iter()
+            .enumerate()
+            .map(|(idx, (kind, rec))| {
+                let (ewma_us, inflight, fallbacks) = backend_extra(idx);
+                let queries = rec.queries.load(Ordering::Relaxed);
+                BackendStats {
+                    backend: kind.name().to_string(),
+                    batches: rec.batches.load(Ordering::Relaxed),
+                    queries,
+                    share_of_queries: if completed > 0 {
+                        queries as f64 / completed as f64
+                    } else {
+                        0.0
+                    },
+                    ewma_us_per_query: ewma_us,
+                    inflight_rows: inflight,
+                    device_fallbacks: fallbacks,
+                    batch_latency: rec.batch_latency.summary(),
+                }
+            })
+            .collect();
+        ServeStats {
+            uptime_ms: uptime.as_millis() as u64,
+            submitted_rows: self.submitted_rows.load(Ordering::Relaxed),
+            rejected_rows: self.rejected_rows.load(Ordering::Relaxed),
+            completed_rows: completed,
+            queue_rows,
+            batches,
+            mean_batch_occupancy: if batches > 0 { completed as f64 / batches as f64 } else { 0.0 },
+            max_batch_occupancy: self.max_batch_rows.load(Ordering::Relaxed),
+            throughput_qps: completed as f64 / uptime.as_secs_f64().max(1e-9),
+            request_latency: self.request_latency.summary(),
+            backends,
+        }
+    }
+}
+
+/// Per-backend slice of a [`ServeStats`] snapshot.
+#[derive(Debug, Clone, Serialize)]
+pub struct BackendStats {
+    /// Stable backend name (`cpu-parallel`, ...).
+    pub backend: String,
+    /// Batches executed.
+    pub batches: u64,
+    /// Query rows executed.
+    pub queries: u64,
+    /// Fraction of all completed rows this backend served.
+    pub share_of_queries: f64,
+    /// The scheduler's current per-query latency estimate (µs).
+    pub ewma_us_per_query: f64,
+    /// Rows dispatched but not yet completed.
+    pub inflight_rows: usize,
+    /// Device-refusal fallbacks to the CPU traversal path.
+    pub device_fallbacks: u64,
+    /// Wall-clock latency of whole batches on this backend.
+    pub batch_latency: LatencySummary,
+}
+
+/// Point-in-time service snapshot — the monitoring/bench export surface.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeStats {
+    pub uptime_ms: u64,
+    /// Rows admitted to the queue.
+    pub submitted_rows: u64,
+    /// Rows refused by admission control.
+    pub rejected_rows: u64,
+    /// Rows predicted and delivered.
+    pub completed_rows: u64,
+    /// Rows waiting in the queue right now.
+    pub queue_rows: usize,
+    /// Batches formed by the dynamic batcher.
+    pub batches: u64,
+    /// Completed rows per formed batch.
+    pub mean_batch_occupancy: f64,
+    /// Largest batch formed (rows).
+    pub max_batch_occupancy: u64,
+    /// Completed rows per second of uptime.
+    pub throughput_qps: f64,
+    /// Enqueue-to-delivery latency over whole requests.
+    pub request_latency: LatencySummary,
+    /// Per-backend breakdown.
+    pub backends: Vec<BackendStats>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_series() {
+        let ring = SampleRing::new();
+        for v in 1..=100u64 {
+            ring.push(v);
+        }
+        let s = ring.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_us, 50);
+        assert_eq!(s.p95_us, 95);
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.max_us, 100);
+        assert!((s.mean_us - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let ring = SampleRing::new();
+        ring.push(7);
+        let s = ring.summary();
+        assert_eq!((s.p50_us, s.p95_us, s.p99_us, s.max_us), (7, 7, 7, 7));
+    }
+
+    #[test]
+    fn ring_wraps_at_capacity() {
+        let ring = SampleRing::new();
+        for _ in 0..SAMPLE_CAP + 10 {
+            ring.push(1);
+        }
+        let s = ring.summary();
+        assert_eq!(s.count, (SAMPLE_CAP + 10) as u64);
+        assert_eq!(ring.samples.lock().unwrap().len(), SAMPLE_CAP);
+    }
+}

@@ -1,0 +1,106 @@
+//! The served model: a trained forest plus every device-side artifact
+//! the backends need, prepared once and shared immutably.
+
+use rfx_core::hier::builder::build_forest;
+use rfx_core::{HierConfig, HierForest, LayoutError};
+use rfx_forest::RandomForest;
+use rfx_fpga_sim::{FpgaConfig, Replication};
+use rfx_gpu_sim::{GpuConfig, GpuSim};
+use rfx_kernels::gpu::hybrid::hybrid_shared_bytes;
+use std::sync::Arc;
+
+/// Immutable serving artifact: the node-vector forest (CPU backend), the
+/// hierarchical layout (GPU/FPGA backends), and the simulated device
+/// models. Cheap to clone — everything heavy is behind `Arc`.
+#[derive(Debug, Clone)]
+pub struct ServeModel {
+    forest: Arc<RandomForest>,
+    hier: Arc<HierForest>,
+    gpu: GpuSim,
+    fpga: FpgaConfig,
+    replication: Replication,
+}
+
+impl ServeModel {
+    /// Prepares a model for the paper's device pair (Titan Xp GPU,
+    /// Alveo U250 FPGA).
+    pub fn prepare(forest: RandomForest) -> Result<Self, LayoutError> {
+        Self::with_devices(forest, GpuConfig::titan_xp(), FpgaConfig::alveo_u250())
+    }
+
+    /// Prepares a model for explicit device configurations. The
+    /// hierarchical layout is auto-tuned: the largest root-subtree depth
+    /// whose staged bytes fit the GPU's shared memory wins (the paper's
+    /// 48 KB wall), falling back to shallower roots on small devices.
+    pub fn with_devices(
+        forest: RandomForest,
+        gpu: GpuConfig,
+        fpga: FpgaConfig,
+    ) -> Result<Self, LayoutError> {
+        let shared_budget = gpu.shared_mem_per_sm as usize;
+        let mut hier = None;
+        let mut last_err = None;
+        for cfg in [
+            HierConfig::with_root(6, 10),
+            HierConfig::with_root(6, 8),
+            HierConfig::with_root(4, 6),
+            HierConfig::with_root(3, 4),
+            HierConfig::uniform(3),
+            HierConfig::uniform(2),
+        ] {
+            match build_forest(&forest, cfg) {
+                Ok(h) if hybrid_shared_bytes(&h) <= shared_budget => {
+                    hier = Some(h);
+                    break;
+                }
+                Ok(_) => {}
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let hier = match hier {
+            Some(h) => h,
+            // Every candidate was too big or failed: surface the builder
+            // error if any, else build the shallowest layout and let the
+            // GPU backend fall back to CPU traversal at run time.
+            None => match last_err {
+                Some(e) => return Err(e),
+                None => build_forest(&forest, HierConfig::uniform(2))?,
+            },
+        };
+        let replication = Replication::single(&fpga);
+        Ok(ServeModel {
+            forest: Arc::new(forest),
+            hier: Arc::new(hier),
+            gpu: GpuSim::new(gpu),
+            fpga,
+            replication,
+        })
+    }
+
+    /// Feature width every submission must match.
+    pub fn num_features(&self) -> usize {
+        self.forest.num_features()
+    }
+
+    /// The node-vector forest (CPU reference path).
+    pub fn forest(&self) -> &Arc<RandomForest> {
+        &self.forest
+    }
+
+    /// The hierarchical layout driven by the GPU/FPGA backends.
+    pub fn hier(&self) -> &Arc<HierForest> {
+        &self.hier
+    }
+
+    pub(crate) fn gpu(&self) -> &GpuSim {
+        &self.gpu
+    }
+
+    pub(crate) fn fpga(&self) -> &FpgaConfig {
+        &self.fpga
+    }
+
+    pub(crate) fn replication(&self) -> Replication {
+        self.replication
+    }
+}

@@ -1,0 +1,158 @@
+//! Bounded request queue with dynamic batch formation.
+//!
+//! Admission is bounded in *rows* (a micro-batch of 32 queries occupies
+//! 32 slots), so a flood of large micro-batches trips the same
+//! [`ServeError::Overloaded`] back-pressure as a flood of singles. Batch
+//! collection implements the two flush rules of the dynamic batcher:
+//!
+//! * **size flush** — a batch closes as soon as `max_batch_size` rows are
+//!   waiting;
+//! * **deadline flush** — otherwise it closes `max_batch_delay` after the
+//!   *oldest* queued request arrived, bounding added latency under trickle
+//!   load.
+//!
+//! A micro-batch larger than `max_batch_size` is never split across
+//! batches — it forms its own oversized batch (requests are atomic).
+
+use crate::error::ServeError;
+use crate::ticket::Slot;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One admitted request: its feature rows and the completion slot.
+#[derive(Debug)]
+pub(crate) struct Pending {
+    /// Row-major feature data, `rows * num_features` long.
+    pub features: Vec<f32>,
+    /// Number of query rows.
+    pub rows: usize,
+    /// Completion slot shared with the client's [`crate::Ticket`].
+    pub slot: Arc<Slot>,
+}
+
+impl Drop for Pending {
+    fn drop(&mut self) {
+        // Safety net: a request dropped before its worker fulfilled it
+        // (worker panic, teardown race) must not leave waiters blocked.
+        // `fulfill` is a no-op once a real result landed.
+        self.slot.fulfill(Err(ServeError::Dropped));
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    entries: VecDeque<Pending>,
+    /// Total rows across `entries` (the admission-control gauge).
+    rows: usize,
+    closed: bool,
+}
+
+/// Thread-safe bounded queue shared by clients (push) and the batcher
+/// thread (collect).
+#[derive(Debug)]
+pub(crate) struct RequestQueue {
+    inner: Mutex<Inner>,
+    arrived: Condvar,
+    capacity: usize,
+}
+
+impl RequestQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        RequestQueue {
+            inner: Mutex::new(Inner { entries: VecDeque::new(), rows: 0, closed: false }),
+            arrived: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admits a request or rejects it with a typed error. Never blocks —
+    /// back-pressure is the client's problem by design.
+    pub(crate) fn try_push(&self, pending: Pending) -> Result<(), ServeError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(ServeError::ShuttingDown);
+        }
+        if inner.rows + pending.rows > self.capacity {
+            return Err(ServeError::Overloaded {
+                queued_rows: inner.rows,
+                capacity: self.capacity,
+            });
+        }
+        inner.rows += pending.rows;
+        inner.entries.push_back(pending);
+        self.arrived.notify_all();
+        Ok(())
+    }
+
+    /// Rows currently queued (admission gauge; also exported in stats).
+    pub(crate) fn depth_rows(&self) -> usize {
+        self.inner.lock().unwrap().rows
+    }
+
+    /// Stops admission. Queued requests remain and will still be drained
+    /// by [`RequestQueue::collect_batch`].
+    pub(crate) fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        self.arrived.notify_all();
+    }
+
+    /// Blocks until a batch is ready per the flush rules and removes it
+    /// from the queue. Returns `None` only when the queue is closed *and*
+    /// fully drained — the batcher thread's exit condition.
+    pub(crate) fn collect_batch(
+        &self,
+        max_rows: usize,
+        max_delay: Duration,
+    ) -> Option<Vec<Pending>> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            // Wait for the first request (or shutdown).
+            while inner.entries.is_empty() {
+                if inner.closed {
+                    return None;
+                }
+                inner = self.arrived.wait(inner).unwrap();
+            }
+            // A batch is forming: flush on size, deadline, or shutdown
+            // (drain immediately — no point honoring the deadline when no
+            // more arrivals are possible).
+            let deadline = inner.entries.front().unwrap().slot.enqueued + max_delay;
+            while inner.rows < max_rows && !inner.closed {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _timeout) = self.arrived.wait_timeout(inner, deadline - now).unwrap();
+                inner = guard;
+                if inner.entries.is_empty() {
+                    // Raced with nothing (only this thread pops); treat as
+                    // spurious and restart from the outer wait.
+                    break;
+                }
+            }
+            if inner.entries.is_empty() {
+                continue;
+            }
+            // Form the batch: take whole requests front-to-back until the
+            // row budget is met. An oversized first request rides alone.
+            let mut batch = Vec::new();
+            let mut rows = 0usize;
+            while let Some(front) = inner.entries.front() {
+                if !batch.is_empty() && rows + front.rows > max_rows {
+                    break;
+                }
+                let taken = inner.entries.pop_front().unwrap();
+                rows += taken.rows;
+                inner.rows -= taken.rows;
+                batch.push(taken);
+                if rows >= max_rows {
+                    break;
+                }
+            }
+            debug_assert!(!batch.is_empty());
+            return Some(batch);
+        }
+    }
+}

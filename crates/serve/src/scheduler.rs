@@ -1,0 +1,213 @@
+//! Batch-to-backend scheduling via an online latency cost model.
+//!
+//! Each backend carries an EWMA of measured **per-query wall-clock
+//! latency**, updated after every batch it executes. For a new batch the
+//! scheduler estimates completion cost as
+//!
+//! ```text
+//! (inflight_rows + batch_rows) * ewma_us_per_query
+//! ```
+//!
+//! i.e. expected service time including queued work, and picks the
+//! argmin. Backends with no samples yet are tried first (one warmup batch
+//! each) so the model never starves an untested device; the service can
+//! also pre-seed the model with probe batches at startup.
+
+use crate::backend::BackendKind;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// EWMA smoothing factor: one observation moves the estimate a quarter
+/// of the way — reactive enough to track load shifts, calm enough to
+/// ignore one noisy batch.
+const ALPHA: f64 = 0.25;
+
+/// How batches are assigned to backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// Cost-model scheduling (default): cheapest estimated completion.
+    Auto,
+    /// Pin every batch to one backend.
+    Fixed(BackendKind),
+    /// Ignore the cost model; rotate through backends.
+    RoundRobin,
+}
+
+#[derive(Debug)]
+struct BackendLoad {
+    kind: BackendKind,
+    /// f64 bits of the EWMA per-query latency in microseconds.
+    ewma_us_bits: AtomicU64,
+    samples: AtomicU64,
+    /// Rows dispatched but not yet completed.
+    inflight_rows: AtomicUsize,
+}
+
+/// Shared scheduler state (lock-free reads on the dispatch path).
+#[derive(Debug)]
+pub(crate) struct Scheduler {
+    policy: SchedulePolicy,
+    loads: Vec<BackendLoad>,
+    rr_next: AtomicUsize,
+}
+
+impl Scheduler {
+    pub(crate) fn new(policy: SchedulePolicy, backends: &[BackendKind]) -> Self {
+        Scheduler {
+            policy,
+            loads: backends
+                .iter()
+                .map(|&kind| BackendLoad {
+                    kind,
+                    ewma_us_bits: AtomicU64::new(0f64.to_bits()),
+                    samples: AtomicU64::new(0),
+                    inflight_rows: AtomicUsize::new(0),
+                })
+                .collect(),
+            rr_next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Picks the backend index for a batch of `rows` and books the rows
+    /// as in-flight on it.
+    pub(crate) fn dispatch(&self, rows: usize) -> usize {
+        let idx = match self.policy {
+            SchedulePolicy::Fixed(kind) => self
+                .loads
+                .iter()
+                .position(|l| l.kind == kind)
+                .expect("fixed backend not in executor pool"),
+            SchedulePolicy::RoundRobin => {
+                self.rr_next.fetch_add(1, Ordering::Relaxed) % self.loads.len()
+            }
+            SchedulePolicy::Auto => self.choose_auto(rows),
+        };
+        self.loads[idx].inflight_rows.fetch_add(rows, Ordering::Relaxed);
+        idx
+    }
+
+    fn choose_auto(&self, rows: usize) -> usize {
+        // Warmup: any backend without a latency sample gets the batch.
+        if let Some(idx) = self.loads.iter().position(|l| l.samples.load(Ordering::Relaxed) == 0) {
+            return idx;
+        }
+        let mut best = 0usize;
+        let mut best_cost = f64::INFINITY;
+        for (idx, load) in self.loads.iter().enumerate() {
+            let per_query = f64::from_bits(load.ewma_us_bits.load(Ordering::Relaxed));
+            let pending = load.inflight_rows.load(Ordering::Relaxed) + rows;
+            let cost = pending as f64 * per_query;
+            if cost < best_cost {
+                best_cost = cost;
+                best = idx;
+            }
+        }
+        best
+    }
+
+    /// Records a completed batch: releases the in-flight rows and folds
+    /// the measured latency into the backend's EWMA.
+    pub(crate) fn complete(&self, idx: usize, rows: usize, elapsed: Duration) {
+        self.release(idx, rows);
+        self.observe(idx, rows, elapsed);
+    }
+
+    /// Releases booked in-flight rows without a latency observation
+    /// (dispatch failed before execution).
+    pub(crate) fn release(&self, idx: usize, rows: usize) {
+        self.loads[idx].inflight_rows.fetch_sub(rows, Ordering::Relaxed);
+    }
+
+    /// Folds one measured batch into the backend's latency EWMA without
+    /// touching in-flight accounting (used by startup probes).
+    pub(crate) fn observe(&self, idx: usize, rows: usize, elapsed: Duration) {
+        let load = &self.loads[idx];
+        let observed = elapsed.as_secs_f64() * 1e6 / rows.max(1) as f64;
+        let n = load.samples.fetch_add(1, Ordering::Relaxed);
+        // Racy read-modify-write is fine: the EWMA is a heuristic, and
+        // workers rarely complete within the same microsecond.
+        let prev = f64::from_bits(load.ewma_us_bits.load(Ordering::Relaxed));
+        let next = if n == 0 { observed } else { prev + ALPHA * (observed - prev) };
+        load.ewma_us_bits.store(next.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current per-query latency estimate in microseconds (0 until the
+    /// first sample).
+    pub(crate) fn ewma_us(&self, idx: usize) -> f64 {
+        f64::from_bits(self.loads[idx].ewma_us_bits.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn inflight_rows(&self, idx: usize) -> usize {
+        self.loads[idx].inflight_rows.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> Vec<BackendKind> {
+        BackendKind::ALL.to_vec()
+    }
+
+    #[test]
+    fn warmup_visits_every_backend_once() {
+        let s = Scheduler::new(SchedulePolicy::Auto, &pool());
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            let idx = s.dispatch(8);
+            seen.push(idx);
+            s.complete(idx, 8, Duration::from_micros(100));
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn auto_prefers_the_fast_backend() {
+        let s = Scheduler::new(SchedulePolicy::Auto, &pool());
+        // Seed: backend 1 is 10x faster per query.
+        for (idx, us) in [(0usize, 1000u64), (1, 100), (2, 1000)] {
+            let i = s.dispatch(10);
+            assert_eq!(i, idx);
+            s.complete(i, 10, Duration::from_micros(us * 10));
+        }
+        for _ in 0..5 {
+            let idx = s.dispatch(10);
+            assert_eq!(idx, 1);
+            s.complete(idx, 10, Duration::from_micros(100 * 10));
+        }
+    }
+
+    #[test]
+    fn auto_spills_when_the_fast_backend_queues_up() {
+        let s = Scheduler::new(SchedulePolicy::Auto, &pool());
+        for us in [1000u64, 100, 1000] {
+            let i = s.dispatch(10);
+            s.complete(i, 10, Duration::from_micros(us * 10));
+        }
+        // Pile rows onto the fast backend without completing them: the
+        // cost model must eventually route around the queue.
+        let mut routed_elsewhere = false;
+        for _ in 0..50 {
+            let idx = s.dispatch(10);
+            if idx != 1 {
+                routed_elsewhere = true;
+                s.complete(idx, 10, Duration::from_micros(1000 * 10));
+            }
+        }
+        assert!(routed_elsewhere, "in-flight pressure must divert batches");
+    }
+
+    #[test]
+    fn round_robin_rotates_and_fixed_pins() {
+        let rr = Scheduler::new(SchedulePolicy::RoundRobin, &pool());
+        let picks: Vec<usize> = (0..6).map(|_| rr.dispatch(1)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+
+        let fixed = Scheduler::new(SchedulePolicy::Fixed(BackendKind::FpgaSimIndependent), &pool());
+        for _ in 0..4 {
+            assert_eq!(fixed.dispatch(1), 2);
+        }
+    }
+}

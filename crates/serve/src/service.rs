@@ -1,0 +1,315 @@
+//! The service: queue → dynamic batcher → executor pool.
+//!
+//! One batcher thread forms batches per the flush rules and hands each to
+//! the scheduler-chosen backend's worker over an mpsc channel; one worker
+//! thread per backend executes batches and fulfills tickets. Shutdown is
+//! graceful by construction: closing the queue stops admission, the
+//! batcher drains what is queued and exits (dropping the channel
+//! senders), and each worker drains its channel before exiting — no
+//! admitted request is ever lost.
+
+use crate::backend::{make_backend, Backend, BackendKind};
+use crate::error::ServeError;
+use crate::metrics::{MetricsHub, ServeStats};
+use crate::model::ServeModel;
+use crate::queue::{Pending, RequestQueue};
+use crate::scheduler::{SchedulePolicy, Scheduler};
+use crate::ticket::{Slot, Ticket};
+use rfx_forest::dataset::QueryView;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`RfxServe`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Row budget per batch — the size-flush threshold.
+    pub max_batch_size: usize,
+    /// Deadline-flush bound: a batch never waits longer than this past
+    /// its oldest request's arrival.
+    pub max_batch_delay: Duration,
+    /// Admission bound in queued rows; beyond it submissions are
+    /// rejected with [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Backends in the executor pool (one worker thread each).
+    pub backends: Vec<BackendKind>,
+    /// Batch-to-backend assignment policy.
+    pub policy: SchedulePolicy,
+    /// Rows in the startup probe batch used to seed each backend's
+    /// latency estimate (0 disables probing; `Auto` then warms up on the
+    /// first live batches instead).
+    pub seed_probe_rows: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch_size: 256,
+            max_batch_delay: Duration::from_millis(2),
+            queue_capacity: 4096,
+            backends: BackendKind::ALL.to_vec(),
+            policy: SchedulePolicy::Auto,
+            seed_probe_rows: 32,
+        }
+    }
+}
+
+/// A formed batch in flight to a worker.
+struct FormedBatch {
+    entries: Vec<Pending>,
+    features: Vec<f32>,
+    rows: usize,
+}
+
+/// State shared by clients, the batcher, and the workers.
+struct Shared {
+    model: ServeModel,
+    queue: RequestQueue,
+    metrics: MetricsHub,
+    scheduler: Scheduler,
+    backends: Vec<Box<dyn Backend + Sync>>,
+}
+
+/// The dynamic-batching inference service.
+pub struct RfxServe {
+    shared: Arc<Shared>,
+    config: ServeConfig,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl RfxServe {
+    /// Builds the executor pool and starts serving.
+    ///
+    /// # Panics
+    /// If `config.backends` is empty, lists duplicates, or
+    /// `max_batch_size`/`queue_capacity` is zero.
+    pub fn start(model: ServeModel, config: ServeConfig) -> RfxServe {
+        assert!(!config.backends.is_empty(), "executor pool needs at least one backend");
+        assert!(config.max_batch_size > 0, "max_batch_size must be positive");
+        assert!(config.queue_capacity > 0, "queue_capacity must be positive");
+        for (i, kind) in config.backends.iter().enumerate() {
+            assert!(
+                !config.backends[..i].contains(kind),
+                "duplicate backend {} in pool",
+                kind.name()
+            );
+        }
+
+        let backends: Vec<Box<dyn Backend + Sync>> =
+            config.backends.iter().map(|&k| make_backend(k, &model)).collect();
+        let scheduler = Scheduler::new(config.policy, &config.backends);
+        let metrics = MetricsHub::new(&config.backends);
+
+        if config.seed_probe_rows > 0 {
+            probe_backends(&model, &backends, &scheduler, config.seed_probe_rows);
+        }
+
+        let shared = Arc::new(Shared {
+            model,
+            queue: RequestQueue::new(config.queue_capacity),
+            metrics,
+            scheduler,
+            backends,
+        });
+
+        let mut senders = Vec::with_capacity(shared.backends.len());
+        let mut workers = Vec::with_capacity(shared.backends.len());
+        for idx in 0..shared.backends.len() {
+            let (tx, rx) = mpsc::channel::<FormedBatch>();
+            senders.push(tx);
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("rfx-serve-{}", shared.backends[idx].kind().name()))
+                    .spawn(move || worker_loop(&shared, idx, rx))
+                    .expect("spawn worker"),
+            );
+        }
+
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            let (max_rows, max_delay) = (config.max_batch_size, config.max_batch_delay);
+            std::thread::Builder::new()
+                .name("rfx-serve-batcher".into())
+                .spawn(move || batcher_loop(&shared, senders, max_rows, max_delay))
+                .expect("spawn batcher")
+        };
+
+        RfxServe { shared, config, batcher: Some(batcher), workers }
+    }
+
+    /// Convenience: [`RfxServe::start`] with [`ServeConfig::default`].
+    pub fn start_default(model: ServeModel) -> RfxServe {
+        Self::start(model, ServeConfig::default())
+    }
+
+    /// Submits one query row (`row.len()` must equal the model's feature
+    /// count). Non-blocking; returns a [`Ticket`] to wait on.
+    pub fn submit(&self, row: &[f32]) -> Result<Ticket, ServeError> {
+        let nf = self.shared.model.num_features();
+        if row.len() != nf {
+            return Err(ServeError::BadRequest {
+                reason: format!("expected {nf} features, got {}", row.len()),
+            });
+        }
+        self.admit(row)
+    }
+
+    /// Submits a micro-batch of rows packed row-major
+    /// (`features.len()` must be a positive multiple of the feature
+    /// count). The micro-batch is batched and predicted atomically.
+    pub fn submit_micro_batch(&self, features: &[f32]) -> Result<Ticket, ServeError> {
+        let nf = self.shared.model.num_features();
+        if features.is_empty() || !features.len().is_multiple_of(nf) {
+            return Err(ServeError::BadRequest {
+                reason: format!(
+                    "micro-batch length {} is not a positive multiple of {nf} features",
+                    features.len()
+                ),
+            });
+        }
+        self.admit(features)
+    }
+
+    fn admit(&self, features: &[f32]) -> Result<Ticket, ServeError> {
+        let rows = features.len() / self.shared.model.num_features();
+        let slot = Slot::new();
+        let pending = Pending { features: features.to_vec(), rows, slot: Arc::clone(&slot) };
+        match self.shared.queue.try_push(pending) {
+            Ok(()) => {
+                self.shared.metrics.record_submit(rows);
+                Ok(Ticket::new(slot, rows))
+            }
+            Err(err) => {
+                if matches!(err, ServeError::Overloaded { .. }) {
+                    self.shared.metrics.record_reject(rows);
+                }
+                Err(err)
+            }
+        }
+    }
+
+    /// Point-in-time metrics snapshot.
+    pub fn stats(&self) -> ServeStats {
+        let shared = &self.shared;
+        shared.metrics.snapshot(shared.queue.depth_rows(), |idx| {
+            (
+                shared.scheduler.ewma_us(idx),
+                shared.scheduler.inflight_rows(idx),
+                shared.backends[idx].fallbacks(),
+            )
+        })
+    }
+
+    /// The served model.
+    pub fn model(&self) -> &ServeModel {
+        &self.shared.model
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Stops admission, drains every queued and in-flight batch, joins
+    /// all threads, and returns the final stats. Every ticket issued
+    /// before shutdown resolves.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.stop_and_join();
+        self.stats()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.queue.close();
+        if let Some(handle) = self.batcher.take() {
+            let _ = handle.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for RfxServe {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Seeds the scheduler's cost model with one timed probe batch per
+/// backend (synthetic in-range features; labels are discarded).
+fn probe_backends(
+    model: &ServeModel,
+    backends: &[Box<dyn Backend + Sync>],
+    scheduler: &Scheduler,
+    rows: usize,
+) {
+    let nf = model.num_features();
+    let features: Vec<f32> = (0..rows * nf).map(|i| (i % 17) as f32 / 17.0).collect();
+    let queries = QueryView::new(&features, nf).expect("probe batch shape");
+    let mut out = vec![0; rows];
+    for (idx, backend) in backends.iter().enumerate() {
+        let t0 = Instant::now();
+        backend.predict(queries, &mut out);
+        scheduler.observe(idx, rows, t0.elapsed());
+    }
+}
+
+/// Forms batches and dispatches them until the queue closes and drains.
+fn batcher_loop(
+    shared: &Shared,
+    senders: Vec<mpsc::Sender<FormedBatch>>,
+    max_rows: usize,
+    max_delay: Duration,
+) {
+    let nf = shared.model.num_features();
+    while let Some(mut entries) = shared.queue.collect_batch(max_rows, max_delay) {
+        let rows: usize = entries.iter().map(|p| p.rows).sum();
+        // Single-request batches reuse the request's own buffer; merged
+        // batches concatenate into one contiguous row-major block.
+        let features = if entries.len() == 1 {
+            std::mem::take(&mut entries[0].features)
+        } else {
+            let mut buf = Vec::with_capacity(rows * nf);
+            for pending in &entries {
+                buf.extend_from_slice(&pending.features);
+            }
+            buf
+        };
+        shared.metrics.record_batch_formed(rows);
+        let idx = shared.scheduler.dispatch(rows);
+        if senders[idx].send(FormedBatch { entries, features, rows }).is_err() {
+            // Worker gone (panicked); Pending's drop resolves the
+            // tickets with `Dropped`.
+            shared.scheduler.release(idx, rows);
+        }
+    }
+    // Exiting drops the senders; workers drain their channels and stop.
+}
+
+/// Executes batches on one backend until the batcher hangs up.
+fn worker_loop(shared: &Shared, idx: usize, rx: mpsc::Receiver<FormedBatch>) {
+    let backend = &shared.backends[idx];
+    let nf = shared.model.num_features();
+    while let Ok(batch) = rx.recv() {
+        let queries = QueryView::new(&batch.features, nf).expect("batch shape");
+        let mut out = vec![0; batch.rows];
+        let t0 = Instant::now();
+        backend.predict(queries, &mut out);
+        let elapsed = t0.elapsed();
+        shared.scheduler.complete(idx, batch.rows, elapsed);
+        shared.metrics.recorder(idx).record_batch(batch.rows, elapsed.as_micros() as u64);
+
+        let done = Instant::now();
+        let mut offset = 0;
+        for pending in &batch.entries {
+            let labels = out[offset..offset + pending.rows].to_vec();
+            offset += pending.rows;
+            let latency = done.saturating_duration_since(pending.slot.enqueued);
+            shared.metrics.record_request_done(pending.rows, latency.as_micros() as u64);
+            pending.slot.fulfill(Ok(labels));
+        }
+    }
+}

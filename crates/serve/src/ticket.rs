@@ -1,0 +1,72 @@
+//! Completion tickets: the client-side handle for an in-flight request.
+
+use crate::error::ServeError;
+use rfx_core::Label;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Shared completion slot between the client and the executor.
+#[derive(Debug)]
+pub(crate) struct Slot {
+    state: Mutex<Option<Result<Vec<Label>, ServeError>>>,
+    done: Condvar,
+    /// When the request entered the queue — the request-latency clock.
+    pub(crate) enqueued: Instant,
+}
+
+impl Slot {
+    pub(crate) fn new() -> Arc<Slot> {
+        Arc::new(Slot { state: Mutex::new(None), done: Condvar::new(), enqueued: Instant::now() })
+    }
+
+    pub(crate) fn fulfill(&self, result: Result<Vec<Label>, ServeError>) {
+        let mut state = self.state.lock().unwrap();
+        if state.is_none() {
+            *state = Some(result);
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Handle returned by [`crate::RfxServe::submit`]: blocks until the batch
+/// containing this request has been executed by some backend.
+#[derive(Debug, Clone)]
+pub struct Ticket {
+    slot: Arc<Slot>,
+    rows: usize,
+}
+
+impl Ticket {
+    pub(crate) fn new(slot: Arc<Slot>, rows: usize) -> Self {
+        Ticket { slot, rows }
+    }
+
+    /// Number of query rows this ticket covers.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Blocks until the prediction is available and returns one label per
+    /// submitted row.
+    pub fn wait(&self) -> Result<Vec<Label>, ServeError> {
+        let mut state = self.slot.state.lock().unwrap();
+        loop {
+            if let Some(result) = state.as_ref() {
+                return result.clone();
+            }
+            state = self.slot.done.wait(state).unwrap();
+        }
+    }
+
+    /// [`Ticket::wait`] for single-row submissions.
+    pub fn wait_one(&self) -> Result<Label, ServeError> {
+        let labels = self.wait()?;
+        debug_assert_eq!(labels.len(), 1, "wait_one on a micro-batch ticket");
+        Ok(labels[0])
+    }
+
+    /// Whether the result is already available (non-blocking).
+    pub fn is_ready(&self) -> bool {
+        self.slot.state.lock().unwrap().is_some()
+    }
+}

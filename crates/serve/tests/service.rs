@@ -1,0 +1,175 @@
+//! Behavioral tests for the serving pipeline: flush rules, admission
+//! control, drain-on-shutdown, and backend equivalence.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rfx_forest::{DecisionTree, RandomForest};
+use rfx_fpga_sim::FpgaConfig;
+use rfx_gpu_sim::GpuConfig;
+use rfx_serve::{
+    BackendKind, RfxServe, SchedulePolicy, ServeConfig, ServeError, ServeModel, Ticket,
+};
+use std::time::{Duration, Instant};
+
+const NF: usize = 6;
+
+fn model(seed: u64) -> ServeModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trees: Vec<DecisionTree> =
+        (0..7).map(|_| DecisionTree::random(&mut rng, 7, NF as u16, 3, 0.3)).collect();
+    let forest = RandomForest::from_trees(trees, NF, 3).unwrap();
+    // Tiny simulated devices keep the device backends fast in tests.
+    ServeModel::with_devices(forest, GpuConfig::tiny_test(), FpgaConfig::tiny_test()).unwrap()
+}
+
+fn rows(rng: &mut StdRng, n: usize) -> Vec<f32> {
+    (0..n * NF).map(|_| rng.gen()).collect()
+}
+
+/// CPU-only config: deterministic batching behavior, no device noise.
+fn cpu_only(max_batch_size: usize, max_batch_delay: Duration) -> ServeConfig {
+    ServeConfig {
+        max_batch_size,
+        max_batch_delay,
+        backends: vec![BackendKind::CpuParallel],
+        policy: SchedulePolicy::Fixed(BackendKind::CpuParallel),
+        seed_probe_rows: 0,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn size_flush_fires_before_the_deadline() {
+    let serve = RfxServe::start(model(1), cpu_only(8, Duration::from_secs(5)));
+    let mut rng = StdRng::seed_from_u64(10);
+    let t0 = Instant::now();
+    let tickets: Vec<Ticket> = (0..8).map(|_| serve.submit(&rows(&mut rng, 1)).unwrap()).collect();
+    for t in &tickets {
+        t.wait_one().unwrap();
+    }
+    // The only way these resolve in well under the 5 s deadline is the
+    // size-flush rule.
+    assert!(t0.elapsed() < Duration::from_secs(2), "size flush must not wait the deadline");
+    let stats = serve.shutdown();
+    assert_eq!(stats.completed_rows, 8);
+    assert_eq!(stats.batches, 1, "8 rows at max_batch_size=8 form exactly one batch");
+    assert_eq!(stats.max_batch_occupancy, 8);
+}
+
+#[test]
+fn deadline_flush_fires_below_the_size_threshold() {
+    let serve = RfxServe::start(model(2), cpu_only(1024, Duration::from_millis(30)));
+    let mut rng = StdRng::seed_from_u64(11);
+    let tickets: Vec<Ticket> = (0..3).map(|_| serve.submit(&rows(&mut rng, 1)).unwrap()).collect();
+    for t in &tickets {
+        t.wait_one().unwrap();
+    }
+    let stats = serve.shutdown();
+    assert_eq!(stats.completed_rows, 3);
+    assert_eq!(stats.batches, 1, "all three trickle requests share the deadline batch");
+    assert_eq!(stats.max_batch_occupancy, 3);
+}
+
+#[test]
+fn oversized_micro_batch_forms_its_own_batch() {
+    let serve = RfxServe::start(model(3), cpu_only(4, Duration::from_millis(5)));
+    let mut rng = StdRng::seed_from_u64(12);
+    let ticket = serve.submit_micro_batch(&rows(&mut rng, 10)).unwrap();
+    assert_eq!(ticket.rows(), 10);
+    assert_eq!(ticket.wait().unwrap().len(), 10, "micro-batches are atomic");
+    let stats = serve.shutdown();
+    assert_eq!(stats.max_batch_occupancy, 10, "oversized request rides alone, unsplit");
+}
+
+#[test]
+fn overload_sheds_with_a_typed_rejection() {
+    // Long deadline + huge batch size pin admitted rows in the queue.
+    let config = ServeConfig { queue_capacity: 4, ..cpu_only(1024, Duration::from_secs(30)) };
+    let serve = RfxServe::start(model(4), config);
+    let mut rng = StdRng::seed_from_u64(13);
+    let tickets: Vec<Ticket> = (0..4).map(|_| serve.submit(&rows(&mut rng, 1)).unwrap()).collect();
+    match serve.submit(&rows(&mut rng, 1)) {
+        Err(ServeError::Overloaded { queued_rows, capacity }) => {
+            assert_eq!((queued_rows, capacity), (4, 4));
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    // A 2-row micro-batch cannot fit either.
+    assert!(matches!(
+        serve.submit_micro_batch(&rows(&mut rng, 2)),
+        Err(ServeError::Overloaded { .. })
+    ));
+    let stats = serve.shutdown();
+    assert_eq!(stats.rejected_rows, 3);
+    // Shutdown drained the queued four.
+    assert_eq!(stats.completed_rows, 4);
+    for t in &tickets {
+        t.wait_one().unwrap();
+    }
+}
+
+#[test]
+fn shutdown_drains_every_admitted_request() {
+    let serve = RfxServe::start(model(5), cpu_only(1024, Duration::from_secs(60)));
+    let mut rng = StdRng::seed_from_u64(14);
+    let tickets: Vec<Ticket> = (0..20).map(|_| serve.submit(&rows(&mut rng, 1)).unwrap()).collect();
+    let t0 = Instant::now();
+    let stats = serve.shutdown();
+    assert!(t0.elapsed() < Duration::from_secs(5), "drain must ignore the 60 s deadline");
+    assert_eq!(stats.completed_rows, 20);
+    for t in &tickets {
+        assert!(t.is_ready(), "every admitted ticket resolves before shutdown returns");
+        t.wait_one().unwrap();
+    }
+}
+
+#[test]
+fn malformed_submissions_are_rejected_without_queueing() {
+    let serve = RfxServe::start_default(model(6));
+    assert!(matches!(serve.submit(&[0.5; NF - 1]), Err(ServeError::BadRequest { .. })));
+    assert!(matches!(serve.submit(&[0.5; NF + 1]), Err(ServeError::BadRequest { .. })));
+    assert!(matches!(serve.submit_micro_batch(&[]), Err(ServeError::BadRequest { .. })));
+    assert!(matches!(serve.submit_micro_batch(&[0.5; NF + 2]), Err(ServeError::BadRequest { .. })));
+    let stats = serve.shutdown();
+    assert_eq!(stats.submitted_rows, 0);
+}
+
+#[test]
+fn every_backend_matches_the_serial_reference() {
+    let m = model(7);
+    let mut rng = StdRng::seed_from_u64(15);
+    let queries = rows(&mut rng, 64);
+    let qv = rfx_forest::dataset::QueryView::new(&queries, NF).unwrap();
+    let reference = m.forest().predict_batch(qv);
+
+    for kind in BackendKind::ALL {
+        let config = ServeConfig {
+            max_batch_size: 16,
+            max_batch_delay: Duration::from_millis(1),
+            backends: vec![kind],
+            policy: SchedulePolicy::Fixed(kind),
+            ..ServeConfig::default()
+        };
+        let serve = RfxServe::start(m.clone(), config);
+        let tickets: Vec<Ticket> =
+            queries.chunks(NF).map(|row| serve.submit(row).unwrap()).collect();
+        let got: Vec<u32> = tickets.iter().map(|t| t.wait_one().unwrap()).collect();
+        assert_eq!(got, reference, "{} disagrees with serial CPU", kind.name());
+        let stats = serve.shutdown();
+        assert_eq!(stats.backends.len(), 1);
+        assert_eq!(stats.backends[0].backend, kind.name());
+        assert_eq!(stats.backends[0].queries, 64);
+    }
+}
+
+#[test]
+fn stats_snapshot_is_json_serializable() {
+    let serve = RfxServe::start_default(model(8));
+    let mut rng = StdRng::seed_from_u64(16);
+    serve.submit(&rows(&mut rng, 1)).unwrap().wait_one().unwrap();
+    let stats = serve.shutdown();
+    let json = serde_json::to_string(&stats).unwrap();
+    assert!(json.contains("\"throughput_qps\""));
+    assert!(json.contains("\"cpu-parallel\""));
+    assert!(json.contains("\"p99_us\""));
+}

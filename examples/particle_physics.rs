@@ -40,11 +40,7 @@ fn main() {
             best = (depth, acc);
         }
     }
-    let chosen = accs
-        .iter()
-        .find(|(_, a)| *a >= best.1 - 0.003)
-        .map(|&(d, _)| d)
-        .unwrap_or(best.0);
+    let chosen = accs.iter().find(|(_, a)| *a >= best.1 - 0.003).map(|&(d, _)| d).unwrap_or(best.0);
     println!("chosen depth: {chosen} (within 0.3% of best {:.2}%)", 100.0 * best.1);
 
     // Final model + accelerator comparison at the chosen depth.

@@ -65,20 +65,12 @@ fn main() {
     // 5. And on the simulated Alveo U250 with the independent kernel,
     //    single compute unit vs full 4-SLR replication.
     let fcfg = FpgaConfig::alveo_u250();
-    let single = fpga::independent::run_independent(
-        &fcfg,
-        Replication::single(&fcfg),
-        &hier,
-        queries,
-    )
-    .expect("fpga kernel failed");
-    let replicated = fpga::independent::run_independent(
-        &fcfg,
-        Replication::new(&fcfg, 4, 12),
-        &hier,
-        queries,
-    )
-    .expect("fpga kernel failed");
+    let single =
+        fpga::independent::run_independent(&fcfg, Replication::single(&fcfg), &hier, queries)
+            .expect("fpga kernel failed");
+    let replicated =
+        fpga::independent::run_independent(&fcfg, Replication::new(&fcfg, 4, 12), &hier, queries)
+            .expect("fpga kernel failed");
     assert_eq!(single.predictions, reference);
     println!(
         "FPGA: independent II={} — 1 CU {:.3} s, 48 CUs {:.3} s ({:.1}x scaling, {:.0}% stall)",

@@ -23,3 +23,4 @@ pub use rfx_forest as forest;
 pub use rfx_fpga_sim as fpga;
 pub use rfx_gpu_sim as gpu;
 pub use rfx_kernels as kernels;
+pub use rfx_serve as serve;

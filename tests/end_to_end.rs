@@ -52,9 +52,7 @@ fn pipeline(kind: DatasetKind, depth: usize) {
             "gpu hybrid {cfg:?}"
         );
         assert_eq!(
-            gpu::collaborative::run_collaborative(&gpu_sim, &layout, queries)
-                .unwrap()
-                .predictions,
+            gpu::collaborative::run_collaborative(&gpu_sim, &layout, queries).unwrap().predictions,
             reference,
             "gpu collaborative {cfg:?}"
         );
@@ -71,9 +69,7 @@ fn pipeline(kind: DatasetKind, depth: usize) {
             "fpga hybrid {cfg:?}"
         );
         assert_eq!(
-            fpga::hybrid::run_hybrid_split(&fcfg, &layout, queries, 10, 245.0)
-                .unwrap()
-                .predictions,
+            fpga::hybrid::run_hybrid_split(&fcfg, &layout, queries, 10, 245.0).unwrap().predictions,
             reference,
             "fpga hybrid split {cfg:?}"
         );

@@ -24,7 +24,8 @@ fn initiation_intervals_match_table3() {
     assert_eq!(chain_ii(chains::HYBRID_STAGE2, &cfg), 76);
     // §3.2.2: before moving query features to BRAM the independent chain
     // had an external query read — II 147.
-    let pre_optimization: &[Op] = &[Op::ExtMemLoad, Op::ExtMemLoad, Op::Alu, Op::Compare, Op::Compare];
+    let pre_optimization: &[Op] =
+        &[Op::ExtMemLoad, Op::ExtMemLoad, Op::Alu, Op::Compare, Op::Compare];
     assert_eq!(chain_ii(pre_optimization, &cfg), 147);
 }
 
@@ -41,6 +42,8 @@ fn onchip_capacity_argument() {
 /// §3.2.1: a root subtree past the 48 KB shared-memory budget is a launch
 /// error on the GPU (RSD 13 at 6 B/node needs 49 KB).
 #[test]
+// Constant on purpose: the test IS the arithmetic claim from the paper.
+#[allow(clippy::assertions_on_constants)]
 fn shared_memory_caps_root_subtree_depth() {
     assert!(8191 * 6 < 48 * 1024, "RSD 13 (8191 nodes) squeaks in at 6 B/node");
     assert!(16383 * 6 > 48 * 1024, "RSD 14 cannot fit");
@@ -108,13 +111,9 @@ fn gpu_beats_fpga() {
     let hyb = gpu::hybrid::run_hybrid(&sim, &layout, qv).unwrap();
     let gpu_qps = 30.0 * test.num_rows() as f64 / hyb.stats.device_seconds;
     let cfg = FpgaConfig::alveo_u250();
-    let ind48 = fpga::independent::run_independent(
-        &cfg,
-        Replication::new(&cfg, 4, 12),
-        &layout,
-        qv,
-    )
-    .unwrap();
+    let ind48 =
+        fpga::independent::run_independent(&cfg, Replication::new(&cfg, 4, 12), &layout, qv)
+            .unwrap();
     let fpga_qps = test.num_rows() as f64 / ind48.stats.seconds;
     assert!(gpu_qps > 5.0 * fpga_qps, "gpu {gpu_qps:.0} q/s vs fpga {fpga_qps:.0} q/s");
 }
@@ -133,9 +132,8 @@ fn footprint_trend() {
         (0..12).map(|_| DecisionTree::random(&mut rng, 22, 16, 2, 0.45)).collect();
     let forest = RandomForest::from_trees(trees, 16, 2).unwrap();
     let csr = CsrForest::build(&forest).footprint();
-    let ratio = |sd: u8| {
-        build_forest(&forest, HierConfig::uniform(sd)).unwrap().footprint().ratio_to(&csr)
-    };
+    let ratio =
+        |sd: u8| build_forest(&forest, HierConfig::uniform(sd)).unwrap().footprint().ratio_to(&csr);
     let (r4, r6, r8) = (ratio(4), ratio(6), ratio(8));
     assert!(r4 < r6 && r6 < r8, "{r4} {r6} {r8}");
     assert!(r8 > 1.0, "SD 8 overshoots CSR: {r8}");

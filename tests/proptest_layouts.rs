@@ -42,9 +42,9 @@ proptest! {
         let reference = forest.predict_batch(qv);
         let csr = CsrForest::build(&forest);
         let fil = FilForest::build(&forest);
-        for r in 0..qv.num_rows() {
-            prop_assert_eq!(csr.predict(qv.row(r)), reference[r]);
-            prop_assert_eq!(fil.predict(qv.row(r)), reference[r]);
+        for (r, &expected) in reference.iter().enumerate() {
+            prop_assert_eq!(csr.predict(qv.row(r)), expected);
+            prop_assert_eq!(fil.predict(qv.row(r)), expected);
         }
     }
 
