@@ -47,6 +47,16 @@ pub trait ParallelIterator: Sized {
     {
         C::from_par_items(self.items())
     }
+
+    /// Runs `f` on every item in parallel, discarding results (upstream
+    /// rayon's side-effect driver; used by telemetry's concurrency
+    /// tests).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let _: Vec<()> = self.map(f).collect();
+    }
 }
 
 /// A mapped parallel iterator.

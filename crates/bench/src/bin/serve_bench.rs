@@ -7,6 +7,13 @@
 //! the dynamic batcher must coalesce — the report asserts mean batch
 //! occupancy > 1, the property that separates *serving* from
 //! one-query-at-a-time inference.
+//!
+//! `--telemetry-out <path>` additionally writes an `rfx-telemetry` JSON
+//! document with one section per scenario (each served from its own
+//! telemetry domain, so counters do not bleed across scenarios) plus a
+//! `global` section holding the process-wide domain — that is where the
+//! simulators' `gpusim.*` / `fpgasim.*` counters land when the crate is
+//! built with `--features telemetry`.
 
 use rfx_bench::harness::{write_json, Table};
 use rfx_bench::scale::Scale;
@@ -16,7 +23,9 @@ use rfx_serve::{
     run_closed_loop, BackendKind, LoadGenConfig, LoadReport, RfxServe, SchedulePolicy, ServeConfig,
     ServeModel, ServeStats,
 };
+use rfx_telemetry::{export, Snapshot, Telemetry};
 use serde::Serialize;
+use std::path::PathBuf;
 use std::time::Duration;
 
 #[derive(Serialize)]
@@ -37,8 +46,23 @@ fn policy_name(policy: SchedulePolicy) -> String {
     }
 }
 
+/// Parses `--telemetry-out <path>` (also `--telemetry-out=<path>`).
+fn telemetry_out_from_args() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut value = None;
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--telemetry-out=") {
+            value = Some(PathBuf::from(v));
+        } else if a == "--telemetry-out" {
+            value = args.get(i + 1).map(PathBuf::from);
+        }
+    }
+    value
+}
+
 fn main() {
     let scale = Scale::from_args();
+    let telemetry_out = telemetry_out_from_args();
     let (requests_per_client, depth, trees) = match scale {
         Scale::Tiny => (40, 8, 10),
         _ => (150, 12, 20),
@@ -58,8 +82,10 @@ fn main() {
         &["Scenario", "qps", "p50 us", "p95 us", "p99 us", "occupancy", "rejects", "top backend"],
     );
     let mut results = Vec::new();
+    let mut sections: Vec<(String, Snapshot)> = Vec::new();
     for (name, policy, clients, rows_per_request) in scenarios {
-        let serve = RfxServe::start(
+        let telemetry = Telemetry::new();
+        let serve = RfxServe::start_with_telemetry(
             model.clone(),
             ServeConfig {
                 max_batch_size: 256,
@@ -67,6 +93,7 @@ fn main() {
                 policy,
                 ..ServeConfig::default()
             },
+            telemetry.clone(),
         );
         let load = run_closed_loop(
             &serve,
@@ -108,7 +135,25 @@ fn main() {
             load,
             stats,
         });
+        sections.push((name.to_string(), telemetry.snapshot()));
     }
     table.print();
     write_json("serve", scale.label(), &results);
+
+    if let Some(path) = telemetry_out {
+        // The process-global domain collects whatever the kernels and
+        // simulators recorded (empty unless built with `--features
+        // telemetry` — the exporter still emits the section for schema
+        // stability).
+        sections.push(("global".to_string(), rfx_telemetry::global().snapshot()));
+        let refs: Vec<(&str, &Snapshot)> = sections.iter().map(|(n, s)| (n.as_str(), s)).collect();
+        let doc = export::json_document(&refs);
+        match std::fs::write(&path, doc) {
+            Ok(()) => eprintln!("[telemetry written to {}]", path.display()),
+            Err(e) => {
+                eprintln!("failed to write telemetry to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 }

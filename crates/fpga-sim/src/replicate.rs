@@ -83,7 +83,7 @@ pub fn combine_cus(cus: &[CuExecution], replication: Replication) -> FpgaStats {
     let useful: u64 = cus.iter().map(|c| c.useful_cycles).sum();
     let stall_fraction =
         if total_cycles == 0 { 0.0 } else { 1.0 - useful as f64 / total_cycles as f64 };
-    FpgaStats {
+    let stats = FpgaStats {
         seconds: cycles as f64 / (replication.freq_mhz * 1e6),
         stall_fraction,
         freq_mhz: replication.freq_mhz,
@@ -92,7 +92,27 @@ pub fn combine_cus(cus: &[CuExecution], replication: Replication) -> FpgaStats {
         ext_read_bytes: cus.iter().map(|c| c.ext_read_bytes).sum(),
         iterations: cus.iter().map(|c| c.iterations).sum(),
         wasted_iterations: cus.iter().map(|c| c.wasted_iterations).sum(),
-    }
+    };
+    #[cfg(feature = "telemetry")]
+    emit_execution_telemetry(cus, &stats);
+    stats
+}
+
+/// Records one device execution's pipeline counters into the
+/// process-global telemetry domain (`fpgasim.*`). Compiled only under
+/// the `telemetry` feature.
+#[cfg(feature = "telemetry")]
+fn emit_execution_telemetry(cus: &[CuExecution], stats: &FpgaStats) {
+    let tel = rfx_telemetry::global();
+    tel.counter("fpgasim.executions").inc();
+    tel.counter("fpgasim.pipeline.cycles").add(stats.cycles);
+    let total_cycles: u64 = cus.iter().map(|c| c.cycles).sum();
+    let useful: u64 = cus.iter().map(|c| c.useful_cycles).sum();
+    tel.counter("fpgasim.pipeline.stall_cycles").add(total_cycles - useful);
+    tel.counter("fpgasim.pipeline.iterations").add(stats.iterations);
+    tel.counter("fpgasim.pipeline.wasted_iterations").add(stats.wasted_iterations);
+    tel.counter("fpgasim.ext.read_bytes").add(stats.ext_read_bytes);
+    tel.gauge("fpgasim.stall_fraction").set(stats.stall_fraction);
 }
 
 #[cfg(test)]

@@ -298,6 +298,14 @@ impl GpuSim {
                 available: cfg.shared_mem_per_sm as usize,
             });
         }
+        // Measures host-side simulation wall time of the whole launch;
+        // the modeled device time lands in the counters below.
+        #[cfg(feature = "telemetry")]
+        let _launch_span = rfx_telemetry::span!(
+            rfx_telemetry::global(),
+            "gpusim.launch",
+            blocks = grid.num_blocks
+        );
         let warps_per_block = grid.threads_per_block.div_ceil(cfg.warp_size as usize);
         // Occupancy: blocks resident on one SM at a time.
         let by_shared = (cfg.shared_mem_per_sm as usize)
@@ -378,8 +386,32 @@ impl GpuSim {
         total.device_cycles = device_cycles;
         total.device_seconds = compute_seconds.max(dram_seconds);
         total.bound = if latency_bound_hit { TimeBound::DramBandwidth } else { TimeBound::Latency };
+        #[cfg(feature = "telemetry")]
+        emit_launch_telemetry(&total);
         Ok(total)
     }
+}
+
+/// Records one launch's hardware counters into the process-global
+/// telemetry domain (`gpusim.*`, mirroring the `nvprof` metric names the
+/// paper's Fig. 8 analysis uses). Compiled only under the `telemetry`
+/// feature so the default simulator build carries no instrumentation.
+#[cfg(feature = "telemetry")]
+fn emit_launch_telemetry(stats: &GpuStats) {
+    let tel = rfx_telemetry::global();
+    tel.counter("gpusim.launches").inc();
+    tel.counter("gpusim.global.load_transactions").add(stats.global_load_transactions);
+    tel.counter("gpusim.global.store_transactions").add(stats.global_store_transactions);
+    tel.counter("gpusim.l1.hits").add(stats.l1_hits);
+    tel.counter("gpusim.l1.misses").add(stats.l1_misses);
+    tel.counter("gpusim.l2.hits").add(stats.l2_hits);
+    tel.counter("gpusim.dram.transactions").add(stats.l2_misses);
+    tel.counter("gpusim.dram.bytes").add(stats.dram_bytes());
+    tel.counter("gpusim.shared.accesses").add(stats.shared_accesses);
+    tel.counter("gpusim.branch.total").add(stats.branch_total);
+    tel.counter("gpusim.branch.uniform").add(stats.branch_uniform);
+    tel.counter("gpusim.warps.launched").add(stats.warps_launched);
+    tel.counter("gpusim.device.cycles").add(stats.device_cycles);
 }
 
 #[cfg(test)]

@@ -83,6 +83,9 @@ where
     F: Fn(usize) -> Label + Sync,
 {
     assert_eq!(out.len(), range.len(), "output slice must match query range");
+    #[cfg(feature = "telemetry")]
+    let _span =
+        rfx_telemetry::span!(rfx_telemetry::global(), "kernels.cpu.traverse", rows = out.len());
     let n = out.len();
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)

@@ -261,6 +261,10 @@ pub fn run_hybrid(
     queries: QueryView,
 ) -> Result<GpuRun, LaunchError> {
     let nq = queries.num_rows();
+    // Stage span: layout/buffer setup vs. the simulated launch (which
+    // opens its own `gpusim.launch` child span).
+    #[cfg(feature = "telemetry")]
+    let _span = rfx_telemetry::span!(rfx_telemetry::global(), "kernels.gpu.hybrid", queries = nq);
     let mut mem = AddressSpace::new();
     let bufs = HierBuffers::alloc(&mut mem, hier, &queries);
     let kernel = HybridKernel {

@@ -22,9 +22,15 @@
 //!    and the simulated-FPGA independent kernel. All backends agree with
 //!    the serial CPU reference bit-for-bit, so scheduling is invisible to
 //!    clients.
-//! 5. **Observability** — [`RfxServe::stats`] snapshots queue depth,
-//!    batch occupancy, p50/p95/p99 latencies, throughput, and per-backend
-//!    shares as a serializable [`ServeStats`].
+//! 5. **Observability** — every recorded number lives in the service's
+//!    [`rfx_telemetry::Telemetry`] domain ([`RfxServe::telemetry`]):
+//!    `serve.*` counters/gauges/histograms plus a `serve.batch` →
+//!    `serve.batch.traverse` span tree per executed batch.
+//!    [`RfxServe::stats`] computes the serializable [`ServeStats`]
+//!    surface (queue depth, batch occupancy, p50/p95/p99, throughput,
+//!    per-backend shares) from those histograms — no sample sorting.
+//!    The `telemetry` cargo feature additionally enables per-stage
+//!    instrumentation inside the kernels and device simulators.
 //!
 //! Shutdown ([`RfxServe::shutdown`]) drains: admission closes, queued
 //! work still executes, every issued [`Ticket`] resolves.

@@ -1,17 +1,24 @@
-//! Service metrics: lock-light recorders on the hot path, a serializable
-//! [`ServeStats`] snapshot for monitoring and bench reports.
+//! Service metrics on the `rfx-telemetry` registry.
+//!
+//! Every number the service records lands in a named metric on the
+//! service's [`Telemetry`] domain (`serve.*`, see DESIGN.md §10), so one
+//! JSON snapshot exports the whole picture; the serializable
+//! [`ServeStats`] monitoring surface is *computed from* the registry.
+//! Latency series are fixed-bucket histograms — recording is lock-free
+//! and snapshots read bucket counts instead of sorting a sample buffer
+//! (the old `SampleRing` sorted up to 2^18 samples on every snapshot).
 
 use crate::backend::BackendKind;
+use rfx_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Telemetry};
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 use std::time::Instant;
 
-/// Cap on retained latency samples per series; beyond it the buffer
-/// wraps, keeping a recent window rather than unbounded history.
-const SAMPLE_CAP: usize = 1 << 18;
-
-/// Order-insensitive percentile summary of one latency series (µs).
+/// Percentile summary of one latency series (µs), bucket-estimated.
+///
+/// `count`, `mean_us`, and `max_us` are exact; the percentiles carry the
+/// histogram's ≤ 12.5% relative bucket error.
 #[derive(Debug, Clone, Serialize)]
 pub struct LatencySummary {
     /// Samples the summary was computed over.
@@ -24,151 +31,147 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    fn empty() -> Self {
-        LatencySummary { count: 0, mean_us: 0.0, p50_us: 0, p95_us: 0, p99_us: 0, max_us: 0 }
-    }
-
-    fn from_samples(samples: &[u64], count: u64) -> Self {
-        if samples.is_empty() {
-            return Self::empty();
-        }
-        let mut sorted = samples.to_vec();
-        sorted.sort_unstable();
-        let pct = |p: f64| {
-            let rank = ((sorted.len() as f64) * p).ceil() as usize;
-            sorted[rank.clamp(1, sorted.len()) - 1]
-        };
-        let mean = sorted.iter().sum::<u64>() as f64 / sorted.len() as f64;
+    pub(crate) fn from_histogram(h: &HistogramSnapshot) -> Self {
         LatencySummary {
-            count,
-            mean_us: mean,
-            p50_us: pct(0.50),
-            p95_us: pct(0.95),
-            p99_us: pct(0.99),
-            max_us: *sorted.last().unwrap(),
+            count: h.count,
+            mean_us: h.mean(),
+            p50_us: h.quantile(0.50),
+            p95_us: h.quantile(0.95),
+            p99_us: h.quantile(0.99),
+            max_us: h.max,
         }
     }
 }
 
-/// Wrapping sample buffer: cheap push, snapshot-on-demand.
-#[derive(Debug)]
-struct SampleRing {
-    samples: Mutex<Vec<u64>>,
-    pushed: AtomicU64,
-}
-
-impl SampleRing {
-    fn new() -> Self {
-        SampleRing { samples: Mutex::new(Vec::new()), pushed: AtomicU64::new(0) }
-    }
-
-    fn push(&self, value_us: u64) {
-        let n = self.pushed.fetch_add(1, Ordering::Relaxed) as usize;
-        let mut samples = self.samples.lock().unwrap();
-        if samples.len() < SAMPLE_CAP {
-            samples.push(value_us);
-        } else {
-            samples[n % SAMPLE_CAP] = value_us;
-        }
-    }
-
-    fn summary(&self) -> LatencySummary {
-        let samples = self.samples.lock().unwrap();
-        LatencySummary::from_samples(&samples, self.pushed.load(Ordering::Relaxed))
-    }
-}
-
-/// Per-backend counters.
+/// Telemetry handles for one backend (registered once at startup;
+/// recording is atomic ops only).
 #[derive(Debug)]
 pub(crate) struct BackendRecorder {
-    batches: AtomicU64,
-    queries: AtomicU64,
-    batch_latency: SampleRing,
+    kind: BackendKind,
+    batches: Arc<Counter>,
+    queries: Arc<Counter>,
+    batch_latency: Arc<Histogram>,
+    dispatches: Arc<Counter>,
+    ewma_us: Arc<Gauge>,
+    inflight_rows: Arc<Gauge>,
+    device_fallbacks: Arc<Gauge>,
 }
 
 impl BackendRecorder {
-    fn new() -> Self {
+    fn new(telemetry: &Telemetry, kind: BackendKind) -> Self {
+        let name = kind.name();
         BackendRecorder {
-            batches: AtomicU64::new(0),
-            queries: AtomicU64::new(0),
-            batch_latency: SampleRing::new(),
+            kind,
+            batches: telemetry.counter(&format!("serve.backend.{name}.batches")),
+            queries: telemetry.counter(&format!("serve.backend.{name}.queries")),
+            batch_latency: telemetry.histogram(&format!("serve.backend.{name}.batch_latency_us")),
+            dispatches: telemetry.counter(&format!("serve.scheduler.{name}.dispatches")),
+            ewma_us: telemetry.gauge(&format!("serve.scheduler.{name}.ewma_us")),
+            inflight_rows: telemetry.gauge(&format!("serve.scheduler.{name}.inflight_rows")),
+            device_fallbacks: telemetry.gauge(&format!("serve.backend.{name}.device_fallbacks")),
         }
     }
 
     pub(crate) fn record_batch(&self, rows: usize, elapsed_us: u64) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.queries.fetch_add(rows as u64, Ordering::Relaxed);
-        self.batch_latency.push(elapsed_us);
+        self.batches.inc();
+        self.queries.add(rows as u64);
+        self.batch_latency.record(elapsed_us);
     }
 }
 
-/// Shared metrics hub, one per service.
+/// Shared metrics hub, one per service, backed by the service's
+/// [`Telemetry`] domain.
 #[derive(Debug)]
 pub(crate) struct MetricsHub {
     started: Instant,
-    submitted_rows: AtomicU64,
-    rejected_rows: AtomicU64,
-    completed_rows: AtomicU64,
-    batches: AtomicU64,
+    submitted_rows: Arc<Counter>,
+    rejected_rows: Arc<Counter>,
+    completed_rows: Arc<Counter>,
+    batches: Arc<Counter>,
+    batch_rows: Arc<Histogram>,
+    queue_wait: Arc<Histogram>,
+    queue_depth: Arc<Gauge>,
+    request_latency: Arc<Histogram>,
+    /// Exact largest batch (the histogram max is bucket-exact too, but
+    /// this keeps the old field's exactness guarantee).
     max_batch_rows: AtomicU64,
-    request_latency: SampleRing,
-    backends: Vec<(BackendKind, BackendRecorder)>,
+    backends: Vec<BackendRecorder>,
 }
 
 impl MetricsHub {
-    pub(crate) fn new(backends: &[BackendKind]) -> Self {
+    pub(crate) fn new(telemetry: &Telemetry, backends: &[BackendKind]) -> Self {
         MetricsHub {
             started: Instant::now(),
-            submitted_rows: AtomicU64::new(0),
-            rejected_rows: AtomicU64::new(0),
-            completed_rows: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
+            submitted_rows: telemetry.counter("serve.queue.submitted_rows"),
+            rejected_rows: telemetry.counter("serve.queue.rejected_rows"),
+            completed_rows: telemetry.counter("serve.requests.completed_rows"),
+            batches: telemetry.counter("serve.batcher.batches"),
+            batch_rows: telemetry.histogram("serve.batcher.batch_rows"),
+            queue_wait: telemetry.histogram("serve.queue.wait_us"),
+            queue_depth: telemetry.gauge("serve.queue.depth"),
+            request_latency: telemetry.histogram("serve.request.latency_us"),
             max_batch_rows: AtomicU64::new(0),
-            request_latency: SampleRing::new(),
-            backends: backends.iter().map(|&k| (k, BackendRecorder::new())).collect(),
+            backends: backends.iter().map(|&k| BackendRecorder::new(telemetry, k)).collect(),
         }
     }
 
     pub(crate) fn record_submit(&self, rows: usize) {
-        self.submitted_rows.fetch_add(rows as u64, Ordering::Relaxed);
+        self.submitted_rows.add(rows as u64);
     }
 
     pub(crate) fn record_reject(&self, rows: usize) {
-        self.rejected_rows.fetch_add(rows as u64, Ordering::Relaxed);
+        self.rejected_rows.add(rows as u64);
     }
 
     pub(crate) fn record_batch_formed(&self, rows: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batches.inc();
+        self.batch_rows.record(rows as u64);
         self.max_batch_rows.fetch_max(rows as u64, Ordering::Relaxed);
     }
 
+    /// Enqueue-to-batch-formation wait of one request.
+    pub(crate) fn record_queue_wait(&self, wait_us: u64) {
+        self.queue_wait.record(wait_us);
+    }
+
+    pub(crate) fn record_dispatch(&self, idx: usize) {
+        self.backends[idx].dispatches.inc();
+    }
+
     pub(crate) fn record_request_done(&self, rows: usize, latency_us: u64) {
-        self.completed_rows.fetch_add(rows as u64, Ordering::Relaxed);
-        self.request_latency.push(latency_us);
+        self.completed_rows.add(rows as u64);
+        self.request_latency.record(latency_us);
     }
 
     pub(crate) fn recorder(&self, idx: usize) -> &BackendRecorder {
-        &self.backends[idx].1
+        &self.backends[idx]
     }
 
+    /// Builds the [`ServeStats`] surface and refreshes the sampled
+    /// gauges (queue depth, scheduler estimates, fallback counts) so a
+    /// telemetry export taken afterwards is coherent with it.
     pub(crate) fn snapshot(
         &self,
         queue_rows: usize,
         backend_extra: impl Fn(usize) -> (f64, usize, u64),
     ) -> ServeStats {
-        let batches = self.batches.load(Ordering::Relaxed);
-        let completed = self.completed_rows.load(Ordering::Relaxed);
+        self.queue_depth.set(queue_rows as f64);
+        let batches = self.batches.get();
+        let completed = self.completed_rows.get();
         let uptime = self.started.elapsed();
         let backends = self
             .backends
             .iter()
             .enumerate()
-            .map(|(idx, (kind, rec))| {
+            .map(|(idx, rec)| {
                 let (ewma_us, inflight, fallbacks) = backend_extra(idx);
-                let queries = rec.queries.load(Ordering::Relaxed);
+                rec.ewma_us.set(ewma_us);
+                rec.inflight_rows.set(inflight as f64);
+                rec.device_fallbacks.set(fallbacks as f64);
+                let queries = rec.queries.get();
                 BackendStats {
-                    backend: kind.name().to_string(),
-                    batches: rec.batches.load(Ordering::Relaxed),
+                    backend: rec.kind.name().to_string(),
+                    batches: rec.batches.get(),
                     queries,
                     share_of_queries: if completed > 0 {
                         queries as f64 / completed as f64
@@ -178,21 +181,22 @@ impl MetricsHub {
                     ewma_us_per_query: ewma_us,
                     inflight_rows: inflight,
                     device_fallbacks: fallbacks,
-                    batch_latency: rec.batch_latency.summary(),
+                    batch_latency: LatencySummary::from_histogram(&rec.batch_latency.snapshot()),
                 }
             })
             .collect();
         ServeStats {
             uptime_ms: uptime.as_millis() as u64,
-            submitted_rows: self.submitted_rows.load(Ordering::Relaxed),
-            rejected_rows: self.rejected_rows.load(Ordering::Relaxed),
+            submitted_rows: self.submitted_rows.get(),
+            rejected_rows: self.rejected_rows.get(),
             completed_rows: completed,
             queue_rows,
             batches,
             mean_batch_occupancy: if batches > 0 { completed as f64 / batches as f64 } else { 0.0 },
             max_batch_occupancy: self.max_batch_rows.load(Ordering::Relaxed),
             throughput_qps: completed as f64 / uptime.as_secs_f64().max(1e-9),
-            request_latency: self.request_latency.summary(),
+            queue_wait: LatencySummary::from_histogram(&self.queue_wait.snapshot()),
+            request_latency: LatencySummary::from_histogram(&self.request_latency.snapshot()),
             backends,
         }
     }
@@ -239,6 +243,8 @@ pub struct ServeStats {
     pub max_batch_occupancy: u64,
     /// Completed rows per second of uptime.
     pub throughput_qps: f64,
+    /// Enqueue-to-batch-formation wait over requests.
+    pub queue_wait: LatencySummary,
     /// Enqueue-to-delivery latency over whole requests.
     pub request_latency: LatencySummary,
     /// Per-backend breakdown.
@@ -249,37 +255,73 @@ pub struct ServeStats {
 mod tests {
     use super::*;
 
+    fn hub() -> (Telemetry, MetricsHub) {
+        let tel = Telemetry::new();
+        let hub = MetricsHub::new(&tel, &BackendKind::ALL);
+        (tel, hub)
+    }
+
     #[test]
-    fn percentiles_of_known_series() {
-        let ring = SampleRing::new();
+    fn percentiles_of_known_series_are_bucket_accurate() {
+        let (_tel, hub) = hub();
         for v in 1..=100u64 {
-            ring.push(v);
+            hub.record_request_done(1, v);
         }
-        let s = ring.summary();
-        assert_eq!(s.count, 100);
-        assert_eq!(s.p50_us, 50);
-        assert_eq!(s.p95_us, 95);
-        assert_eq!(s.p99_us, 99);
-        assert_eq!(s.max_us, 100);
-        assert!((s.mean_us - 50.5).abs() < 1e-9);
+        let s = hub.snapshot(0, |_| (0.0, 0, 0));
+        let lat = s.request_latency;
+        assert_eq!(lat.count, 100);
+        assert_eq!(lat.max_us, 100);
+        assert!((lat.mean_us - 50.5).abs() < 1e-9, "mean is exact");
+        // Bucket-estimated percentiles: within one 12.5% sub-bucket of
+        // the exact rank statistic.
+        for (est, exact) in [(lat.p50_us, 50u64), (lat.p95_us, 95), (lat.p99_us, 99)] {
+            let rel = (est as f64 - exact as f64).abs() / exact as f64;
+            assert!(rel <= 0.125, "estimate {est} vs exact {exact} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn snapshot_never_sorts_and_scales_to_large_series() {
+        let (_tel, hub) = hub();
+        // 2^18 samples used to be the sort cap; record past it and check
+        // count/extremes stay exact — snapshot cost is now O(buckets).
+        for v in 0..300_000u64 {
+            hub.record_request_done(1, v % 5_000);
+        }
+        let s = hub.snapshot(0, |_| (0.0, 0, 0));
+        assert_eq!(s.request_latency.count, 300_000);
+        assert_eq!(s.request_latency.max_us, 4_999);
+        assert!(s.request_latency.p50_us <= s.request_latency.p95_us);
+        assert!(s.request_latency.p95_us <= s.request_latency.p99_us);
+    }
+
+    #[test]
+    fn metrics_surface_in_the_telemetry_registry() {
+        let (tel, hub) = hub();
+        hub.record_submit(4);
+        hub.record_batch_formed(4);
+        hub.record_dispatch(1);
+        hub.recorder(1).record_batch(4, 250);
+        hub.record_request_done(4, 400);
+        let _ = hub.snapshot(2, |_| (1.5, 3, 0));
+        let m = tel.metrics_snapshot();
+        assert_eq!(m.counter("serve.queue.submitted_rows"), Some(4));
+        assert_eq!(m.counter("serve.batcher.batches"), Some(1));
+        assert_eq!(m.counter("serve.scheduler.gpu-sim-hybrid.dispatches"), Some(1));
+        assert_eq!(m.counter("serve.backend.gpu-sim-hybrid.queries"), Some(4));
+        assert_eq!(m.gauge("serve.queue.depth"), Some(2.0));
+        assert_eq!(m.gauge("serve.scheduler.gpu-sim-hybrid.ewma_us"), Some(1.5));
+        assert_eq!(
+            m.histogram("serve.backend.gpu-sim-hybrid.batch_latency_us").map(|h| h.count),
+            Some(1)
+        );
     }
 
     #[test]
     fn single_sample_summary() {
-        let ring = SampleRing::new();
-        ring.push(7);
-        let s = ring.summary();
-        assert_eq!((s.p50_us, s.p95_us, s.p99_us, s.max_us), (7, 7, 7, 7));
-    }
-
-    #[test]
-    fn ring_wraps_at_capacity() {
-        let ring = SampleRing::new();
-        for _ in 0..SAMPLE_CAP + 10 {
-            ring.push(1);
-        }
-        let s = ring.summary();
-        assert_eq!(s.count, (SAMPLE_CAP + 10) as u64);
-        assert_eq!(ring.samples.lock().unwrap().len(), SAMPLE_CAP);
+        let (_tel, hub) = hub();
+        hub.record_request_done(1, 7);
+        let lat = hub.snapshot(0, |_| (0.0, 0, 0)).request_latency;
+        assert_eq!((lat.p50_us, lat.p95_us, lat.p99_us, lat.max_us), (7, 7, 7, 7));
     }
 }

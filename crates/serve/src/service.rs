@@ -16,6 +16,7 @@ use crate::queue::{Pending, RequestQueue};
 use crate::scheduler::{SchedulePolicy, Scheduler};
 use crate::ticket::{Slot, Ticket};
 use rfx_forest::dataset::QueryView;
+use rfx_telemetry::{span, Telemetry};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -66,6 +67,7 @@ struct FormedBatch {
 struct Shared {
     model: ServeModel,
     queue: RequestQueue,
+    telemetry: Telemetry,
     metrics: MetricsHub,
     scheduler: Scheduler,
     backends: Vec<Box<dyn Backend + Sync>>,
@@ -86,6 +88,19 @@ impl RfxServe {
     /// If `config.backends` is empty, lists duplicates, or
     /// `max_batch_size`/`queue_capacity` is zero.
     pub fn start(model: ServeModel, config: ServeConfig) -> RfxServe {
+        Self::start_with_telemetry(model, config, Telemetry::new())
+    }
+
+    /// [`RfxServe::start`] recording into a caller-provided telemetry
+    /// domain — pass [`rfx_telemetry::global()`] (cloned) to merge the
+    /// service's metrics and spans with the simulators' process-global
+    /// instrumentation in one export, or a fresh domain per service for
+    /// isolation (the default).
+    pub fn start_with_telemetry(
+        model: ServeModel,
+        config: ServeConfig,
+        telemetry: Telemetry,
+    ) -> RfxServe {
         assert!(!config.backends.is_empty(), "executor pool needs at least one backend");
         assert!(config.max_batch_size > 0, "max_batch_size must be positive");
         assert!(config.queue_capacity > 0, "queue_capacity must be positive");
@@ -100,7 +115,7 @@ impl RfxServe {
         let backends: Vec<Box<dyn Backend + Sync>> =
             config.backends.iter().map(|&k| make_backend(k, &model)).collect();
         let scheduler = Scheduler::new(config.policy, &config.backends);
-        let metrics = MetricsHub::new(&config.backends);
+        let metrics = MetricsHub::new(&telemetry, &config.backends);
 
         if config.seed_probe_rows > 0 {
             probe_backends(&model, &backends, &scheduler, config.seed_probe_rows);
@@ -109,6 +124,7 @@ impl RfxServe {
         let shared = Arc::new(Shared {
             model,
             queue: RequestQueue::new(config.queue_capacity),
+            telemetry,
             metrics,
             scheduler,
             backends,
@@ -203,6 +219,12 @@ impl RfxServe {
         })
     }
 
+    /// The telemetry domain this service records into. Clone it to keep
+    /// exporting after [`RfxServe::shutdown`] consumes the service.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
+    }
+
     /// The served model.
     pub fn model(&self) -> &ServeModel {
         &self.shared.model
@@ -266,7 +288,12 @@ fn batcher_loop(
 ) {
     let nf = shared.model.num_features();
     while let Some(mut entries) = shared.queue.collect_batch(max_rows, max_delay) {
+        let formed_at = Instant::now();
         let rows: usize = entries.iter().map(|p| p.rows).sum();
+        for pending in &entries {
+            let wait = formed_at.saturating_duration_since(pending.slot.enqueued);
+            shared.metrics.record_queue_wait(wait.as_micros() as u64);
+        }
         // Single-request batches reuse the request's own buffer; merged
         // batches concatenate into one contiguous row-major block.
         let features = if entries.len() == 1 {
@@ -280,6 +307,7 @@ fn batcher_loop(
         };
         shared.metrics.record_batch_formed(rows);
         let idx = shared.scheduler.dispatch(rows);
+        shared.metrics.record_dispatch(idx);
         if senders[idx].send(FormedBatch { entries, features, rows }).is_err() {
             // Worker gone (panicked); Pending's drop resolves the
             // tickets with `Dropped`.
@@ -292,12 +320,19 @@ fn batcher_loop(
 /// Executes batches on one backend until the batcher hangs up.
 fn worker_loop(shared: &Shared, idx: usize, rx: mpsc::Receiver<FormedBatch>) {
     let backend = &shared.backends[idx];
+    let name = backend.kind().name();
     let nf = shared.model.num_features();
     while let Ok(batch) = rx.recv() {
+        // Span tree per batch: `serve.batch` (execute + deliver) with a
+        // `serve.batch.traverse` child timing just the backend kernel.
+        let batch_span = span!(shared.telemetry, "serve.batch", backend = name, rows = batch.rows);
         let queries = QueryView::new(&batch.features, nf).expect("batch shape");
         let mut out = vec![0; batch.rows];
         let t0 = Instant::now();
-        backend.predict(queries, &mut out);
+        {
+            let _traverse = span!(shared.telemetry, "serve.batch.traverse", backend = name);
+            backend.predict(queries, &mut out);
+        }
         let elapsed = t0.elapsed();
         shared.scheduler.complete(idx, batch.rows, elapsed);
         shared.metrics.recorder(idx).record_batch(batch.rows, elapsed.as_micros() as u64);
@@ -311,5 +346,6 @@ fn worker_loop(shared: &Shared, idx: usize, rx: mpsc::Receiver<FormedBatch>) {
             shared.metrics.record_request_done(pending.rows, latency.as_micros() as u64);
             pending.slot.fulfill(Ok(labels));
         }
+        drop(batch_span);
     }
 }

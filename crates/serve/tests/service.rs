@@ -163,6 +163,72 @@ fn every_backend_matches_the_serial_reference() {
 }
 
 #[test]
+fn telemetry_surface_covers_queue_batcher_scheduler_and_backends() {
+    let tel = rfx_telemetry::Telemetry::new();
+    let serve = RfxServe::start_with_telemetry(
+        model(9),
+        ServeConfig {
+            max_batch_size: 8,
+            max_batch_delay: Duration::from_millis(1),
+            policy: SchedulePolicy::RoundRobin,
+            ..ServeConfig::default()
+        },
+        tel.clone(),
+    );
+    let mut rng = StdRng::seed_from_u64(17);
+    let tickets: Vec<Ticket> = (0..24).map(|_| serve.submit(&rows(&mut rng, 1)).unwrap()).collect();
+    for t in &tickets {
+        t.wait_one().unwrap();
+    }
+    let stats = serve.shutdown();
+    assert_eq!(stats.completed_rows, 24);
+
+    let snap = tel.snapshot();
+    let m = &snap.metrics;
+    assert_eq!(m.counter("serve.queue.submitted_rows"), Some(24));
+    assert_eq!(m.counter("serve.requests.completed_rows"), Some(24));
+    assert!(m.counter("serve.batcher.batches").unwrap() >= 1);
+    assert!(m.gauge("serve.queue.depth").is_some());
+    assert_eq!(m.histogram("serve.queue.wait_us").map(|h| h.count), Some(24));
+    assert_eq!(m.histogram("serve.request.latency_us").map(|h| h.count), Some(24));
+    // Scheduler + per-backend series exist for every pool member, and
+    // round-robin guarantees each backend executed something.
+    let mut dispatched = 0;
+    for kind in BackendKind::ALL {
+        let name = kind.name();
+        dispatched += m.counter(&format!("serve.scheduler.{name}.dispatches")).unwrap();
+        assert!(m.gauge(&format!("serve.scheduler.{name}.ewma_us")).is_some());
+        assert!(m.histogram(&format!("serve.backend.{name}.batch_latency_us")).is_some());
+    }
+    assert_eq!(dispatched, m.counter("serve.batcher.batches").unwrap());
+
+    // Span tree per backend: a `serve.batch` root with a
+    // `serve.batch.traverse` child, tagged with the backend name.
+    for kind in BackendKind::ALL {
+        if m.counter(&format!("serve.backend.{}.batches", kind.name())).unwrap() == 0 {
+            continue;
+        }
+        let root = snap
+            .trace
+            .spans
+            .iter()
+            .find(|s| {
+                s.name == "serve.batch"
+                    && s.attrs.iter().any(|(k, v)| k == "backend" && v == kind.name())
+            })
+            .unwrap_or_else(|| panic!("no serve.batch span for {}", kind.name()));
+        assert_eq!(snap.trace.depth_of(root), 0);
+        let child = snap
+            .trace
+            .spans
+            .iter()
+            .find(|s| s.parent == root.id && s.name == "serve.batch.traverse")
+            .unwrap_or_else(|| panic!("no traverse child for {}", kind.name()));
+        assert!(child.duration_us <= root.duration_us);
+    }
+}
+
+#[test]
 fn stats_snapshot_is_json_serializable() {
     let serve = RfxServe::start_default(model(8));
     let mut rng = StdRng::seed_from_u64(16);

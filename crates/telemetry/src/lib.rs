@@ -1,0 +1,157 @@
+//! # rfx-telemetry
+//!
+//! Zero-dependency structured observability for the rfx stack: a
+//! [`Registry`] of counters, gauges, and fixed-bucket histograms with
+//! lock-free hot-path recording; lightweight span tracing
+//! ([`span!`]) with monotonic timing, parent/child nesting, and a
+//! ring-buffer [`TraceRecorder`]; and exporters to human-readable text
+//! and schema-stable JSON ([`export`]) that CI diffs across runs.
+//!
+//! Two usage patterns, both via the cheap-to-clone [`Telemetry`] handle:
+//!
+//! * **Per-instance** — `rfx-serve` creates one `Telemetry` per service
+//!   so concurrent services (and unit tests) never share state; its
+//!   `ServeStats` snapshot is computed from the registry's histograms.
+//! * **Process-global** — [`global()`] returns the process-wide handle
+//!   the device simulators and kernels record into (behind their
+//!   `telemetry` feature), since they have no service handle to thread
+//!   through the call graph.
+//!
+//! Metric names are dotted paths, lowest-level component last:
+//! `serve.queue.depth`, `serve.backend.cpu-parallel.batch_latency_us`,
+//! `gpusim.dram.transactions`, `fpgasim.pipeline.stall_cycles`. Unit
+//! suffixes (`_us`, `_bytes`, `_rows`, `_cycles`) are part of the name.
+//!
+//! ```
+//! use rfx_telemetry::Telemetry;
+//!
+//! let tel = Telemetry::new();
+//! let hits = tel.counter("cache.hits");      // register once,
+//! hits.inc();                                 // record lock-free.
+//! tel.histogram("req.latency_us").record(250);
+//! {
+//!     let _span = rfx_telemetry::span!(tel, "batch.traverse", backend = "cpu");
+//! }
+//! let snap = tel.snapshot();
+//! assert_eq!(snap.metrics.counter("cache.hits"), Some(1));
+//! println!("{}", rfx_telemetry::export::to_json(&snap));
+//! ```
+
+pub mod export;
+pub mod metrics;
+pub mod registry;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramBucket, HistogramSnapshot};
+pub use registry::{MetricsSnapshot, Registry};
+pub use trace::{Span, SpanRecord, TraceRecorder, TraceSnapshot};
+
+use std::sync::{Arc, OnceLock};
+
+/// One observability domain: a metrics registry plus a trace recorder.
+/// Clones share the same underlying state.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    registry: Arc<Registry>,
+    tracer: Arc<TraceRecorder>,
+}
+
+impl Telemetry {
+    /// A fresh, empty telemetry domain.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// A domain whose trace ring retains `span_capacity` spans.
+    pub fn with_span_capacity(span_capacity: usize) -> Self {
+        Telemetry {
+            registry: Arc::new(Registry::new()),
+            tracer: Arc::new(TraceRecorder::with_capacity(span_capacity)),
+        }
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The underlying trace recorder.
+    pub fn tracer(&self) -> &TraceRecorder {
+        &self.tracer
+    }
+
+    /// Gets or creates a counter (see [`Registry::counter`]).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.registry.counter(name)
+    }
+
+    /// Gets or creates a gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.registry.gauge(name)
+    }
+
+    /// Gets or creates a histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.registry.histogram(name)
+    }
+
+    /// Opens a span (prefer the [`span!`] macro).
+    pub fn start_span(&self, name: &'static str) -> Span<'_> {
+        self.tracer.start_span(name)
+    }
+
+    /// Copies the current metric values.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Copies the retained spans.
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        self.tracer.snapshot()
+    }
+
+    /// Full snapshot: metrics plus spans.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot { metrics: self.metrics_snapshot(), trace: self.trace_snapshot() }
+    }
+}
+
+/// Point-in-time copy of a whole [`Telemetry`] domain.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Every registered metric's value.
+    pub metrics: MetricsSnapshot,
+    /// The retained span window.
+    pub trace: TraceSnapshot,
+}
+
+static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+
+/// The process-wide telemetry domain. Created on first use; never reset.
+/// The simulators and kernels record here (feature-gated), because no
+/// per-call handle reaches that far down the stack.
+pub fn global() -> &'static Telemetry {
+    GLOBAL.get_or_init(Telemetry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let a = Telemetry::new();
+        let b = a.clone();
+        a.counter("n").inc();
+        b.counter("n").inc();
+        assert_eq!(a.metrics_snapshot().counter("n"), Some(2));
+    }
+
+    #[test]
+    fn global_is_stable() {
+        let g1 = global();
+        let g2 = global();
+        g1.counter("lib.global.test").inc();
+        assert!(g2.metrics_snapshot().counter("lib.global.test").unwrap_or(0) >= 1);
+    }
+}

@@ -1,0 +1,278 @@
+//! Lightweight span tracing with a ring-buffer recorder.
+//!
+//! A [`Span`] is an RAII guard: creation stamps a monotonic start time
+//! and pushes the span onto a thread-local parent stack; drop pops the
+//! stack and appends one [`SpanRecord`] to the recorder's ring buffer.
+//! Parent/child nesting therefore falls out of lexical scope per thread,
+//! with no runtime configuration. The ring keeps the most recent
+//! `capacity` completed spans — recent-window semantics, bounded memory.
+//!
+//! Cost per span: two `Instant::now` calls, one thread-local push/pop,
+//! and one short mutex-protected ring append at drop. That is batch-level
+//! instrumentation (one span per batch/launch), not per-row.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Default completed-span capacity of a recorder.
+pub const DEFAULT_SPAN_CAPACITY: usize = 4096;
+
+/// Distinguishes recorders so nested spans on one thread attach to the
+/// right parent even when several recorders are live (e.g. a service's
+/// own tracer plus the global one).
+static NEXT_RECORDER_ID: AtomicUsize = AtomicUsize::new(1);
+
+thread_local! {
+    /// Stack of `(recorder_id, span_id)` for the spans open on this
+    /// thread, innermost last.
+    static OPEN_SPANS: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Recorder-unique id, assigned in start order from 1.
+    pub id: u64,
+    /// Id of the enclosing span on the same thread and recorder, or 0
+    /// for a root span.
+    pub parent: u64,
+    /// Span name (`serve.batch`, `gpusim.launch`, ...).
+    pub name: String,
+    /// Start time in µs since the recorder was created (monotonic clock).
+    pub start_us: u64,
+    /// Wall-clock duration in µs.
+    pub duration_us: u64,
+    /// Key/value attributes attached via [`Span::set_attr`].
+    pub attrs: Vec<(String, String)>,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    spans: Vec<SpanRecord>,
+    /// Index of the oldest record once the ring has wrapped.
+    head: usize,
+    /// Total records ever pushed (so snapshots report drops).
+    pushed: u64,
+}
+
+/// Collects completed spans into a bounded ring buffer.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    recorder_id: usize,
+    epoch: Instant,
+    next_span: AtomicU64,
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+}
+
+impl TraceRecorder {
+    /// A recorder with the default capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A recorder retaining the `capacity` most recent completed spans.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "span capacity must be positive");
+        TraceRecorder {
+            recorder_id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+            epoch: Instant::now(),
+            next_span: AtomicU64::new(1),
+            capacity,
+            ring: Mutex::new(Ring::default()),
+        }
+    }
+
+    /// Opens a span; it records itself when dropped. Prefer the
+    /// [`crate::span!`] macro, which also attaches attributes.
+    pub fn start_span(&self, name: &'static str) -> Span<'_> {
+        let id = self.next_span.fetch_add(1, Ordering::Relaxed);
+        let parent = OPEN_SPANS.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack
+                .iter()
+                .rev()
+                .find(|(rec, _)| *rec == self.recorder_id)
+                .map_or(0, |&(_, id)| id);
+            stack.push((self.recorder_id, id));
+            parent
+        });
+        Span { recorder: self, id, parent, name, started: Instant::now(), attrs: Vec::new() }
+    }
+
+    /// Completed spans, oldest first, plus how many were dropped to the
+    /// ring bound.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let ring = self.ring.lock().unwrap();
+        let mut spans = Vec::with_capacity(ring.spans.len());
+        spans.extend_from_slice(&ring.spans[ring.head..]);
+        spans.extend_from_slice(&ring.spans[..ring.head]);
+        TraceSnapshot { dropped: ring.pushed - spans.len() as u64, spans }
+    }
+
+    fn push(&self, record: SpanRecord) {
+        let mut ring = self.ring.lock().unwrap();
+        ring.pushed += 1;
+        if ring.spans.len() < self.capacity {
+            ring.spans.push(record);
+        } else {
+            let head = ring.head;
+            ring.spans[head] = record;
+            ring.head = (head + 1) % self.capacity;
+        }
+    }
+}
+
+/// Completed spans captured from a [`TraceRecorder`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSnapshot {
+    /// Spans evicted by the ring bound before this snapshot.
+    pub dropped: u64,
+    /// Retained spans, oldest first.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl TraceSnapshot {
+    /// Nesting depth of a span: 0 for roots, parent depth + 1 otherwise
+    /// (parents evicted from the ring count as missing → treated as
+    /// root).
+    pub fn depth_of(&self, span: &SpanRecord) -> usize {
+        let mut depth = 0;
+        let mut parent = span.parent;
+        while parent != 0 {
+            match self.spans.iter().find(|s| s.id == parent) {
+                Some(p) => {
+                    depth += 1;
+                    parent = p.parent;
+                }
+                None => break,
+            }
+        }
+        depth
+    }
+}
+
+/// RAII guard for an open span (see [`TraceRecorder::start_span`]).
+#[must_use = "a span measures the scope it lives in; binding it to `_` drops it immediately"]
+pub struct Span<'a> {
+    recorder: &'a TraceRecorder,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    started: Instant,
+    attrs: Vec<(String, String)>,
+}
+
+impl Span<'_> {
+    /// Attaches a key/value attribute.
+    pub fn set_attr(&mut self, key: &str, value: String) {
+        self.attrs.push((key.to_string(), value));
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let duration_us = self.started.elapsed().as_micros() as u64;
+        let start_us = self.started.duration_since(self.recorder.epoch).as_micros() as u64;
+        OPEN_SPANS.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Scoped guards drop LIFO, so this span is the innermost
+            // entry for its recorder; remove exactly it.
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|&(rec, id)| rec == self.recorder.recorder_id && id == self.id)
+            {
+                stack.remove(pos);
+            }
+        });
+        self.recorder.push(SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: self.name.to_string(),
+            start_us,
+            duration_us,
+            attrs: std::mem::take(&mut self.attrs),
+        });
+    }
+}
+
+/// Opens a span on a telemetry handle or recorder, with optional
+/// attributes:
+///
+/// ```
+/// let tel = rfx_telemetry::Telemetry::new();
+/// let rows = 128;
+/// {
+///     let _span = rfx_telemetry::span!(tel, "batch.traverse", backend = "cpu", rows = rows);
+///     // ... work measured by the span ...
+/// }
+/// assert_eq!(tel.trace_snapshot().spans.len(), 1);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($telemetry:expr, $name:expr $(, $key:ident = $value:expr)* $(,)?) => {{
+        #[allow(unused_mut)]
+        let mut span = $telemetry.start_span($name);
+        $( span.set_attr(stringify!($key), format!("{}", $value)); )*
+        span
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_by_scope() {
+        let rec = TraceRecorder::new();
+        {
+            let _outer = rec.start_span("outer");
+            {
+                let _inner = rec.start_span("inner");
+            }
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        // Drop order: inner completes first.
+        let inner = &snap.spans[0];
+        let outer = &snap.spans[1];
+        assert_eq!(inner.name, "inner");
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(outer.parent, 0);
+        assert_eq!(snap.depth_of(inner), 1);
+        assert_eq!(snap.depth_of(outer), 0);
+    }
+
+    #[test]
+    fn two_recorders_do_not_cross_link() {
+        let a = TraceRecorder::new();
+        let b = TraceRecorder::new();
+        let _sa = a.start_span("a.root");
+        let sb = b.start_span("b.root");
+        // b's span opened inside a's scope, but on a different recorder:
+        // it must be a root of b, not a child of a's span.
+        assert_eq!(sb.parent, 0);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let rec = TraceRecorder::with_capacity(4);
+        for _ in 0..10 {
+            let _s = rec.start_span("s");
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), 4);
+        assert_eq!(snap.dropped, 6);
+        // Oldest-first ordering with ids of the last four spans.
+        let ids: Vec<u64> = snap.spans.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![7, 8, 9, 10]);
+    }
+}
