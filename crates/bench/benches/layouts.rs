@@ -1,5 +1,5 @@
 //! Criterion micro-benchmarks: host-side traversal throughput of each
-//! forest layout (the CPU inference engines of `rfx-kernels::cpu`).
+//! forest layout through the `rfx-kernels` execution engines.
 //!
 //! These measure real wall-clock time of this library's code (not the
 //! simulated devices) — the practical numbers a CPU deployment would see,
@@ -12,6 +12,7 @@ use rfx_core::hier::builder::build_forest;
 use rfx_core::{CsrForest, FilForest, HierConfig};
 use rfx_forest::dataset::QueryView;
 use rfx_forest::{DecisionTree, RandomForest};
+use rfx_kernels::{Predictor, RowParallel, ShardedEngine};
 
 fn fixture() -> (RandomForest, Vec<f32>) {
     let mut rng = StdRng::seed_from_u64(0xBE);
@@ -32,14 +33,30 @@ fn bench_layouts(c: &mut Criterion) {
     group.sample_size(20);
 
     group.bench_function("reference", |b| {
-        b.iter(|| rfx_kernels::cpu::predict_parallel(&forest, qv))
+        let engine = RowParallel::new(&forest);
+        b.iter(|| engine.predict(qv))
     });
-    group.bench_function("csr", |b| b.iter(|| rfx_kernels::cpu::predict_csr_parallel(&csr, qv)));
-    group.bench_function("fil", |b| b.iter(|| rfx_kernels::cpu::predict_fil_parallel(&fil, qv)));
+    group.bench_function("csr", |b| {
+        let engine = RowParallel::new(&csr);
+        b.iter(|| engine.predict(qv))
+    });
+    group.bench_function("fil", |b| {
+        let engine = RowParallel::new(&fil);
+        b.iter(|| engine.predict(qv))
+    });
+    group.bench_function("sharded", |b| {
+        let engine = ShardedEngine::new(&forest);
+        b.iter(|| engine.predict(qv))
+    });
     for sd in [4u8, 6, 8] {
         let hier = build_forest(&forest, HierConfig::uniform(sd)).unwrap();
         group.bench_with_input(BenchmarkId::new("hier", sd), &hier, |b, h| {
-            b.iter(|| rfx_kernels::cpu::predict_hier_parallel(h, qv))
+            let engine = RowParallel::new(h);
+            b.iter(|| engine.predict(qv))
+        });
+        group.bench_with_input(BenchmarkId::new("hier_sharded", sd), &hier, |b, h| {
+            let engine = ShardedEngine::new(h);
+            b.iter(|| engine.predict(qv))
         });
     }
     group.finish();

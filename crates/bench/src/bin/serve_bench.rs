@@ -8,6 +8,12 @@
 //! occupancy > 1, the property that separates *serving* from
 //! one-query-at-a-time inference.
 //!
+//! Two artifacts are written: `serve-<scale>.json` with the policy-mix
+//! scenarios, and `serve-sharded-<scale>.json` with a large-batch
+//! head-to-head between `cpu-parallel` and the tree-sharded engine (the
+//! CI regression gate for the sharded execution path). `--backend <kind>`
+//! swaps the sharded side of that comparison for any other backend.
+//!
 //! `--telemetry-out <path>` additionally writes an `rfx-telemetry` JSON
 //! document with one section per scenario (each served from its own
 //! telemetry domain, so counters do not bleed across scenarios) plus a
@@ -38,14 +44,6 @@ struct Scenario {
     stats: ServeStats,
 }
 
-fn policy_name(policy: SchedulePolicy) -> String {
-    match policy {
-        SchedulePolicy::Auto => "auto".into(),
-        SchedulePolicy::RoundRobin => "round-robin".into(),
-        SchedulePolicy::Fixed(kind) => format!("fixed:{}", kind.name()),
-    }
-}
-
 /// Parses `--telemetry-out <path>` (also `--telemetry-out=<path>`).
 fn telemetry_out_from_args() -> Option<PathBuf> {
     let args: Vec<String> = std::env::args().collect();
@@ -60,9 +58,98 @@ fn telemetry_out_from_args() -> Option<PathBuf> {
     value
 }
 
+/// Parses `--backend <kind>` (also `--backend=<kind>`): the backend to
+/// pit against `cpu-parallel` in the large-batch comparison. Defaults to
+/// `cpu-sharded`; an unknown name exits with the full variant list.
+fn backend_from_args() -> BackendKind {
+    let args: Vec<String> = std::env::args().collect();
+    let mut value = None;
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--backend=") {
+            value = Some(v.to_string());
+        } else if a == "--backend" {
+            value = args.get(i + 1).cloned();
+        }
+    }
+    match value {
+        None => BackendKind::CpuSharded,
+        Some(s) => s.parse().unwrap_or_else(|err| {
+            eprintln!("serve_bench: {err}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn run_scenario(
+    model: &ServeModel,
+    name: &str,
+    policy: SchedulePolicy,
+    clients: usize,
+    rows_per_request: usize,
+    requests_per_client: usize,
+) -> (Scenario, Snapshot) {
+    let telemetry = Telemetry::new();
+    let serve = RfxServe::start_with_telemetry(
+        model.clone(),
+        ServeConfig {
+            max_batch_size: 256,
+            max_batch_delay: Duration::from_millis(1),
+            policy,
+            ..ServeConfig::default()
+        },
+        telemetry.clone(),
+    );
+    let load = run_closed_loop(
+        &serve,
+        &LoadGenConfig {
+            clients,
+            requests_per_client,
+            rows_per_request,
+            seed: 0xBEEF,
+            ..LoadGenConfig::default()
+        },
+    );
+    let stats = serve.shutdown();
+    assert!(
+        stats.mean_batch_occupancy > 1.0,
+        "{name}: concurrent closed-loop load must batch (occupancy {:.2})",
+        stats.mean_batch_occupancy
+    );
+    let scenario = Scenario {
+        name: name.to_string(),
+        policy: policy.to_string(),
+        clients,
+        rows_per_request,
+        load,
+        stats,
+    };
+    (scenario, telemetry.snapshot())
+}
+
+fn table_row(table: &mut Table, s: &Scenario) {
+    let top = s
+        .stats
+        .backends
+        .iter()
+        .max_by_key(|b| b.queries)
+        .map(|b| format!("{} ({:.0}%)", b.backend, b.share_of_queries * 100.0))
+        .unwrap_or_default();
+    table.row(vec![
+        s.name.clone(),
+        format!("{:.0}", s.stats.throughput_qps),
+        format!("{}", s.stats.request_latency.p50_us),
+        format!("{}", s.stats.request_latency.p95_us),
+        format!("{}", s.stats.request_latency.p99_us),
+        format!("{:.2}", s.stats.mean_batch_occupancy),
+        format!("{}", s.load.rejections),
+        top,
+    ]);
+}
+
 fn main() {
     let scale = Scale::from_args();
     let telemetry_out = telemetry_out_from_args();
+    let focus = backend_from_args();
     let (requests_per_client, depth, trees) = match scale {
         Scale::Tiny => (40, 8, 10),
         _ => (150, 12, 20),
@@ -84,61 +171,64 @@ fn main() {
     let mut results = Vec::new();
     let mut sections: Vec<(String, Snapshot)> = Vec::new();
     for (name, policy, clients, rows_per_request) in scenarios {
-        let telemetry = Telemetry::new();
-        let serve = RfxServe::start_with_telemetry(
-            model.clone(),
-            ServeConfig {
-                max_batch_size: 256,
-                max_batch_delay: Duration::from_millis(1),
-                policy,
-                ..ServeConfig::default()
-            },
-            telemetry.clone(),
-        );
-        let load = run_closed_loop(
-            &serve,
-            &LoadGenConfig {
-                clients,
-                requests_per_client,
-                rows_per_request,
-                seed: 0xBEEF,
-                ..LoadGenConfig::default()
-            },
-        );
-        let stats = serve.shutdown();
-        let top = stats
-            .backends
-            .iter()
-            .max_by_key(|b| b.queries)
-            .map(|b| format!("{} ({:.0}%)", b.backend, b.share_of_queries * 100.0))
-            .unwrap_or_default();
-        table.row(vec![
-            name.to_string(),
-            format!("{:.0}", stats.throughput_qps),
-            format!("{}", stats.request_latency.p50_us),
-            format!("{}", stats.request_latency.p95_us),
-            format!("{}", stats.request_latency.p99_us),
-            format!("{:.2}", stats.mean_batch_occupancy),
-            format!("{}", load.rejections),
-            top,
-        ]);
-        assert!(
-            stats.mean_batch_occupancy > 1.0,
-            "{name}: concurrent closed-loop load must batch (occupancy {:.2})",
-            stats.mean_batch_occupancy
-        );
-        results.push(Scenario {
-            name: name.to_string(),
-            policy: policy_name(policy),
-            clients,
-            rows_per_request,
-            load,
-            stats,
-        });
-        sections.push((name.to_string(), telemetry.snapshot()));
+        let (scenario, snapshot) =
+            run_scenario(&model, name, policy, clients, rows_per_request, requests_per_client);
+        table_row(&mut table, &scenario);
+        results.push(scenario);
+        sections.push((name.to_string(), snapshot));
     }
     table.print();
     write_json("serve", scale.label(), &results);
+
+    // Large-batch head-to-head: the legacy row-parallel engine vs the
+    // tree-sharded engine (or `--backend`), each pinned via Fixed so the
+    // scheduler cannot blur the comparison. Big requests make batches
+    // large enough for shard/tile scheduling to matter. Each side keeps
+    // its best of three longer runs — wall-clock serving throughput on a
+    // shared machine is noisy, and the best run is the least-perturbed
+    // measurement of the engine itself.
+    let mut sharded_results = Vec::new();
+    for kind in [BackendKind::CpuParallel, focus] {
+        let name = format!("large-batch-{kind}");
+        let mut best: Option<(Scenario, Snapshot)> = None;
+        for _ in 0..3 {
+            let (scenario, snapshot) = run_scenario(
+                &model,
+                &name,
+                SchedulePolicy::Fixed(kind),
+                8,
+                64,
+                4 * requests_per_client,
+            );
+            if best
+                .as_ref()
+                .is_none_or(|(b, _)| scenario.stats.throughput_qps > b.stats.throughput_qps)
+            {
+                best = Some((scenario, snapshot));
+            }
+        }
+        let (scenario, snapshot) = best.expect("three runs produce a best");
+        table_row(&mut table, &scenario);
+        sharded_results.push(scenario);
+        sections.push((name, snapshot));
+    }
+    let parallel_qps = sharded_results[0].stats.throughput_qps;
+    let focus_qps = sharded_results[1].stats.throughput_qps;
+    println!(
+        "large-batch throughput: {focus} {:.0} qps vs cpu-parallel {:.0} qps ({:.2}x)",
+        focus_qps,
+        parallel_qps,
+        focus_qps / parallel_qps
+    );
+    if focus == BackendKind::CpuSharded {
+        // Parity-or-better is the design goal; allow 10% slack for
+        // wall-clock noise on loaded CI machines.
+        assert!(
+            focus_qps >= 0.9 * parallel_qps,
+            "cpu-sharded ({focus_qps:.0} qps) fell behind cpu-parallel ({parallel_qps:.0} qps)"
+        );
+    }
+    write_json("serve-sharded", scale.label(), &sharded_results);
 
     if let Some(path) = telemetry_out {
         // The process-global domain collects whatever the kernels and

@@ -1,15 +1,16 @@
-//! CPU inference engines (functional reference and practical path).
+//! CPU inference: the functional reference plus the **deprecated**
+//! free-function engine zoo.
 //!
-//! Two API layers:
-//!
-//! * **Batch-slice engines** (`*_range_into`): predict a contiguous query
-//!   range into a caller-provided output slice, allocation-free. These are
-//!   what the `rfx-serve` dynamic batcher and the bench harnesses drive —
-//!   an online service re-predicts small batches at high rate, where a
-//!   fresh `Vec` per call is measurable garbage.
-//! * **Whole-batch engines** (`predict_*`): the original allocate-and-
-//!   return entry points, now thin wrappers over the slice engines.
+//! The practical CPU path now lives behind the unified
+//! [`Predictor`](crate::engine::Predictor) trait in [`crate::engine`]:
+//! [`ShardedEngine`](crate::engine::ShardedEngine) (tree-sharded,
+//! cache-blocked) and [`RowParallel`](crate::engine::RowParallel) (the
+//! legacy row-parallel schedule). The per-layout `predict_*_parallel` /
+//! `*_range_into` free functions below are kept as thin wrappers for one
+//! release so out-of-tree callers can migrate; everything in-repo already
+//! speaks `Predictor`.
 
+use crate::engine::{Predictor, RowParallel};
 use rfx_core::{CsrForest, FilForest, HierForest, Label};
 use rfx_forest::dataset::QueryView;
 use rfx_forest::RandomForest;
@@ -23,6 +24,7 @@ pub fn predict_reference(forest: &RandomForest, queries: QueryView) -> Vec<Label
 
 /// Serial slice engine over the node-vector forest: predicts
 /// `queries[range]` into `out` (`out.len()` must equal `range.len()`).
+#[deprecated(since = "0.2.0", note = "use rfx_kernels::engine::{Predictor, ShardedEngine} instead")]
 pub fn predict_range_into(
     forest: &RandomForest,
     queries: QueryView,
@@ -36,6 +38,7 @@ pub fn predict_range_into(
 }
 
 /// Serial slice engine over the hierarchical layout.
+#[deprecated(since = "0.2.0", note = "use rfx_kernels::engine::{Predictor, ShardedEngine} instead")]
 pub fn predict_hier_range_into(
     h: &HierForest,
     queries: QueryView,
@@ -49,6 +52,7 @@ pub fn predict_hier_range_into(
 }
 
 /// Serial slice engine over the CSR layout.
+#[deprecated(since = "0.2.0", note = "use rfx_kernels::engine::{Predictor, ShardedEngine} instead")]
 pub fn predict_csr_range_into(
     csr: &CsrForest,
     queries: QueryView,
@@ -62,6 +66,7 @@ pub fn predict_csr_range_into(
 }
 
 /// Serial slice engine over the FIL-style layout.
+#[deprecated(since = "0.2.0", note = "use rfx_kernels::engine::{Predictor, ShardedEngine} instead")]
 pub fn predict_fil_range_into(
     fil: &FilForest,
     queries: QueryView,
@@ -76,8 +81,7 @@ pub fn predict_fil_range_into(
 
 /// Multi-core slice engine: splits `queries[range]` across threads and
 /// predicts each block serially into the matching sub-slice of `out`.
-/// Allocation-free on the prediction path; `predict_row` must be a cheap,
-/// `Sync` per-row closure.
+#[deprecated(since = "0.2.0", note = "use rfx_kernels::engine::{Predictor, RowParallel} instead")]
 pub fn predict_parallel_range_into<F>(range: Range<usize>, out: &mut [Label], predict_row: F)
 where
     F: Fn(usize) -> Label + Sync,
@@ -119,39 +123,36 @@ where
 }
 
 /// Rayon-style parallel inference over the node-vector forest.
+#[deprecated(since = "0.2.0", note = "use rfx_kernels::engine::{Predictor, RowParallel} instead")]
 pub fn predict_parallel(forest: &RandomForest, queries: QueryView) -> Vec<Label> {
-    let mut out = vec![0; queries.num_rows()];
-    predict_parallel_range_into(0..queries.num_rows(), &mut out, |r| {
-        forest.predict(queries.row(r))
-    });
-    out
+    RowParallel::new(forest).predict(queries)
 }
 
-/// Parallel inference over the hierarchical layout (the fastest CPU
-/// path: arithmetic child indexing and compact subtree working sets help
-/// on CPUs too).
+/// Parallel inference over the hierarchical layout.
+#[deprecated(since = "0.2.0", note = "use rfx_kernels::engine::{Predictor, RowParallel} instead")]
 pub fn predict_hier_parallel(h: &HierForest, queries: QueryView) -> Vec<Label> {
-    let mut out = vec![0; queries.num_rows()];
-    predict_parallel_range_into(0..queries.num_rows(), &mut out, |r| h.predict(queries.row(r)));
-    out
+    RowParallel::new(h).predict(queries)
 }
 
 /// Parallel inference over the CSR layout.
+#[deprecated(since = "0.2.0", note = "use rfx_kernels::engine::{Predictor, RowParallel} instead")]
 pub fn predict_csr_parallel(csr: &CsrForest, queries: QueryView) -> Vec<Label> {
-    let mut out = vec![0; queries.num_rows()];
-    predict_parallel_range_into(0..queries.num_rows(), &mut out, |r| csr.predict(queries.row(r)));
-    out
+    RowParallel::new(csr).predict(queries)
 }
 
 /// Parallel inference over the FIL-style layout.
+#[deprecated(since = "0.2.0", note = "use rfx_kernels::engine::{Predictor, RowParallel} instead")]
 pub fn predict_fil_parallel(fil: &FilForest, queries: QueryView) -> Vec<Label> {
-    let mut out = vec![0; queries.num_rows()];
-    predict_parallel_range_into(0..queries.num_rows(), &mut out, |r| fil.predict(queries.row(r)));
-    out
+    RowParallel::new(fil).predict(queries)
 }
 
 #[cfg(test)]
 mod tests {
+    // The wrappers are deprecated but must keep working for the one
+    // release they are kept; these tests are their only sanctioned
+    // in-repo callers.
+    #![allow(deprecated)]
+
     use super::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -168,7 +169,7 @@ mod tests {
     }
 
     #[test]
-    fn all_cpu_engines_agree() {
+    fn deprecated_whole_batch_wrappers_agree_with_reference() {
         let (forest, queries, nf) = fixture();
         let qv = QueryView::new(&queries, nf).unwrap();
         let reference = predict_reference(&forest, qv);
@@ -187,7 +188,7 @@ mod tests {
     }
 
     #[test]
-    fn slice_engines_agree_on_subranges() {
+    fn deprecated_slice_wrappers_agree_on_subranges() {
         let (forest, queries, nf) = fixture();
         let qv = QueryView::new(&queries, nf).unwrap();
         let reference = predict_reference(&forest, qv);

@@ -1,0 +1,589 @@
+//! Tree-sharded, cache-blocked CPU execution engine behind the unified
+//! [`Predictor`] API.
+//!
+//! The practical CPU path used to walk the whole forest query-at-a-time:
+//! every query streamed every tree's nodes through the cache, so a forest
+//! larger than L2 was re-fetched from DRAM once per query. Forest
+//! Packing (Browne et al.) and the paper's own GPU/FPGA variants win by
+//! controlling *where* tree bytes live during traversal; this module
+//! applies the same idea on the CPU:
+//!
+//! * the forest is partitioned into **tree shards** sized from
+//!   [`rfx_core::footprint`] so one shard's hot nodes fit in L2;
+//! * the query batch is partitioned into **query blocks**;
+//! * work is tiled as (query block × tree shard) tasks — a shard's nodes
+//!   stay cache-resident while every query in the block traverses them;
+//! * per-shard class votes accumulate into a per-block scratch buffer
+//!   owned by one worker (no per-query allocation, no vote contention),
+//!   and a final pass reduces each row's votes to a label.
+//!
+//! Everything is fronted by the [`Predictor`] trait — `rfx-serve`
+//! backends, the bench harnesses, and the examples all speak
+//! `predict_into(&self, queries, out)` instead of the retired per-layout
+//! free-function zoo (see the deprecated wrappers in [`crate::cpu`]).
+
+use rfx_core::footprint::LayoutFootprint;
+use rfx_core::{CsrForest, FilForest, HierForest, Label};
+use rfx_forest::dataset::QueryView;
+use rfx_forest::{Node, RandomForest};
+use std::sync::Arc;
+
+/// Anything that can vote with one tree on one query: the capability the
+/// execution engine needs from a forest layout. Implemented by all four
+/// layouts (node-vector, hierarchical, CSR, FIL) plus references and
+/// `Arc`s to them, so engines can own or share their source.
+pub trait TreeEnsemble: Send + Sync {
+    /// Number of trees in the ensemble.
+    fn num_trees(&self) -> usize;
+    /// Number of classes voted over.
+    fn num_classes(&self) -> u32;
+    /// Byte footprint of the layout's traversal-hot arrays — what
+    /// [`EnginePlan::auto`] sizes tree shards from.
+    fn footprint(&self) -> LayoutFootprint;
+    /// Classifies `query` with tree `t`.
+    fn vote_tree(&self, t: usize, query: &[f32]) -> Label;
+}
+
+impl TreeEnsemble for RandomForest {
+    fn num_trees(&self) -> usize {
+        RandomForest::num_trees(self)
+    }
+
+    fn num_classes(&self) -> u32 {
+        RandomForest::num_classes(self)
+    }
+
+    fn footprint(&self) -> LayoutFootprint {
+        // The node-vector layout has no packed device arrays; account its
+        // in-memory enum nodes plus one Vec header per tree so shard
+        // sizing sees what traversal actually touches.
+        LayoutFootprint {
+            attribute_bytes: self.total_nodes() * std::mem::size_of::<Node>(),
+            topology_bytes: 0,
+            index_bytes: RandomForest::num_trees(self) * std::mem::size_of::<usize>() * 3,
+        }
+    }
+
+    fn vote_tree(&self, t: usize, query: &[f32]) -> Label {
+        self.trees()[t].predict(query)
+    }
+}
+
+impl TreeEnsemble for HierForest {
+    fn num_trees(&self) -> usize {
+        HierForest::num_trees(self)
+    }
+
+    fn num_classes(&self) -> u32 {
+        HierForest::num_classes(self)
+    }
+
+    fn footprint(&self) -> LayoutFootprint {
+        HierForest::footprint(self)
+    }
+
+    fn vote_tree(&self, t: usize, query: &[f32]) -> Label {
+        self.predict_tree(t, query)
+    }
+}
+
+impl TreeEnsemble for CsrForest {
+    fn num_trees(&self) -> usize {
+        CsrForest::num_trees(self)
+    }
+
+    fn num_classes(&self) -> u32 {
+        CsrForest::num_classes(self)
+    }
+
+    fn footprint(&self) -> LayoutFootprint {
+        CsrForest::footprint(self)
+    }
+
+    fn vote_tree(&self, t: usize, query: &[f32]) -> Label {
+        self.predict_tree(t, query)
+    }
+}
+
+impl TreeEnsemble for FilForest {
+    fn num_trees(&self) -> usize {
+        FilForest::num_trees(self)
+    }
+
+    fn num_classes(&self) -> u32 {
+        FilForest::num_classes(self)
+    }
+
+    fn footprint(&self) -> LayoutFootprint {
+        FilForest::footprint(self)
+    }
+
+    fn vote_tree(&self, t: usize, query: &[f32]) -> Label {
+        self.predict_tree(t, query)
+    }
+}
+
+impl<E: TreeEnsemble + ?Sized> TreeEnsemble for &E {
+    fn num_trees(&self) -> usize {
+        (**self).num_trees()
+    }
+
+    fn num_classes(&self) -> u32 {
+        (**self).num_classes()
+    }
+
+    fn footprint(&self) -> LayoutFootprint {
+        (**self).footprint()
+    }
+
+    fn vote_tree(&self, t: usize, query: &[f32]) -> Label {
+        (**self).vote_tree(t, query)
+    }
+}
+
+impl<E: TreeEnsemble + ?Sized> TreeEnsemble for Arc<E> {
+    fn num_trees(&self) -> usize {
+        (**self).num_trees()
+    }
+
+    fn num_classes(&self) -> u32 {
+        (**self).num_classes()
+    }
+
+    fn footprint(&self) -> LayoutFootprint {
+        (**self).footprint()
+    }
+
+    fn vote_tree(&self, t: usize, query: &[f32]) -> Label {
+        (**self).vote_tree(t, query)
+    }
+}
+
+/// The unified batch-inference interface: predict a whole query batch
+/// into a caller-provided slice, allocation-free on the output path.
+/// Object-safe, so executor pools can hold `Box<dyn Predictor>`.
+pub trait Predictor: Send + Sync {
+    /// Predicts every row of `queries` into `out`.
+    ///
+    /// # Panics
+    /// If `out.len() != queries.num_rows()`.
+    fn predict_into(&self, queries: QueryView<'_>, out: &mut [Label]);
+
+    /// Allocate-and-return convenience over [`Predictor::predict_into`].
+    fn predict(&self, queries: QueryView<'_>) -> Vec<Label> {
+        let mut out = vec![0; queries.num_rows()];
+        self.predict_into(queries, &mut out);
+        out
+    }
+}
+
+/// Shard budget: half a typical per-core L2 slice, leaving the other
+/// half for the query block, the vote scratch, and incidental state.
+const L2_SHARD_BUDGET_BYTES: usize = 512 << 10;
+
+/// Default rows per query block: 64 rows × a few dozen f32 features is
+/// L1-sized, and amortizes the per-tile loop overhead.
+const DEFAULT_QUERY_BLOCK: usize = 64;
+
+/// Tiling parameters for the sharded engine. Build one explicitly, start
+/// from [`EnginePlan::default`] and override fields with the `with_*`
+/// builder methods, or let [`EnginePlan::auto`] derive one from footprint
+/// statistics. All fields are clamped to the forest/batch shape before
+/// execution, so degenerate plans (zero block, more shard trees than
+/// trees) execute correctly rather than panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnginePlan {
+    /// Trees per shard (the engine forms `ceil(n_trees / shard_trees)`
+    /// shards, so the shard count never exceeds the tree count).
+    pub shard_trees: usize,
+    /// Query rows per block.
+    pub query_block: usize,
+    /// Worker-thread cap; `0` means use the machine's available
+    /// parallelism.
+    pub threads: usize,
+}
+
+impl Default for EnginePlan {
+    fn default() -> Self {
+        EnginePlan { shard_trees: 16, query_block: DEFAULT_QUERY_BLOCK, threads: 0 }
+    }
+}
+
+impl EnginePlan {
+    /// Builder: override the trees-per-shard budget.
+    pub fn with_shard_trees(mut self, shard_trees: usize) -> Self {
+        self.shard_trees = shard_trees;
+        self
+    }
+
+    /// Builder: override the rows-per-block budget.
+    pub fn with_query_block(mut self, query_block: usize) -> Self {
+        self.query_block = query_block;
+        self
+    }
+
+    /// Builder: override the worker-thread cap (`0` = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Derives a plan from footprint statistics: shards hold as many
+    /// trees as fit the L2 budget (at least one, at most all of them),
+    /// blocks default to [`DEFAULT_QUERY_BLOCK`] rows but shrink when the
+    /// batch is too small to occupy every thread, and both knobs are
+    /// clamped so 1-tree and 1-query (even 0-query) shapes stay valid.
+    ///
+    /// When the whole forest fits one shard there is no cross-block node
+    /// reuse to exploit, so the plan degenerates to one block per worker —
+    /// block bookkeeping would be pure overhead.
+    pub fn auto(footprint: &LayoutFootprint, n_trees: usize, n_queries: usize) -> EnginePlan {
+        let n_trees = n_trees.max(1);
+        let per_tree_bytes = (footprint.total() / n_trees).max(1);
+        let shard_trees = (L2_SHARD_BUDGET_BYTES / per_tree_bytes).clamp(1, n_trees);
+        let threads = available_threads();
+        let per_thread = n_queries.div_ceil(threads).max(1);
+        let query_block =
+            if shard_trees == n_trees { per_thread } else { DEFAULT_QUERY_BLOCK.min(per_thread) };
+        EnginePlan { shard_trees, query_block, threads }
+    }
+
+    /// Clamps the plan to a concrete forest/batch shape: at least one
+    /// tree per shard (and no more than the forest has), at least one row
+    /// per block, and a resolved positive thread count.
+    pub fn normalized(self, n_trees: usize, n_queries: usize) -> EnginePlan {
+        let shard_trees = self.shard_trees.clamp(1, n_trees.max(1));
+        let query_block = self.query_block.clamp(1, n_queries.max(1));
+        let threads = if self.threads == 0 { available_threads() } else { self.threads };
+        let blocks = n_queries.div_ceil(query_block).max(1);
+        EnginePlan { shard_trees, query_block, threads: threads.clamp(1, blocks) }
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(4)
+}
+
+/// The tree-sharded, cache-blocked execution engine over any
+/// [`TreeEnsemble`]. With an explicit [`EnginePlan`] the tiling is fixed;
+/// without one ([`ShardedEngine::new`]) every batch gets a fresh
+/// [`EnginePlan::auto`] sized to its row count — the right default for a
+/// service whose batch sizes vary.
+pub struct ShardedEngine<E: TreeEnsemble> {
+    source: E,
+    plan: Option<EnginePlan>,
+}
+
+impl<E: TreeEnsemble> ShardedEngine<E> {
+    /// Engine that re-plans each batch via [`EnginePlan::auto`].
+    pub fn new(source: E) -> Self {
+        ShardedEngine { source, plan: None }
+    }
+
+    /// Engine pinned to an explicit plan (clamped to each batch's shape).
+    pub fn with_plan(source: E, plan: EnginePlan) -> Self {
+        ShardedEngine { source, plan: Some(plan) }
+    }
+
+    /// The underlying ensemble.
+    pub fn source(&self) -> &E {
+        &self.source
+    }
+
+    /// The normalized plan this engine would execute a batch of
+    /// `n_queries` rows with.
+    pub fn plan_for(&self, n_queries: usize) -> EnginePlan {
+        let n_trees = self.source.num_trees();
+        self.plan
+            .unwrap_or_else(|| EnginePlan::auto(&self.source.footprint(), n_trees, n_queries))
+            .normalized(n_trees, n_queries)
+    }
+}
+
+impl<E: TreeEnsemble> Predictor for ShardedEngine<E> {
+    fn predict_into(&self, queries: QueryView<'_>, out: &mut [Label]) {
+        let plan = self.plan_for(queries.num_rows());
+        #[cfg(feature = "telemetry")]
+        let _span = {
+            let tel = rfx_telemetry::global();
+            let shards = self.source.num_trees().div_ceil(plan.shard_trees) as u64;
+            let blocks = queries.num_rows().div_ceil(plan.query_block) as u64;
+            tel.counter("kernels.sharded.batches").inc();
+            tel.counter("kernels.sharded.shards").add(shards);
+            tel.counter("kernels.sharded.blocks").add(blocks);
+            tel.counter("kernels.sharded.tiles").add(shards * blocks);
+            rfx_telemetry::span!(tel, "kernels.sharded", rows = out.len())
+        };
+        run_tiled(&self.source, plan, queries, out);
+    }
+}
+
+/// Row-parallel engine: splits the batch across threads and walks the
+/// *whole* forest for each row — the legacy `predict_*_parallel` memory
+/// pattern behind the [`Predictor`] interface (votes go through a
+/// per-worker scratch instead of a per-query allocation). Kept as the
+/// `cpu-parallel` serving backend and as the baseline the sharded engine
+/// is benchmarked against.
+pub struct RowParallel<E: TreeEnsemble> {
+    source: E,
+}
+
+impl<E: TreeEnsemble> RowParallel<E> {
+    /// Engine over `source`.
+    pub fn new(source: E) -> Self {
+        RowParallel { source }
+    }
+
+    /// The underlying ensemble.
+    pub fn source(&self) -> &E {
+        &self.source
+    }
+}
+
+impl<E: TreeEnsemble> Predictor for RowParallel<E> {
+    fn predict_into(&self, queries: QueryView<'_>, out: &mut [Label]) {
+        use rayon::prelude::*;
+
+        let n = queries.num_rows();
+        assert_eq!(out.len(), n, "output slice must match query batch");
+        if n == 0 {
+            return;
+        }
+        #[cfg(feature = "telemetry")]
+        let _span =
+            rfx_telemetry::span!(rfx_telemetry::global(), "kernels.cpu.traverse", rows = out.len());
+        let threads = available_threads().clamp(1, n);
+        let n_trees = self.source.num_trees();
+        let nc = self.source.num_classes().max(1) as usize;
+        let source = &self.source;
+        // The legacy memory pattern: each worker takes a contiguous run
+        // of rows and walks the *whole* forest per row, with one reusable
+        // vote scratch per worker.
+        let tasks = split_tasks(out, n.div_ceil(threads));
+        tasks.into_par_iter().for_each(|(start, rows)| {
+            let mut votes = vec![0u32; nc];
+            for (i, slot) in rows.iter_mut().enumerate() {
+                votes.fill(0);
+                let query = queries.row(start + i);
+                for t in 0..n_trees {
+                    votes[source.vote_tree(t, query) as usize] += 1;
+                }
+                *slot = rfx_core::majority(&votes);
+            }
+        });
+    }
+}
+
+/// Splits `out` into `(start_row, chunk)` tasks of `rows_per_task` rows —
+/// one per worker, contiguous, covering the whole batch.
+fn split_tasks(out: &mut [Label], rows_per_task: usize) -> Vec<(usize, &mut [Label])> {
+    let mut tasks = Vec::new();
+    let mut start = 0;
+    for chunk in out.chunks_mut(rows_per_task.max(1)) {
+        let len = chunk.len();
+        tasks.push((start, chunk));
+        start += len;
+    }
+    tasks
+}
+
+/// Executes the (query block × tree shard) tiling: each worker owns a
+/// contiguous run of blocks and one reusable vote-scratch buffer; within
+/// a block, shards are walked outermost so a shard's nodes stay hot in
+/// cache across every row of the block; a final pass reduces each row's
+/// votes to its majority label.
+fn run_tiled<E: TreeEnsemble>(
+    source: &E,
+    plan: EnginePlan,
+    queries: QueryView<'_>,
+    out: &mut [Label],
+) {
+    use rayon::prelude::*;
+
+    let n = queries.num_rows();
+    assert_eq!(out.len(), n, "output slice must match query batch");
+    if n == 0 {
+        return;
+    }
+    let plan = plan.normalized(source.num_trees(), n);
+    let (qb, st) = (plan.query_block, plan.shard_trees);
+    let n_trees = source.num_trees();
+    let nc = source.num_classes().max(1) as usize;
+
+    // Contiguous runs of whole blocks per worker: `threads` tasks, each
+    // processing its blocks serially with one scratch buffer.
+    let blocks = n.div_ceil(qb);
+    let tasks = split_tasks(out, blocks.div_ceil(plan.threads) * qb);
+
+    tasks.into_par_iter().for_each(|(task_start, rows)| {
+        let mut votes = vec![0u32; qb * nc];
+        let mut offset = 0;
+        while offset < rows.len() {
+            let len = qb.min(rows.len() - offset);
+            let block_start = task_start + offset;
+            let votes = &mut votes[..len * nc];
+            votes.fill(0);
+            // Tile loop: shard outermost, trees inner, rows innermost —
+            // one tree's nodes stay hot across every row of the block,
+            // and a shard's trees are all reused before the next shard's
+            // bytes displace them.
+            let mut shard_lo = 0;
+            while shard_lo < n_trees {
+                let shard_hi = (shard_lo + st).min(n_trees);
+                for t in shard_lo..shard_hi {
+                    for (i, row_votes) in votes.chunks_exact_mut(nc).enumerate() {
+                        let query = queries.row(block_start + i);
+                        row_votes[source.vote_tree(t, query) as usize] += 1;
+                    }
+                }
+                shard_lo = shard_hi;
+            }
+            // Reduction pass: per-row majority, ties toward the lower
+            // class id (the shared convention).
+            for (slot, row_votes) in
+                rows[offset..offset + len].iter_mut().zip(votes.chunks_exact(nc))
+            {
+                *slot = rfx_core::majority(row_votes);
+            }
+            offset += len;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rfx_core::hier::builder::build_forest;
+    use rfx_core::HierConfig;
+    use rfx_forest::DecisionTree;
+
+    fn fixture(n_trees: usize, seed: u64) -> (RandomForest, Vec<f32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trees: Vec<DecisionTree> =
+            (0..n_trees).map(|_| DecisionTree::random(&mut rng, 8, 6, 4, 0.3)).collect();
+        let forest = RandomForest::from_trees(trees, 6, 4).unwrap();
+        let queries: Vec<f32> = (0..300 * 6).map(|_| rng.gen()).collect();
+        (forest, queries)
+    }
+
+    #[test]
+    fn sharded_matches_reference_for_every_layout() {
+        let (forest, queries) = fixture(11, 3);
+        let qv = QueryView::new(&queries, 6).unwrap();
+        let reference = forest.predict_batch(qv);
+
+        assert_eq!(ShardedEngine::new(&forest).predict(qv), reference, "forest");
+        let csr = CsrForest::build(&forest);
+        assert_eq!(ShardedEngine::new(&csr).predict(qv), reference, "csr");
+        let fil = FilForest::build(&forest);
+        assert_eq!(ShardedEngine::new(&fil).predict(qv), reference, "fil");
+        let hier = build_forest(&forest, HierConfig::uniform(3)).unwrap();
+        assert_eq!(ShardedEngine::new(&hier).predict(qv), reference, "hier");
+
+        assert_eq!(RowParallel::new(&forest).predict(qv), reference, "row-parallel");
+        assert_eq!(RowParallel::new(&hier).predict(qv), reference, "row-parallel hier");
+    }
+
+    #[test]
+    fn explicit_plans_do_not_change_predictions() {
+        let (forest, queries) = fixture(9, 7);
+        let qv = QueryView::new(&queries, 6).unwrap();
+        let reference = forest.predict_batch(qv);
+        for (st, qb, threads) in [(1, 1, 1), (2, 7, 2), (9, 300, 1), (100, 1000, 64), (3, 17, 5)] {
+            let plan = EnginePlan { shard_trees: st, query_block: qb, threads };
+            let engine = ShardedEngine::with_plan(&forest, plan);
+            assert_eq!(engine.predict(qv), reference, "plan {plan:?}");
+        }
+    }
+
+    #[test]
+    fn engines_work_through_trait_objects_and_arcs() {
+        let (forest, queries) = fixture(5, 11);
+        let qv = QueryView::new(&queries, 6).unwrap();
+        let reference = forest.predict_batch(qv);
+        let shared = Arc::new(forest);
+        let engines: Vec<Box<dyn Predictor>> = vec![
+            Box::new(ShardedEngine::new(Arc::clone(&shared))),
+            Box::new(RowParallel::new(Arc::clone(&shared))),
+        ];
+        for engine in &engines {
+            let mut out = vec![0; qv.num_rows()];
+            engine.predict_into(qv, &mut out);
+            assert_eq!(out, reference);
+        }
+    }
+
+    #[test]
+    fn auto_plan_clamps_degenerate_shapes() {
+        // 1-tree forest: the shard budget must not exceed the tree count.
+        let (one_tree, _) = fixture(1, 5);
+        let plan = EnginePlan::auto(&TreeEnsemble::footprint(&one_tree), 1, 1);
+        assert_eq!(plan.shard_trees, 1);
+        assert!(plan.query_block >= 1);
+        assert!(plan.threads >= 1);
+
+        // 0-query batch: the block stays positive.
+        let plan = EnginePlan::auto(&TreeEnsemble::footprint(&one_tree), 1, 0);
+        assert!(plan.query_block >= 1);
+
+        // Tiny footprints divide to zero per-tree bytes without panicking.
+        let plan = EnginePlan::auto(&LayoutFootprint::default(), 1000, 4);
+        assert!(plan.shard_trees >= 1 && plan.shard_trees <= 1000);
+    }
+
+    #[test]
+    fn one_tree_one_query_predicts_without_panicking() {
+        let forest = RandomForest::from_trees(vec![DecisionTree::leaf(2)], 3, 4).unwrap();
+        let queries = [0.5f32, 0.5, 0.5];
+        let qv = QueryView::new(&queries, 3).unwrap();
+        assert_eq!(ShardedEngine::new(&forest).predict(qv), vec![2]);
+        assert_eq!(RowParallel::new(&forest).predict(qv), vec![2]);
+        // Empty batches are a no-op, not a panic.
+        let empty = QueryView::new(&[], 3).unwrap();
+        assert_eq!(ShardedEngine::new(&forest).predict(empty), Vec::<Label>::new());
+    }
+
+    #[test]
+    fn normalized_repairs_zero_and_oversized_fields() {
+        let plan = EnginePlan { shard_trees: 0, query_block: 0, threads: 0 };
+        let fixed = plan.normalized(10, 100);
+        assert!(fixed.shard_trees >= 1 && fixed.shard_trees <= 10);
+        assert!(fixed.query_block >= 1);
+        assert!(fixed.threads >= 1);
+
+        let fixed =
+            EnginePlan { shard_trees: 99, query_block: 1_000_000, threads: 500 }.normalized(4, 8);
+        assert_eq!(fixed.shard_trees, 4);
+        assert_eq!(fixed.query_block, 8);
+        assert_eq!(fixed.threads, 1, "one block caps the useful thread count");
+    }
+
+    #[test]
+    fn auto_shards_shrink_as_forests_grow() {
+        // Per-tree bytes scale with footprint; bigger forests must get
+        // fewer trees per shard (until the 1-tree floor).
+        let small = LayoutFootprint { attribute_bytes: 10 << 10, ..Default::default() };
+        let large = LayoutFootprint { attribute_bytes: 100 << 20, ..Default::default() };
+        let a = EnginePlan::auto(&small, 100, 1000);
+        let b = EnginePlan::auto(&large, 100, 1000);
+        assert!(a.shard_trees > b.shard_trees, "{} > {}", a.shard_trees, b.shard_trees);
+        assert_eq!(b.shard_trees, 1, "1 MiB trees never share a shard");
+    }
+
+    #[test]
+    fn plan_builder_overrides_fields() {
+        let plan = EnginePlan::default().with_shard_trees(3).with_query_block(9).with_threads(2);
+        assert_eq!(plan, EnginePlan { shard_trees: 3, query_block: 9, threads: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "output slice must match")]
+    fn predict_into_checks_output_length() {
+        let (forest, queries) = fixture(3, 2);
+        let qv = QueryView::new(&queries, 6).unwrap();
+        let mut out = vec![0; 7];
+        ShardedEngine::new(&forest).predict_into(qv, &mut out);
+    }
+}

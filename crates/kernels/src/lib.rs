@@ -11,17 +11,23 @@
 //! * [`fpga`] — pipeline-model kernels on the `rfx-fpga-sim` simulator:
 //!   CSR, independent, collaborative, hybrid, and the hybrid-split
 //!   multi-CU design of §4.4, each with compute-unit replication.
-//! * [`cpu`] — plain Rayon inference engines used as the functional
-//!   reference and as the practical CPU path.
+//! * [`cpu`] — the functional CPU reference ([`cpu::predict_reference`])
+//!   plus deprecated wrappers around the old free-function engines.
+//! * [`engine`] — the practical CPU path: the tree-sharded,
+//!   cache-blocked execution engine behind the unified
+//!   [`Predictor`](engine::Predictor) API.
 //!
 //! Every kernel returns its real predictions alongside the simulator's
 //! statistics, and the test suite asserts bit-identical agreement with
 //! the scalar reference traversals in `rfx-core`.
 
 pub mod cpu;
+pub mod engine;
 pub mod fpga;
 pub mod gpu;
 pub mod trace;
+
+pub use engine::{EnginePlan, Predictor, RowParallel, ShardedEngine, TreeEnsemble};
 
 /// Threads per block used by all GPU kernels (four warps — a common
 /// choice for latency-bound traversal kernels).

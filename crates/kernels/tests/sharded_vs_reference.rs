@@ -1,0 +1,77 @@
+//! Property test for the sharded execution engine: for *any* random
+//! forest, *any* of the four layouts, and *any* plan parameters —
+//! including degenerate 1-tree / 1-query shapes — [`ShardedEngine`]
+//! predictions must be bit-identical to `predict_reference`. Tiling,
+//! sharding, and thread scheduling must be invisible in the results.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rfx_core::hier::builder::build_forest;
+use rfx_core::{CsrForest, FilForest, HierConfig};
+use rfx_forest::dataset::QueryView;
+use rfx_forest::{DecisionTree, RandomForest};
+use rfx_kernels::cpu::predict_reference;
+use rfx_kernels::{EnginePlan, Predictor, RowParallel, ShardedEngine};
+
+const NF: usize = 7;
+
+fn forest_from_seed(seed: u64, n_trees: usize, depth: usize, classes: u32) -> RandomForest {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trees: Vec<DecisionTree> = (0..n_trees)
+        .map(|_| DecisionTree::random(&mut rng, depth, NF as u16, classes, 0.3))
+        .collect();
+    RandomForest::from_trees(trees, NF, classes).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sharded predictions equal the serial reference across all four
+    /// layouts for any forest shape and any (possibly absurd) plan.
+    #[test]
+    fn sharded_is_bit_identical_to_reference(
+        seed in any::<u64>(),
+        n_trees in 1usize..14,
+        depth in 1usize..9,
+        classes in 1u32..5,
+        n_queries in 1usize..120,
+        shard_trees in 0usize..20,
+        query_block in 0usize..160,
+        threads in 0usize..9,
+    ) {
+        let forest = forest_from_seed(seed, n_trees, depth, classes);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
+        let queries: Vec<f32> = (0..n_queries * NF).map(|_| rng.gen()).collect();
+        let qv = QueryView::new(&queries, NF).unwrap();
+        let reference = predict_reference(&forest, qv);
+
+        // Zero fields exercise the normalization clamps on purpose.
+        let plan = EnginePlan { shard_trees, query_block, threads };
+
+        let csr = CsrForest::build(&forest);
+        let fil = FilForest::build(&forest);
+        let hier = build_forest(&forest, HierConfig::uniform(3)).unwrap();
+
+        prop_assert_eq!(
+            ShardedEngine::with_plan(&forest, plan).predict(qv), reference.clone(),
+            "forest {:?}", plan
+        );
+        prop_assert_eq!(
+            ShardedEngine::with_plan(&csr, plan).predict(qv), reference.clone(),
+            "csr {:?}", plan
+        );
+        prop_assert_eq!(
+            ShardedEngine::with_plan(&fil, plan).predict(qv), reference.clone(),
+            "fil {:?}", plan
+        );
+        prop_assert_eq!(
+            ShardedEngine::with_plan(&hier, plan).predict(qv), reference.clone(),
+            "hier {:?}", plan
+        );
+
+        // Auto-planned engines and the row-parallel baseline agree too.
+        prop_assert_eq!(ShardedEngine::new(&hier).predict(qv), reference.clone());
+        prop_assert_eq!(RowParallel::new(&forest).predict(qv), reference);
+    }
+}

@@ -1,26 +1,38 @@
 //! Pluggable inference backends.
 //!
-//! Each backend turns one formed batch into labels. The simulated device
-//! backends (`gpu-sim-hybrid`, `fpga-sim-independent`) run the same
-//! kernels as the offline benchmarks, so their simulated-vs-wall-clock
-//! cost structure is what the scheduler's EWMA learns; if a device kernel
-//! refuses a batch (e.g. the layout outgrew shared memory), the backend
-//! degrades to a CPU traversal of the same layout and counts the
-//! fallback rather than failing the request.
+//! Each backend turns one formed batch into labels. All CPU execution
+//! goes through the unified `rfx_kernels::engine::Predictor` trait:
+//! `cpu-parallel` keeps the legacy row-parallel schedule over the
+//! node-vector forest, while `cpu-sharded` runs the tree-sharded,
+//! cache-blocked engine over the hierarchical layout. The simulated
+//! device backends (`gpu-sim-hybrid`, `fpga-sim-independent`) run the
+//! same kernels as the offline benchmarks, so their simulated-vs-wall-
+//! clock cost structure is what the scheduler's EWMA learns; if a device
+//! kernel refuses a batch (e.g. the layout outgrew shared memory), the
+//! backend degrades to the sharded CPU engine over the same layout and
+//! counts the fallback rather than failing the request.
 
 use crate::model::ServeModel;
-use rfx_core::Label;
+use rfx_core::{HierForest, Label};
 use rfx_forest::dataset::QueryView;
-use rfx_kernels::cpu;
+use rfx_forest::RandomForest;
+use rfx_kernels::engine::{Predictor, RowParallel, ShardedEngine};
 use rfx_kernels::fpga::independent::run_independent;
 use rfx_kernels::gpu::hybrid::run_hybrid;
+use std::fmt;
+use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The backend families the executor pool can host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BackendKind {
-    /// Multi-core CPU over the node-vector forest (rayon-style blocks).
+    /// Multi-core CPU over the node-vector forest (legacy row-parallel
+    /// schedule: each worker walks the whole forest per row).
     CpuParallel,
+    /// Tree-sharded, cache-blocked CPU engine over the hierarchical
+    /// layout ((query-block × tree-shard) tiles, auto-planned per batch).
+    CpuSharded,
     /// Simulated GPU running the paper's hybrid shared-memory kernel.
     GpuSimHybrid,
     /// Simulated FPGA running the independent hierarchical kernel.
@@ -29,16 +41,42 @@ pub enum BackendKind {
 
 impl BackendKind {
     /// All kinds, in default executor-pool order.
-    pub const ALL: [BackendKind; 3] =
-        [BackendKind::CpuParallel, BackendKind::GpuSimHybrid, BackendKind::FpgaSimIndependent];
+    pub const ALL: [BackendKind; 4] = [
+        BackendKind::CpuParallel,
+        BackendKind::CpuSharded,
+        BackendKind::GpuSimHybrid,
+        BackendKind::FpgaSimIndependent,
+    ];
 
-    /// Stable identifier used in stats and bench reports.
+    /// Stable identifier used in stats, bench reports, and CLI flags
+    /// (the inverse of the [`FromStr`] parse).
     pub fn name(self) -> &'static str {
         match self {
             BackendKind::CpuParallel => "cpu-parallel",
+            BackendKind::CpuSharded => "cpu-sharded",
             BackendKind::GpuSimHybrid => "gpu-sim-hybrid",
             BackendKind::FpgaSimIndependent => "fpga-sim-independent",
         }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for BackendKind {
+    type Err = String;
+
+    /// Parses a stable backend name (`cpu-sharded`, ...). The error
+    /// message lists every accepted variant, so CLIs can surface it
+    /// verbatim.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BackendKind::ALL.iter().find(|k| k.name() == s).copied().ok_or_else(|| {
+            let variants: Vec<&str> = BackendKind::ALL.iter().map(|k| k.name()).collect();
+            format!("unknown backend {s:?}; expected one of: {}", variants.join(", "))
+        })
     }
 }
 
@@ -54,18 +92,27 @@ pub(crate) trait Backend: Send + Sync {
 
 pub(crate) fn make_backend(kind: BackendKind, model: &ServeModel) -> Box<dyn Backend + Sync> {
     match kind {
-        BackendKind::CpuParallel => Box::new(CpuParallel { model: model.clone() }),
-        BackendKind::GpuSimHybrid => {
-            Box::new(GpuSimHybrid { model: model.clone(), fallbacks: AtomicU64::new(0) })
+        BackendKind::CpuParallel => {
+            Box::new(CpuParallel { engine: RowParallel::new(Arc::clone(model.forest())) })
         }
-        BackendKind::FpgaSimIndependent => {
-            Box::new(FpgaSimIndependent { model: model.clone(), fallbacks: AtomicU64::new(0) })
+        BackendKind::CpuSharded => {
+            Box::new(CpuSharded { engine: ShardedEngine::new(Arc::clone(model.forest())) })
         }
+        BackendKind::GpuSimHybrid => Box::new(GpuSimHybrid {
+            model: model.clone(),
+            fallback: ShardedEngine::new(Arc::clone(model.hier())),
+            fallbacks: AtomicU64::new(0),
+        }),
+        BackendKind::FpgaSimIndependent => Box::new(FpgaSimIndependent {
+            model: model.clone(),
+            fallback: ShardedEngine::new(Arc::clone(model.hier())),
+            fallbacks: AtomicU64::new(0),
+        }),
     }
 }
 
 struct CpuParallel {
-    model: ServeModel,
+    engine: RowParallel<Arc<RandomForest>>,
 }
 
 impl Backend for CpuParallel {
@@ -74,15 +121,27 @@ impl Backend for CpuParallel {
     }
 
     fn predict(&self, queries: QueryView, out: &mut [Label]) {
-        let forest = self.model.forest();
-        cpu::predict_parallel_range_into(0..queries.num_rows(), out, |r| {
-            forest.predict(queries.row(r))
-        });
+        self.engine.predict_into(queries, out);
+    }
+}
+
+struct CpuSharded {
+    engine: ShardedEngine<Arc<RandomForest>>,
+}
+
+impl Backend for CpuSharded {
+    fn kind(&self) -> BackendKind {
+        BackendKind::CpuSharded
+    }
+
+    fn predict(&self, queries: QueryView, out: &mut [Label]) {
+        self.engine.predict_into(queries, out);
     }
 }
 
 struct GpuSimHybrid {
     model: ServeModel,
+    fallback: ShardedEngine<Arc<HierForest>>,
     fallbacks: AtomicU64,
 }
 
@@ -96,12 +155,7 @@ impl Backend for GpuSimHybrid {
             Ok(run) => out.copy_from_slice(&run.predictions),
             Err(_) => {
                 self.fallbacks.fetch_add(1, Ordering::Relaxed);
-                cpu::predict_hier_range_into(
-                    self.model.hier(),
-                    queries,
-                    0..queries.num_rows(),
-                    out,
-                );
+                self.fallback.predict_into(queries, out);
             }
         }
     }
@@ -113,6 +167,7 @@ impl Backend for GpuSimHybrid {
 
 struct FpgaSimIndependent {
     model: ServeModel,
+    fallback: ShardedEngine<Arc<HierForest>>,
     fallbacks: AtomicU64,
 }
 
@@ -131,17 +186,34 @@ impl Backend for FpgaSimIndependent {
             Ok(run) => out.copy_from_slice(&run.predictions),
             Err(_) => {
                 self.fallbacks.fetch_add(1, Ordering::Relaxed);
-                cpu::predict_hier_range_into(
-                    self.model.hier(),
-                    queries,
-                    0..queries.num_rows(),
-                    out,
-                );
+                self.fallback.predict_into(queries, out);
             }
         }
     }
 
     fn fallbacks(&self) -> u64 {
         self.fallbacks.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_fromstr() {
+        for kind in BackendKind::ALL {
+            assert_eq!(kind.name().parse::<BackendKind>(), Ok(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+    }
+
+    #[test]
+    fn parse_error_lists_every_variant() {
+        let err = "tpu-v9".parse::<BackendKind>().unwrap_err();
+        assert!(err.contains("tpu-v9"), "{err}");
+        for kind in BackendKind::ALL {
+            assert!(err.contains(kind.name()), "{err} should list {}", kind.name());
+        }
     }
 }

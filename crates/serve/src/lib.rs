@@ -18,9 +18,11 @@
 //!    estimated completion (per-query latency EWMA × outstanding rows),
 //!    learned online from measured batch latencies ([`SchedulePolicy`]).
 //! 4. **Executor pool** — one worker thread per backend
-//!    ([`BackendKind`]): multi-core CPU, the simulated-GPU hybrid kernel,
-//!    and the simulated-FPGA independent kernel. All backends agree with
-//!    the serial CPU reference bit-for-bit, so scheduling is invisible to
+//!    ([`BackendKind`]): the row-parallel CPU engine, the tree-sharded
+//!    cache-blocked CPU engine, the simulated-GPU hybrid kernel, and the
+//!    simulated-FPGA independent kernel — all behind the unified
+//!    `rfx_kernels::engine::Predictor` API. All backends agree with the
+//!    serial CPU reference bit-for-bit, so scheduling is invisible to
 //!    clients.
 //! 5. **Observability** — every recorded number lives in the service's
 //!    [`rfx_telemetry::Telemetry`] domain ([`RfxServe::telemetry`]):

@@ -300,8 +300,8 @@ mod tests {
         let (tel, hub) = hub();
         hub.record_submit(4);
         hub.record_batch_formed(4);
-        hub.record_dispatch(1);
-        hub.recorder(1).record_batch(4, 250);
+        hub.record_dispatch(2);
+        hub.recorder(2).record_batch(4, 250);
         hub.record_request_done(4, 400);
         let _ = hub.snapshot(2, |_| (1.5, 3, 0));
         let m = tel.metrics_snapshot();

@@ -14,6 +14,8 @@
 //! also pre-seed the model with probe batches at startup.
 
 use crate::backend::BackendKind;
+use std::fmt;
+use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
@@ -31,6 +33,36 @@ pub enum SchedulePolicy {
     Fixed(BackendKind),
     /// Ignore the cost model; rotate through backends.
     RoundRobin,
+}
+
+impl fmt::Display for SchedulePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulePolicy::Auto => f.write_str("auto"),
+            SchedulePolicy::RoundRobin => f.write_str("round-robin"),
+            SchedulePolicy::Fixed(kind) => write!(f, "fixed:{kind}"),
+        }
+    }
+}
+
+impl FromStr for SchedulePolicy {
+    type Err = String;
+
+    /// Parses `auto`, `round-robin`, or `fixed:<backend>` (the inverse of
+    /// [`Display`](fmt::Display)); the backend part follows
+    /// [`BackendKind::from_str`], whose error lists the valid names.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(SchedulePolicy::Auto),
+            "round-robin" => Ok(SchedulePolicy::RoundRobin),
+            _ => match s.strip_prefix("fixed:") {
+                Some(backend) => backend.parse::<BackendKind>().map(SchedulePolicy::Fixed),
+                None => Err(format!(
+                    "unknown schedule policy {s:?}; expected auto, round-robin, or fixed:<backend>"
+                )),
+            },
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -154,20 +186,20 @@ mod tests {
     fn warmup_visits_every_backend_once() {
         let s = Scheduler::new(SchedulePolicy::Auto, &pool());
         let mut seen = Vec::new();
-        for _ in 0..3 {
+        for _ in 0..BackendKind::ALL.len() {
             let idx = s.dispatch(8);
             seen.push(idx);
             s.complete(idx, 8, Duration::from_micros(100));
         }
         seen.sort_unstable();
-        assert_eq!(seen, vec![0, 1, 2]);
+        assert_eq!(seen, vec![0, 1, 2, 3]);
     }
 
     #[test]
     fn auto_prefers_the_fast_backend() {
         let s = Scheduler::new(SchedulePolicy::Auto, &pool());
         // Seed: backend 1 is 10x faster per query.
-        for (idx, us) in [(0usize, 1000u64), (1, 100), (2, 1000)] {
+        for (idx, us) in [(0usize, 1000u64), (1, 100), (2, 1000), (3, 1000)] {
             let i = s.dispatch(10);
             assert_eq!(i, idx);
             s.complete(i, 10, Duration::from_micros(us * 10));
@@ -182,7 +214,7 @@ mod tests {
     #[test]
     fn auto_spills_when_the_fast_backend_queues_up() {
         let s = Scheduler::new(SchedulePolicy::Auto, &pool());
-        for us in [1000u64, 100, 1000] {
+        for us in [1000u64, 100, 1000, 1000] {
             let i = s.dispatch(10);
             s.complete(i, 10, Duration::from_micros(us * 10));
         }
@@ -202,12 +234,31 @@ mod tests {
     #[test]
     fn round_robin_rotates_and_fixed_pins() {
         let rr = Scheduler::new(SchedulePolicy::RoundRobin, &pool());
-        let picks: Vec<usize> = (0..6).map(|_| rr.dispatch(1)).collect();
-        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        let picks: Vec<usize> = (0..8).map(|_| rr.dispatch(1)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
 
         let fixed = Scheduler::new(SchedulePolicy::Fixed(BackendKind::FpgaSimIndependent), &pool());
         for _ in 0..4 {
-            assert_eq!(fixed.dispatch(1), 2);
+            assert_eq!(fixed.dispatch(1), 3);
         }
+    }
+
+    #[test]
+    fn policies_round_trip_through_fromstr() {
+        let policies = [
+            SchedulePolicy::Auto,
+            SchedulePolicy::RoundRobin,
+            SchedulePolicy::Fixed(BackendKind::CpuSharded),
+            SchedulePolicy::Fixed(BackendKind::GpuSimHybrid),
+        ];
+        for policy in policies {
+            assert_eq!(policy.to_string().parse::<SchedulePolicy>(), Ok(policy));
+        }
+        assert_eq!(
+            "fixed:cpu-sharded".parse::<SchedulePolicy>(),
+            Ok(SchedulePolicy::Fixed(BackendKind::CpuSharded))
+        );
+        assert!("warp-speed".parse::<SchedulePolicy>().unwrap_err().contains("round-robin"));
+        assert!("fixed:abacus".parse::<SchedulePolicy>().unwrap_err().contains("cpu-sharded"));
     }
 }

@@ -5,7 +5,8 @@
 //! but must score transaction streams continuously. This example builds a
 //! fraud-like dataset (rare positive class, planted deep structure),
 //! trains a deep forest, and compares the scoring engines end to end:
-//! the Rayon CPU paths over every layout, and the simulated accelerators.
+//! the unified `Predictor` engines (row-parallel and tree-sharded) over
+//! every layout, and the simulated accelerators.
 //!
 //! ```sh
 //! cargo run --release --example fraud_scoring
@@ -19,7 +20,7 @@ use rfx::forest::metrics::{accuracy, ConfusionMatrix};
 use rfx::forest::train::TrainConfig;
 use rfx::forest::RandomForest;
 use rfx::gpu::{GpuConfig, GpuSim};
-use rfx::kernels::{cpu, gpu};
+use rfx::kernels::{cpu, gpu, Predictor, RowParallel, ShardedEngine};
 use std::time::Instant;
 
 fn main() {
@@ -65,10 +66,11 @@ fn main() {
         assert_eq!(preds, reference, "{name} diverged");
         println!("cpu/{name:12} {:8.1} kqueries/s", n / el / 1e3);
     };
-    time("reference", &|| cpu::predict_parallel(&forest, queries));
-    time("csr", &|| cpu::predict_csr_parallel(&csr, queries));
-    time("fil", &|| cpu::predict_fil_parallel(&fil, queries));
-    time("hierarchical", &|| cpu::predict_hier_parallel(&hier, queries));
+    time("row-parallel", &|| RowParallel::new(&forest).predict(queries));
+    time("csr", &|| ShardedEngine::new(&csr).predict(queries));
+    time("fil", &|| ShardedEngine::new(&fil).predict(queries));
+    time("hierarchical", &|| ShardedEngine::new(&hier).predict(queries));
+    time("sharded", &|| ShardedEngine::new(&forest).predict(queries));
 
     // Simulated accelerator: hybrid kernel on a Titan Xp slice.
     let sim = GpuSim::new(GpuConfig::titan_xp_slice());

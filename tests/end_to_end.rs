@@ -10,7 +10,7 @@ use rfx::forest::train::TrainConfig;
 use rfx::forest::RandomForest;
 use rfx::fpga::{FpgaConfig, Replication};
 use rfx::gpu::{GpuConfig, GpuSim};
-use rfx::kernels::{cpu, fpga, gpu};
+use rfx::kernels::{cpu, fpga, gpu, Predictor, ShardedEngine};
 
 fn pipeline(kind: DatasetKind, depth: usize) {
     let data = DatasetSpec::scaled(kind, 6_000).generate();
@@ -23,8 +23,8 @@ fn pipeline(kind: DatasetKind, depth: usize) {
     // CPU engines over every layout.
     let csr = CsrForest::build(&forest);
     let fil = FilForest::build(&forest);
-    assert_eq!(cpu::predict_csr_parallel(&csr, queries), reference);
-    assert_eq!(cpu::predict_fil_parallel(&fil, queries), reference);
+    assert_eq!(ShardedEngine::new(&csr).predict(queries), reference);
+    assert_eq!(ShardedEngine::new(&fil).predict(queries), reference);
 
     let gpu_sim = GpuSim::new(GpuConfig::tiny_test());
     let fcfg = FpgaConfig::alveo_u250();
@@ -40,7 +40,7 @@ fn pipeline(kind: DatasetKind, depth: usize) {
     for cfg in [HierConfig::uniform(3), HierConfig::uniform(6), HierConfig::with_root(4, 9)] {
         let layout = build_forest(&forest, cfg).expect("layout build");
         validate_hier(&layout).expect("layout invariants");
-        assert_eq!(cpu::predict_hier_parallel(&layout, queries), reference, "{cfg:?}");
+        assert_eq!(ShardedEngine::new(&layout).predict(queries), reference, "{cfg:?}");
         assert_eq!(
             gpu::independent::run_independent(&gpu_sim, &layout, queries).predictions,
             reference,

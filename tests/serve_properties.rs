@@ -31,7 +31,7 @@ fn arb_model() -> impl Strategy<Value = ServeModel> {
 }
 
 fn arb_backend() -> impl Strategy<Value = BackendKind> {
-    (0usize..3).prop_map(|i| BackendKind::ALL[i])
+    (0usize..BackendKind::ALL.len()).prop_map(|i| BackendKind::ALL[i])
 }
 
 proptest! {
