@@ -17,9 +17,16 @@
 //! `--telemetry-out <path>` additionally writes an `rfx-telemetry` JSON
 //! document with one section per scenario (each served from its own
 //! telemetry domain, so counters do not bleed across scenarios) plus a
-//! `global` section holding the process-wide domain — that is where the
-//! simulators' `gpusim.*` / `fpgasim.*` counters land when the crate is
-//! built with `--features telemetry`.
+//! `global` section holding the process-wide domain. With `--features
+//! telemetry` the simulators' `gpusim.*` / `fpgasim.*` counters land in
+//! the scenario sections (they record into the ambient serving domain),
+//! and device spans appear as children of the owning batch.
+//!
+//! `--trace-out <path>` writes the `micro-batch-auto` scenario's span
+//! tree as Chrome trace-event JSON — load it in chrome://tracing or
+//! <https://ui.perfetto.dev> to see each `serve.batch` root tiled by its
+//! queue-wait / dispatch / traverse / deliver stages, grouped one
+//! process per backend and one track per worker thread.
 
 use rfx_bench::harness::{write_json, Table};
 use rfx_bench::scale::Scale;
@@ -29,7 +36,7 @@ use rfx_serve::{
     run_closed_loop, BackendKind, LoadGenConfig, LoadReport, RfxServe, SchedulePolicy, ServeConfig,
     ServeModel, ServeStats,
 };
-use rfx_telemetry::{export, Snapshot, Telemetry};
+use rfx_telemetry::{export, Snapshot, Telemetry, TraceConfig};
 use serde::Serialize;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -44,15 +51,20 @@ struct Scenario {
     stats: ServeStats,
 }
 
-/// Parses `--telemetry-out <path>` (also `--telemetry-out=<path>`).
-fn telemetry_out_from_args() -> Option<PathBuf> {
+/// Parses `--<flag> <path>` (also `--<flag>=<path>`). A bare flag with
+/// no value is a usage error and exits with the same style of message as
+/// an unknown `--backend`.
+fn path_from_args(flag: &str) -> Option<PathBuf> {
     let args: Vec<String> = std::env::args().collect();
     let mut value = None;
     for (i, a) in args.iter().enumerate() {
-        if let Some(v) = a.strip_prefix("--telemetry-out=") {
+        if let Some(v) = a.strip_prefix(&format!("--{flag}=")) {
             value = Some(PathBuf::from(v));
-        } else if a == "--telemetry-out" {
-            value = args.get(i + 1).map(PathBuf::from);
+        } else if *a == format!("--{flag}") {
+            value = Some(args.get(i + 1).map(PathBuf::from).unwrap_or_else(|| {
+                eprintln!("serve_bench: --{flag} requires a path argument");
+                std::process::exit(2);
+            }));
         }
     }
     value
@@ -88,7 +100,11 @@ fn run_scenario(
     rows_per_request: usize,
     requests_per_client: usize,
 ) -> (Scenario, Snapshot) {
-    let telemetry = Telemetry::new();
+    // Full sampling with a ring deep enough that no batch root from a
+    // scenario run is evicted before the snapshot (a few thousand
+    // batches x ~5 stage spans each).
+    let telemetry =
+        Telemetry::with_trace_config(TraceConfig { sample_every_n: 1, capacity: 65536 });
     let serve = RfxServe::start_with_telemetry(
         model.clone(),
         ServeConfig {
@@ -148,7 +164,8 @@ fn table_row(table: &mut Table, s: &Scenario) {
 
 fn main() {
     let scale = Scale::from_args();
-    let telemetry_out = telemetry_out_from_args();
+    let telemetry_out = path_from_args("telemetry-out");
+    let trace_out = path_from_args("trace-out");
     let focus = backend_from_args();
     let (requests_per_client, depth, trees) = match scale {
         Scale::Tiny => (40, 8, 10),
@@ -229,6 +246,23 @@ fn main() {
         );
     }
     write_json("serve-sharded", scale.label(), &sharded_results);
+
+    if let Some(path) = trace_out {
+        // micro-batch-auto is the most trace-interesting scenario: Auto
+        // scheduling spreads batches across every backend.
+        let snapshot = sections
+            .iter()
+            .find(|(n, _)| n == "micro-batch-auto")
+            .map(|(_, s)| s)
+            .expect("micro-batch-auto scenario always runs");
+        match std::fs::write(&path, export::to_chrome_trace(snapshot)) {
+            Ok(()) => eprintln!("[chrome trace written to {}]", path.display()),
+            Err(e) => {
+                eprintln!("failed to write chrome trace to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 
     if let Some(path) = telemetry_out {
         // The process-global domain collects whatever the kernels and

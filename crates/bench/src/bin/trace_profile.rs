@@ -1,0 +1,313 @@
+//! Critical-path profiler: replays a serving scenario with full trace
+//! sampling and reports where batch latency actually goes.
+//!
+//! ```text
+//! trace_profile [--scale tiny|default|full] [--top <k>]
+//!               [--chrome-out <path>] [--flame-out <path>]
+//! ```
+//!
+//! The run drives `rfx-serve` under the Auto scheduling policy with a
+//! closed-loop micro-batch load, then analyzes the span snapshot:
+//!
+//! * **per-stage self-time** — inclusive vs self microseconds per span
+//!   name, so device child spans (`kernels.*`, `gpusim.*`) are not
+//!   double-counted against their parents;
+//! * **critical path** — every `serve.batch` root is tiled by its
+//!   queue-wait / dispatch / traverse / deliver stage spans; the stage
+//!   sum must stay within 10% of measured batch wall-clock (asserted);
+//! * **top-K slowest traces** — the worst batches with their stage
+//!   breakdown and trace ids;
+//! * **tail exemplars** — the p99 bucket of `serve.batch.duration_us`
+//!   is resolved through its exemplar back to the full span tree of the
+//!   batch that landed there (asserted to resolve).
+//!
+//! Results land in `bench_results/trace-<scale>.json`; the
+//! `critical_path` entry uses the `[label, seconds]` pair shape that
+//! `bench_compare` gates lower-is-better. `--chrome-out` additionally
+//! writes the span tree as Chrome trace-event JSON (chrome://tracing,
+//! Perfetto) and `--flame-out` as collapsed stacks for flamegraph tools.
+
+use rfx_bench::harness::{write_json, Table};
+use rfx_bench::scale::Scale;
+use rfx_bench::tracestats::{batch_profiles, critical_path, self_time_by_name};
+use rfx_bench::workloads::trained_forest;
+use rfx_data::DatasetKind;
+use rfx_serve::{
+    run_closed_loop, LoadGenConfig, RfxServe, SchedulePolicy, ServeConfig, ServeModel,
+};
+use rfx_telemetry::{export, Snapshot, Telemetry, TraceConfig};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Parses `--<flag> <value>` (also `--<flag>=<value>`); a bare flag with
+/// no value exits with a usage error.
+fn value_from_args(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut value = None;
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&format!("--{flag}=")) {
+            value = Some(v.to_string());
+        } else if *a == format!("--{flag}") {
+            value = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("trace_profile: --{flag} requires a value");
+                std::process::exit(2);
+            }));
+        }
+    }
+    value
+}
+
+#[derive(Serialize)]
+struct SlowTrace {
+    trace: u64,
+    backend: String,
+    rows: u64,
+    duration_us: u64,
+    queue_wait_us: u64,
+    dispatch_us: u64,
+    traverse_us: u64,
+    deliver_us: u64,
+    spans: usize,
+}
+
+/// Stage totals as an object (not `[label, number]` pairs) so the
+/// scheduling-noise stages stay out of the `bench_compare` gate.
+#[derive(Serialize)]
+struct StageTotals {
+    queue_wait_us: u64,
+    dispatch_us: u64,
+    traverse_us: u64,
+    deliver_us: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    scale: String,
+    batches: usize,
+    spans: usize,
+    spans_dropped: u64,
+    /// Stage totals as `[label, seconds]` pairs — the `bench_compare`
+    /// lower-is-better gate reads exactly this shape. Only `traverse`
+    /// is emitted: it is the compute stage, the one a kernel regression
+    /// moves; queue/dispatch/deliver totals are scheduling wall-clock
+    /// and too noisy to gate.
+    critical_path: Vec<(String, f64)>,
+    stage_totals_us: StageTotals,
+    batch_latency_seconds: f64,
+    stage_coverage: f64,
+    p99_exemplar_trace: u64,
+    p99_exemplar_spans: usize,
+    slowest: Vec<SlowTrace>,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let chrome_out = value_from_args("chrome-out").map(PathBuf::from);
+    let flame_out = value_from_args("flame-out").map(PathBuf::from);
+    let top_k: usize = value_from_args("top").map_or(5, |v| {
+        v.parse().unwrap_or_else(|e| {
+            eprintln!("trace_profile: --top: {e}");
+            std::process::exit(2);
+        })
+    });
+
+    let (requests_per_client, depth, trees) = match scale {
+        Scale::Tiny => (40, 8, 10),
+        _ => (150, 12, 20),
+    };
+    let (forest, _test) = trained_forest(DatasetKind::SusyLike, depth, trees, scale);
+    let model = ServeModel::prepare(forest).expect("hier layout fits the Titan Xp budget");
+
+    // Full sampling, ring deep enough that no root from the run is
+    // evicted before the snapshot.
+    let telemetry =
+        Telemetry::with_trace_config(TraceConfig { sample_every_n: 1, capacity: 65536 });
+    let serve = RfxServe::start_with_telemetry(
+        model,
+        ServeConfig {
+            max_batch_size: 256,
+            max_batch_delay: Duration::from_millis(1),
+            policy: SchedulePolicy::Auto,
+            ..ServeConfig::default()
+        },
+        telemetry.clone(),
+    );
+    run_closed_loop(
+        &serve,
+        &LoadGenConfig {
+            clients: 8,
+            requests_per_client,
+            rows_per_request: 8,
+            seed: 0xBEEF,
+            ..LoadGenConfig::default()
+        },
+    );
+    serve.shutdown();
+    let snapshot: Snapshot = telemetry.snapshot();
+
+    // Per-stage self-time, device spans separated from their parents.
+    let mut self_table = Table::new(
+        "trace_profile: per-stage self-time (inclusive vs self)",
+        &["span", "count", "total ms", "self ms", "self %"],
+    );
+    let self_times = self_time_by_name(&snapshot.trace);
+    let grand_self: u64 = self_times.iter().map(|r| r.self_us).sum();
+    for row in &self_times {
+        self_table.row(vec![
+            row.name.clone(),
+            row.count.to_string(),
+            format!("{:.2}", row.total_us as f64 / 1e3),
+            format!("{:.2}", row.self_us as f64 / 1e3),
+            format!("{:.1}", 100.0 * row.self_us as f64 / grand_self.max(1) as f64),
+        ]);
+    }
+    self_table.print();
+    println!();
+
+    // Critical path: the stage spans must tile the batch roots.
+    let profiles = batch_profiles(&snapshot.trace);
+    assert!(!profiles.is_empty(), "the run recorded no serve.batch roots");
+    let cp = critical_path(&profiles);
+    let mut cp_table = Table::new(
+        "trace_profile: batch critical path (stages tile each serve.batch root)",
+        &["stage", "total s", "mean us/batch", "share %"],
+    );
+    let stage_sum: f64 = cp.stage_seconds.iter().map(|(_, s)| s).sum();
+    for (name, seconds) in &cp.stage_seconds {
+        cp_table.row(vec![
+            name.clone(),
+            format!("{seconds:.4}"),
+            format!("{:.0}", seconds * 1e6 / profiles.len() as f64),
+            format!("{:.1}", 100.0 * seconds / stage_sum.max(f64::MIN_POSITIVE)),
+        ]);
+    }
+    cp_table.print();
+    println!(
+        "stage sum {:.4}s over {} batches covers {:.1}% of measured batch latency {:.4}s",
+        stage_sum,
+        profiles.len(),
+        cp.coverage * 100.0,
+        cp.batch_seconds
+    );
+    assert!(
+        (cp.coverage - 1.0).abs() <= 0.10,
+        "stage decomposition covers {:.1}% of batch wall-clock (must be within 10%)",
+        cp.coverage * 100.0
+    );
+    println!();
+
+    // Top-K slowest batches.
+    let mut ranked: Vec<&_> = profiles.iter().collect();
+    ranked.sort_by(|a, b| b.duration_us.cmp(&a.duration_us).then(a.root_id.cmp(&b.root_id)));
+    let mut slow_table = Table::new(
+        &format!("trace_profile: top-{top_k} slowest batches"),
+        &[
+            "trace",
+            "backend",
+            "rows",
+            "total us",
+            "queue us",
+            "dispatch us",
+            "traverse us",
+            "deliver us",
+        ],
+    );
+    let slowest: Vec<SlowTrace> = ranked
+        .iter()
+        .take(top_k)
+        .map(|p| {
+            let spans = snapshot.trace.spans.iter().filter(|s| s.trace == p.trace).count();
+            slow_table.row(vec![
+                format!("{:#x}", p.trace),
+                p.backend.clone(),
+                p.rows.to_string(),
+                p.duration_us.to_string(),
+                p.stage_us[0].to_string(),
+                p.stage_us[1].to_string(),
+                p.stage_us[2].to_string(),
+                p.stage_us[3].to_string(),
+            ]);
+            SlowTrace {
+                trace: p.trace,
+                backend: p.backend.clone(),
+                rows: p.rows,
+                duration_us: p.duration_us,
+                queue_wait_us: p.stage_us[0],
+                dispatch_us: p.stage_us[1],
+                traverse_us: p.stage_us[2],
+                deliver_us: p.stage_us[3],
+                spans,
+            }
+        })
+        .collect();
+    slow_table.print();
+    println!();
+
+    // Tail exemplar: resolve the p99 serve.batch.duration_us bucket back
+    // to the full trace of the batch that landed there.
+    let hist = snapshot
+        .metrics
+        .histogram("serve.batch.duration_us")
+        .expect("serve records batch duration");
+    let exemplar = hist
+        .exemplar_for_quantile(0.99)
+        .expect("full sampling leaves an exemplar in every populated bucket");
+    let exemplar_spans: Vec<_> =
+        snapshot.trace.spans.iter().filter(|s| s.trace == exemplar.trace.0).collect();
+    assert!(
+        exemplar_spans.iter().any(|s| s.name == "serve.batch"),
+        "p99 exemplar trace {:#x} must resolve to a retained serve.batch root",
+        exemplar.trace.0
+    );
+    println!(
+        "p99 exemplar: serve.batch.duration_us ~{}us -> trace {:#x} ({} spans retained)",
+        exemplar.value,
+        exemplar.trace.0,
+        exemplar_spans.len()
+    );
+
+    let report = Report {
+        scale: format!("{scale:?}").to_lowercase(),
+        batches: profiles.len(),
+        spans: snapshot.trace.spans.len(),
+        spans_dropped: snapshot.trace.dropped,
+        critical_path: cp
+            .stage_seconds
+            .iter()
+            .filter(|(name, _)| name == "traverse")
+            .cloned()
+            .collect(),
+        stage_totals_us: StageTotals {
+            queue_wait_us: (cp.stage_seconds[0].1 * 1e6) as u64,
+            dispatch_us: (cp.stage_seconds[1].1 * 1e6) as u64,
+            traverse_us: (cp.stage_seconds[2].1 * 1e6) as u64,
+            deliver_us: (cp.stage_seconds[3].1 * 1e6) as u64,
+        },
+        batch_latency_seconds: cp.batch_seconds,
+        stage_coverage: cp.coverage,
+        p99_exemplar_trace: exemplar.trace.0,
+        p99_exemplar_spans: exemplar_spans.len(),
+        slowest,
+    };
+    write_json("trace", scale.label(), &report);
+
+    if let Some(path) = chrome_out {
+        match std::fs::write(&path, export::to_chrome_trace(&snapshot)) {
+            Ok(()) => eprintln!("[chrome trace written to {}]", path.display()),
+            Err(e) => {
+                eprintln!("failed to write chrome trace to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = flame_out {
+        match std::fs::write(&path, export::to_collapsed_stacks(&snapshot)) {
+            Ok(()) => eprintln!("[collapsed stacks written to {}]", path.display()),
+            Err(e) => {
+                eprintln!("failed to write collapsed stacks to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}

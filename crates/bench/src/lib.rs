@@ -26,4 +26,5 @@
 pub mod harness;
 pub mod runner;
 pub mod scale;
+pub mod tracestats;
 pub mod workloads;

@@ -1,0 +1,232 @@
+//! Trace analysis for the `trace_profile` harness: per-stage self-time,
+//! per-batch critical paths, and slowest-trace ranking over an
+//! `rfx-telemetry` span snapshot.
+//!
+//! The serve pipeline records each `serve.batch` root tiled exactly by
+//! four stage spans — `queue_wait` (enqueue of the oldest request until
+//! the batch forms), `dispatch` (batcher → worker hand-off), `traverse`
+//! (backend execution), and `deliver` (ticket completion) — so a batch's
+//! critical path is the sum of its stage durations and must match the
+//! root's wall-clock duration up to rounding. [`critical_path`] computes
+//! that decomposition and its coverage of measured batch latency, which
+//! `trace_profile` asserts stays within 10%.
+
+use rfx_telemetry::{SpanRecord, TraceSnapshot};
+use std::collections::HashMap;
+
+/// The stage spans tiling one `serve.batch` root, in pipeline order.
+pub const STAGES: [&str; 4] = [
+    "serve.batch.queue_wait",
+    "serve.batch.dispatch",
+    "serve.batch.traverse",
+    "serve.batch.deliver",
+];
+
+/// Aggregate time attributed to one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelfTime {
+    /// Span name.
+    pub name: String,
+    /// Completed spans with this name.
+    pub count: u64,
+    /// Total wall-clock duration.
+    pub total_us: u64,
+    /// Duration not covered by child spans (saturating, so overlapping
+    /// children cannot drive it negative).
+    pub self_us: u64,
+}
+
+/// Per-name inclusive/self time over every span in the snapshot, sorted
+/// by self-time descending (name-tiebroken for determinism).
+pub fn self_time_by_name(snapshot: &TraceSnapshot) -> Vec<SelfTime> {
+    let mut child_us: HashMap<u64, u64> = HashMap::new();
+    for span in &snapshot.spans {
+        if span.parent != 0 {
+            *child_us.entry(span.parent).or_insert(0) += span.duration_us;
+        }
+    }
+    let mut by_name: HashMap<&str, SelfTime> = HashMap::new();
+    for span in &snapshot.spans {
+        let own = span.duration_us.saturating_sub(child_us.get(&span.id).copied().unwrap_or(0));
+        let entry = by_name.entry(&span.name).or_insert_with(|| SelfTime {
+            name: span.name.clone(),
+            count: 0,
+            total_us: 0,
+            self_us: 0,
+        });
+        entry.count += 1;
+        entry.total_us += span.duration_us;
+        entry.self_us += own;
+    }
+    let mut rows: Vec<SelfTime> = by_name.into_values().collect();
+    rows.sort_by(|a, b| b.self_us.cmp(&a.self_us).then_with(|| a.name.cmp(&b.name)));
+    rows
+}
+
+/// One `serve.batch` root decomposed into its stage spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchProfile {
+    /// Trace id shared by the root and everything under it.
+    pub trace: u64,
+    /// Root span id.
+    pub root_id: u64,
+    /// Root (batch) wall-clock duration.
+    pub duration_us: u64,
+    /// Rows in the batch (root `rows` attribute; 0 if absent).
+    pub rows: u64,
+    /// Executing backend (root `backend` attribute; empty if absent).
+    pub backend: String,
+    /// Stage durations in [`STAGES`] order; a stage missing from the
+    /// snapshot (ring eviction) contributes 0.
+    pub stage_us: [u64; 4],
+}
+
+fn attr<'a>(span: &'a SpanRecord, key: &str) -> Option<&'a str> {
+    span.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+/// Extracts every `serve.batch` root and its stage decomposition,
+/// oldest batch first.
+pub fn batch_profiles(snapshot: &TraceSnapshot) -> Vec<BatchProfile> {
+    let mut profiles: Vec<BatchProfile> = snapshot
+        .spans
+        .iter()
+        .filter(|s| s.name == "serve.batch")
+        .map(|root| BatchProfile {
+            trace: root.trace,
+            root_id: root.id,
+            duration_us: root.duration_us,
+            rows: attr(root, "rows").and_then(|v| v.parse().ok()).unwrap_or(0),
+            backend: attr(root, "backend").unwrap_or("").to_string(),
+            stage_us: [0; 4],
+        })
+        .collect();
+    let by_root: HashMap<u64, usize> =
+        profiles.iter().enumerate().map(|(i, p)| (p.root_id, i)).collect();
+    for span in &snapshot.spans {
+        if let (Some(&slot), Some(stage)) =
+            (by_root.get(&span.parent), STAGES.iter().position(|s| *s == span.name))
+        {
+            profiles[slot].stage_us[stage] += span.duration_us;
+        }
+    }
+    profiles.sort_by_key(|p| p.root_id);
+    profiles
+}
+
+/// The fleet-level critical-path decomposition of a batch set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Total seconds per stage, in [`STAGES`] order (short stage names).
+    pub stage_seconds: Vec<(String, f64)>,
+    /// Total measured batch latency (sum of root durations), seconds.
+    pub batch_seconds: f64,
+    /// `sum(stage_seconds) / batch_seconds` — 1.0 when the stage spans
+    /// tile the roots exactly.
+    pub coverage: f64,
+}
+
+/// Sums the stage decomposition over `profiles` and measures how much of
+/// the roots' wall-clock it accounts for.
+pub fn critical_path(profiles: &[BatchProfile]) -> CriticalPath {
+    let mut stage_totals = [0u64; 4];
+    let mut batch_us = 0u64;
+    for p in profiles {
+        batch_us += p.duration_us;
+        for (total, stage) in stage_totals.iter_mut().zip(p.stage_us) {
+            *total += stage;
+        }
+    }
+    let stage_seconds: Vec<(String, f64)> = STAGES
+        .iter()
+        .zip(stage_totals)
+        .map(|(name, us)| {
+            let short = name.rsplit('.').next().unwrap_or(name).to_string();
+            (short, us as f64 / 1e6)
+        })
+        .collect();
+    let stage_sum: f64 = stage_seconds.iter().map(|(_, s)| s).sum();
+    let batch_seconds = batch_us as f64 / 1e6;
+    let coverage = if batch_seconds > 0.0 { stage_sum / batch_seconds } else { 1.0 };
+    CriticalPath { stage_seconds, batch_seconds, coverage }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: u64, trace: u64, name: &str, duration_us: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            trace,
+            name: name.to_string(),
+            start_us: 0,
+            wall_start_us: 0,
+            duration_us,
+            thread: 1,
+            attrs: Vec::new(),
+        }
+    }
+
+    fn batch_fixture() -> TraceSnapshot {
+        let mut root = span(1, 0, 7, "serve.batch", 1000);
+        root.attrs = vec![
+            ("rows".to_string(), "64".to_string()),
+            ("backend".to_string(), "cpu-sharded".to_string()),
+        ];
+        TraceSnapshot {
+            dropped: 0,
+            spans: vec![
+                root,
+                span(2, 1, 7, "serve.batch.queue_wait", 300),
+                span(3, 1, 7, "serve.batch.dispatch", 50),
+                span(4, 1, 7, "serve.batch.traverse", 600),
+                span(5, 4, 7, "kernels.sharded.tile", 550),
+                span(6, 1, 7, "serve.batch.deliver", 50),
+            ],
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        let rows = self_time_by_name(&batch_fixture());
+        let traverse = rows.iter().find(|r| r.name == "serve.batch.traverse").unwrap();
+        assert_eq!(traverse.total_us, 600);
+        assert_eq!(traverse.self_us, 50, "tile child time is not traverse self-time");
+        let root = rows.iter().find(|r| r.name == "serve.batch").unwrap();
+        assert_eq!(root.self_us, 0, "stages tile the root exactly");
+    }
+
+    #[test]
+    fn batch_profile_reads_stages_and_attrs() {
+        let profiles = batch_profiles(&batch_fixture());
+        assert_eq!(profiles.len(), 1);
+        let p = &profiles[0];
+        assert_eq!((p.trace, p.rows, p.backend.as_str()), (7, 64, "cpu-sharded"));
+        assert_eq!(p.stage_us, [300, 50, 600, 50]);
+    }
+
+    #[test]
+    fn critical_path_covers_batch_latency() {
+        let cp = critical_path(&batch_profiles(&batch_fixture()));
+        assert!((cp.batch_seconds - 0.001).abs() < 1e-9);
+        assert!((cp.coverage - 1.0).abs() < 1e-9, "coverage {}", cp.coverage);
+        assert_eq!(cp.stage_seconds.len(), 4);
+        assert_eq!(cp.stage_seconds[2].0, "traverse");
+        assert!((cp.stage_seconds[2].1 - 600e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_stage_spans_lower_coverage_instead_of_panicking() {
+        let snapshot = TraceSnapshot {
+            dropped: 2,
+            spans: vec![
+                span(1, 0, 9, "serve.batch", 1000),
+                span(4, 1, 9, "serve.batch.traverse", 600),
+            ],
+        };
+        let cp = critical_path(&batch_profiles(&snapshot));
+        assert!((cp.coverage - 0.6).abs() < 1e-9);
+    }
+}

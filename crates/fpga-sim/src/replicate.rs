@@ -98,12 +98,13 @@ pub fn combine_cus(cus: &[CuExecution], replication: Replication) -> FpgaStats {
     stats
 }
 
-/// Records one device execution's pipeline counters into the
-/// process-global telemetry domain (`fpgasim.*`). Compiled only under
-/// the `telemetry` feature.
+/// Records one device execution's pipeline counters into the ambient
+/// telemetry domain (`fpgasim.*`) — the process-global domain unless the
+/// caller installed a scoped one. Compiled only under the `telemetry`
+/// feature.
 #[cfg(feature = "telemetry")]
 fn emit_execution_telemetry(cus: &[CuExecution], stats: &FpgaStats) {
-    let tel = rfx_telemetry::global();
+    let tel = rfx_telemetry::current();
     tel.counter("fpgasim.executions").inc();
     tel.counter("fpgasim.pipeline.cycles").add(stats.cycles);
     let total_cycles: u64 = cus.iter().map(|c| c.cycles).sum();

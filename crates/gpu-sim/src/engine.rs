@@ -299,13 +299,14 @@ impl GpuSim {
             });
         }
         // Measures host-side simulation wall time of the whole launch;
-        // the modeled device time lands in the counters below.
+        // the modeled device time lands in the counters below. Recorded
+        // into the ambient domain so a serving batch's traverse span owns
+        // the device phase instead of it becoming an orphan root.
         #[cfg(feature = "telemetry")]
-        let _launch_span = rfx_telemetry::span!(
-            rfx_telemetry::global(),
-            "gpusim.launch",
-            blocks = grid.num_blocks
-        );
+        let _launch_tel = rfx_telemetry::current();
+        #[cfg(feature = "telemetry")]
+        let _launch_span =
+            rfx_telemetry::span!(_launch_tel, "gpusim.launch", blocks = grid.num_blocks);
         let warps_per_block = grid.threads_per_block.div_ceil(cfg.warp_size as usize);
         // Occupancy: blocks resident on one SM at a time.
         let by_shared = (cfg.shared_mem_per_sm as usize)
@@ -392,13 +393,14 @@ impl GpuSim {
     }
 }
 
-/// Records one launch's hardware counters into the process-global
-/// telemetry domain (`gpusim.*`, mirroring the `nvprof` metric names the
-/// paper's Fig. 8 analysis uses). Compiled only under the `telemetry`
-/// feature so the default simulator build carries no instrumentation.
+/// Records one launch's hardware counters into the ambient telemetry
+/// domain (`gpusim.*`, mirroring the `nvprof` metric names the paper's
+/// Fig. 8 analysis uses) — the process-global domain unless the caller
+/// installed a scoped one. Compiled only under the `telemetry` feature
+/// so the default simulator build carries no instrumentation.
 #[cfg(feature = "telemetry")]
 fn emit_launch_telemetry(stats: &GpuStats) {
-    let tel = rfx_telemetry::global();
+    let tel = rfx_telemetry::current();
     tel.counter("gpusim.launches").inc();
     tel.counter("gpusim.global.load_transactions").add(stats.global_load_transactions);
     tel.counter("gpusim.global.store_transactions").add(stats.global_store_transactions);

@@ -1,226 +1,20 @@
-//! CPU inference: the functional reference plus the **deprecated**
-//! free-function engine zoo.
+//! CPU inference: the functional reference.
 //!
-//! The practical CPU path now lives behind the unified
+//! The practical CPU path lives behind the unified
 //! [`Predictor`](crate::engine::Predictor) trait in [`crate::engine`]:
 //! [`ShardedEngine`](crate::engine::ShardedEngine) (tree-sharded,
 //! cache-blocked) and [`RowParallel`](crate::engine::RowParallel) (the
-//! legacy row-parallel schedule). The per-layout `predict_*_parallel` /
-//! `*_range_into` free functions below are kept as thin wrappers for one
-//! release so out-of-tree callers can migrate; everything in-repo already
-//! speaks `Predictor`.
+//! legacy row-parallel schedule). The deprecated per-layout
+//! `predict_*_parallel` / `*_range_into` free-function wrappers that
+//! bridged one release have been removed — port any remaining callers to
+//! `Predictor`.
 
-use crate::engine::{Predictor, RowParallel};
-use rfx_core::{CsrForest, FilForest, HierForest, Label};
+use rfx_core::Label;
 use rfx_forest::dataset::QueryView;
 use rfx_forest::RandomForest;
-use std::ops::Range;
 
 /// Sequential majority-vote inference over the node-vector forest — the
 /// single source of truth every other engine is tested against.
 pub fn predict_reference(forest: &RandomForest, queries: QueryView) -> Vec<Label> {
     forest.predict_batch(queries)
-}
-
-/// Serial slice engine over the node-vector forest: predicts
-/// `queries[range]` into `out` (`out.len()` must equal `range.len()`).
-#[deprecated(since = "0.2.0", note = "use rfx_kernels::engine::{Predictor, ShardedEngine} instead")]
-pub fn predict_range_into(
-    forest: &RandomForest,
-    queries: QueryView,
-    range: Range<usize>,
-    out: &mut [Label],
-) {
-    assert_eq!(out.len(), range.len(), "output slice must match query range");
-    for (slot, r) in out.iter_mut().zip(range) {
-        *slot = forest.predict(queries.row(r));
-    }
-}
-
-/// Serial slice engine over the hierarchical layout.
-#[deprecated(since = "0.2.0", note = "use rfx_kernels::engine::{Predictor, ShardedEngine} instead")]
-pub fn predict_hier_range_into(
-    h: &HierForest,
-    queries: QueryView,
-    range: Range<usize>,
-    out: &mut [Label],
-) {
-    assert_eq!(out.len(), range.len(), "output slice must match query range");
-    for (slot, r) in out.iter_mut().zip(range) {
-        *slot = h.predict(queries.row(r));
-    }
-}
-
-/// Serial slice engine over the CSR layout.
-#[deprecated(since = "0.2.0", note = "use rfx_kernels::engine::{Predictor, ShardedEngine} instead")]
-pub fn predict_csr_range_into(
-    csr: &CsrForest,
-    queries: QueryView,
-    range: Range<usize>,
-    out: &mut [Label],
-) {
-    assert_eq!(out.len(), range.len(), "output slice must match query range");
-    for (slot, r) in out.iter_mut().zip(range) {
-        *slot = csr.predict(queries.row(r));
-    }
-}
-
-/// Serial slice engine over the FIL-style layout.
-#[deprecated(since = "0.2.0", note = "use rfx_kernels::engine::{Predictor, ShardedEngine} instead")]
-pub fn predict_fil_range_into(
-    fil: &FilForest,
-    queries: QueryView,
-    range: Range<usize>,
-    out: &mut [Label],
-) {
-    assert_eq!(out.len(), range.len(), "output slice must match query range");
-    for (slot, r) in out.iter_mut().zip(range) {
-        *slot = fil.predict(queries.row(r));
-    }
-}
-
-/// Multi-core slice engine: splits `queries[range]` across threads and
-/// predicts each block serially into the matching sub-slice of `out`.
-#[deprecated(since = "0.2.0", note = "use rfx_kernels::engine::{Predictor, RowParallel} instead")]
-pub fn predict_parallel_range_into<F>(range: Range<usize>, out: &mut [Label], predict_row: F)
-where
-    F: Fn(usize) -> Label + Sync,
-{
-    assert_eq!(out.len(), range.len(), "output slice must match query range");
-    #[cfg(feature = "telemetry")]
-    let _span =
-        rfx_telemetry::span!(rfx_telemetry::global(), "kernels.cpu.traverse", rows = out.len());
-    let n = out.len();
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(n)
-        .max(1);
-    if workers <= 1 {
-        for (slot, r) in out.iter_mut().zip(range) {
-            *slot = predict_row(r);
-        }
-        return;
-    }
-    let chunk = n.div_ceil(workers);
-    std::thread::scope(|scope| {
-        let mut rest = out;
-        let mut offset = range.start;
-        while !rest.is_empty() {
-            let take = chunk.min(rest.len());
-            let (block, tail) = rest.split_at_mut(take);
-            let start = offset;
-            let f = &predict_row;
-            scope.spawn(move || {
-                for (i, slot) in block.iter_mut().enumerate() {
-                    *slot = f(start + i);
-                }
-            });
-            rest = tail;
-            offset += take;
-        }
-    });
-}
-
-/// Rayon-style parallel inference over the node-vector forest.
-#[deprecated(since = "0.2.0", note = "use rfx_kernels::engine::{Predictor, RowParallel} instead")]
-pub fn predict_parallel(forest: &RandomForest, queries: QueryView) -> Vec<Label> {
-    RowParallel::new(forest).predict(queries)
-}
-
-/// Parallel inference over the hierarchical layout.
-#[deprecated(since = "0.2.0", note = "use rfx_kernels::engine::{Predictor, RowParallel} instead")]
-pub fn predict_hier_parallel(h: &HierForest, queries: QueryView) -> Vec<Label> {
-    RowParallel::new(h).predict(queries)
-}
-
-/// Parallel inference over the CSR layout.
-#[deprecated(since = "0.2.0", note = "use rfx_kernels::engine::{Predictor, RowParallel} instead")]
-pub fn predict_csr_parallel(csr: &CsrForest, queries: QueryView) -> Vec<Label> {
-    RowParallel::new(csr).predict(queries)
-}
-
-/// Parallel inference over the FIL-style layout.
-#[deprecated(since = "0.2.0", note = "use rfx_kernels::engine::{Predictor, RowParallel} instead")]
-pub fn predict_fil_parallel(fil: &FilForest, queries: QueryView) -> Vec<Label> {
-    RowParallel::new(fil).predict(queries)
-}
-
-#[cfg(test)]
-mod tests {
-    // The wrappers are deprecated but must keep working for the one
-    // release they are kept; these tests are their only sanctioned
-    // in-repo callers.
-    #![allow(deprecated)]
-
-    use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    use rfx_core::hier::{builder::build_forest, HierConfig};
-    use rfx_forest::DecisionTree;
-
-    fn fixture() -> (RandomForest, Vec<f32>, usize) {
-        let mut rng = StdRng::seed_from_u64(3);
-        let trees: Vec<DecisionTree> =
-            (0..9).map(|_| DecisionTree::random(&mut rng, 8, 5, 3, 0.3)).collect();
-        let forest = RandomForest::from_trees(trees, 5, 3).unwrap();
-        let queries: Vec<f32> = (0..500 * 5).map(|_| rng.gen()).collect();
-        (forest, queries, 5)
-    }
-
-    #[test]
-    fn deprecated_whole_batch_wrappers_agree_with_reference() {
-        let (forest, queries, nf) = fixture();
-        let qv = QueryView::new(&queries, nf).unwrap();
-        let reference = predict_reference(&forest, qv);
-        assert_eq!(predict_parallel(&forest, qv), reference);
-
-        let csr = CsrForest::build(&forest);
-        assert_eq!(predict_csr_parallel(&csr, qv), reference);
-
-        let fil = FilForest::build(&forest);
-        assert_eq!(predict_fil_parallel(&fil, qv), reference);
-
-        for cfg in [HierConfig::uniform(2), HierConfig::uniform(4), HierConfig::with_root(3, 7)] {
-            let h = build_forest(&forest, cfg).unwrap();
-            assert_eq!(predict_hier_parallel(&h, qv), reference, "{cfg:?}");
-        }
-    }
-
-    #[test]
-    fn deprecated_slice_wrappers_agree_on_subranges() {
-        let (forest, queries, nf) = fixture();
-        let qv = QueryView::new(&queries, nf).unwrap();
-        let reference = predict_reference(&forest, qv);
-        let csr = CsrForest::build(&forest);
-        let fil = FilForest::build(&forest);
-        let hier = build_forest(&forest, HierConfig::uniform(3)).unwrap();
-
-        for range in [0..1, 0..500, 17..17, 17..93, 499..500] {
-            let mut out = vec![0; range.len()];
-            predict_range_into(&forest, qv, range.clone(), &mut out);
-            assert_eq!(out, reference[range.clone()], "forest {range:?}");
-
-            predict_csr_range_into(&csr, qv, range.clone(), &mut out);
-            assert_eq!(out, reference[range.clone()], "csr {range:?}");
-
-            predict_fil_range_into(&fil, qv, range.clone(), &mut out);
-            assert_eq!(out, reference[range.clone()], "fil {range:?}");
-
-            predict_hier_range_into(&hier, qv, range.clone(), &mut out);
-            assert_eq!(out, reference[range.clone()], "hier {range:?}");
-
-            predict_parallel_range_into(range.clone(), &mut out, |r| forest.predict(qv.row(r)));
-            assert_eq!(out, reference[range.clone()], "parallel {range:?}");
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "output slice must match")]
-    fn slice_engines_check_output_length() {
-        let (forest, queries, nf) = fixture();
-        let qv = QueryView::new(&queries, nf).unwrap();
-        let mut out = vec![0; 3];
-        predict_range_into(&forest, qv, 0..10, &mut out);
-    }
 }

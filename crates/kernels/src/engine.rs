@@ -300,12 +300,23 @@ impl<E: TreeEnsemble> ShardedEngine<E> {
     }
 }
 
+/// What the tile loop needs to open per-tile child spans: the ambient
+/// telemetry domain plus the enclosing kernel span's context, captured
+/// *before* the rayon fan-out (worker threads have neither the span
+/// stack nor the ambient scope of the calling thread). `None` when the
+/// enclosing trace is unsampled — tiles then cost nothing.
+#[cfg(feature = "telemetry")]
+type TileCtx = Option<(rfx_telemetry::Telemetry, rfx_telemetry::SpanContext)>;
+#[cfg(not(feature = "telemetry"))]
+type TileCtx = ();
+
 impl<E: TreeEnsemble> Predictor for ShardedEngine<E> {
     fn predict_into(&self, queries: QueryView<'_>, out: &mut [Label]) {
         let plan = self.plan_for(queries.num_rows());
         #[cfg(feature = "telemetry")]
+        let tel = rfx_telemetry::current();
+        #[cfg(feature = "telemetry")]
         let _span = {
-            let tel = rfx_telemetry::global();
             let shards = self.source.num_trees().div_ceil(plan.shard_trees) as u64;
             let blocks = queries.num_rows().div_ceil(plan.query_block) as u64;
             tel.counter("kernels.sharded.batches").inc();
@@ -314,7 +325,11 @@ impl<E: TreeEnsemble> Predictor for ShardedEngine<E> {
             tel.counter("kernels.sharded.tiles").add(shards * blocks);
             rfx_telemetry::span!(tel, "kernels.sharded", rows = out.len())
         };
-        run_tiled(&self.source, plan, queries, out);
+        #[cfg(feature = "telemetry")]
+        let tile_ctx: TileCtx = _span.is_recorded().then(|| (tel.clone(), _span.context()));
+        #[cfg(not(feature = "telemetry"))]
+        let tile_ctx: TileCtx = ();
+        run_tiled(&self.source, plan, queries, out, &tile_ctx);
     }
 }
 
@@ -350,8 +365,9 @@ impl<E: TreeEnsemble> Predictor for RowParallel<E> {
             return;
         }
         #[cfg(feature = "telemetry")]
-        let _span =
-            rfx_telemetry::span!(rfx_telemetry::global(), "kernels.cpu.traverse", rows = out.len());
+        let _tel = rfx_telemetry::current();
+        #[cfg(feature = "telemetry")]
+        let _span = rfx_telemetry::span!(_tel, "kernels.cpu.traverse", rows = out.len());
         let threads = available_threads().clamp(1, n);
         let n_trees = self.source.num_trees();
         let nc = self.source.num_classes().max(1) as usize;
@@ -391,15 +407,21 @@ fn split_tasks(out: &mut [Label], rows_per_task: usize) -> Vec<(usize, &mut [Lab
 /// contiguous run of blocks and one reusable vote-scratch buffer; within
 /// a block, shards are walked outermost so a shard's nodes stay hot in
 /// cache across every row of the block; a final pass reduces each row's
-/// votes to its majority label.
+/// votes to its majority label. When `tile_ctx` carries a sampled trace,
+/// each (block × shard) tile records a `kernels.sharded.tile` child span
+/// with its block/shard indices — the per-tile attribution behind the
+/// flamegraph and critical-path views.
 fn run_tiled<E: TreeEnsemble>(
     source: &E,
     plan: EnginePlan,
     queries: QueryView<'_>,
     out: &mut [Label],
+    tile_ctx: &TileCtx,
 ) {
     use rayon::prelude::*;
 
+    #[cfg(not(feature = "telemetry"))]
+    let _ = tile_ctx;
     let n = queries.num_rows();
     assert_eq!(out.len(), n, "output slice must match query batch");
     if n == 0 {
@@ -430,6 +452,15 @@ fn run_tiled<E: TreeEnsemble>(
             let mut shard_lo = 0;
             while shard_lo < n_trees {
                 let shard_hi = (shard_lo + st).min(n_trees);
+                #[cfg(feature = "telemetry")]
+                let _tile = tile_ctx.as_ref().map(|(tel, ctx)| {
+                    let mut tile = tel.start_span_child_of("kernels.sharded.tile", *ctx);
+                    tile.set_attr("block", (block_start / qb).to_string());
+                    tile.set_attr("shard", (shard_lo / st.max(1)).to_string());
+                    tile.set_attr("rows", len.to_string());
+                    tile.set_attr("trees", (shard_hi - shard_lo).to_string());
+                    tile
+                });
                 for t in shard_lo..shard_hi {
                     for (i, row_votes) in votes.chunks_exact_mut(nc).enumerate() {
                         let query = queries.row(block_start + i);

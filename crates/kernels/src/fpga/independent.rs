@@ -36,11 +36,10 @@ pub fn run_independent(
 ) -> Result<FpgaRun, OnChipOverflow> {
     rep.validate(cfg).expect("invalid replication");
     #[cfg(feature = "telemetry")]
-    let _span = rfx_telemetry::span!(
-        rfx_telemetry::global(),
-        "kernels.fpga.independent",
-        queries = queries.num_rows()
-    );
+    let _tel = rfx_telemetry::current();
+    #[cfg(feature = "telemetry")]
+    let _span =
+        rfx_telemetry::span!(_tel, "kernels.fpga.independent", queries = queries.num_rows());
     // Per-CU BRAM: one staged query row.
     let mut budget = OnChipBudget::new(cfg.onchip_bytes_per_slr);
     budget.alloc(queries.num_features() as u64 * 4)?;

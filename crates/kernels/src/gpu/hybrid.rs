@@ -262,9 +262,12 @@ pub fn run_hybrid(
 ) -> Result<GpuRun, LaunchError> {
     let nq = queries.num_rows();
     // Stage span: layout/buffer setup vs. the simulated launch (which
-    // opens its own `gpusim.launch` child span).
+    // opens its own `gpusim.launch` child span). Recorded into the
+    // ambient domain so a serving batch's trace owns the device phases.
     #[cfg(feature = "telemetry")]
-    let _span = rfx_telemetry::span!(rfx_telemetry::global(), "kernels.gpu.hybrid", queries = nq);
+    let _tel = rfx_telemetry::current();
+    #[cfg(feature = "telemetry")]
+    let _span = rfx_telemetry::span!(_tel, "kernels.gpu.hybrid", queries = nq);
     let mut mem = AddressSpace::new();
     let bufs = HierBuffers::alloc(&mut mem, hier, &queries);
     let kernel = HybridKernel {

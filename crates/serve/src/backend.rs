@@ -16,7 +16,7 @@ use crate::model::ServeModel;
 use rfx_core::{HierForest, Label};
 use rfx_forest::dataset::QueryView;
 use rfx_forest::RandomForest;
-use rfx_kernels::engine::{Predictor, RowParallel, ShardedEngine};
+use rfx_kernels::engine::{Predictor, RowParallel, ShardedEngine, TreeEnsemble};
 use rfx_kernels::fpga::independent::run_independent;
 use rfx_kernels::gpu::hybrid::run_hybrid;
 use std::fmt;
@@ -88,6 +88,14 @@ pub(crate) trait Backend: Send + Sync {
     fn fallbacks(&self) -> u64 {
         0
     }
+    /// Tiling/occupancy attributes for the traverse span of a `rows`-row
+    /// batch: how this backend would carve the batch up (shards, blocks,
+    /// grid, compute units). Keys are stable per backend; values are
+    /// computed from the same planning the execution uses.
+    fn tile_attrs(&self, rows: usize) -> Vec<(&'static str, String)> {
+        let _ = rows;
+        Vec::new()
+    }
 }
 
 pub(crate) fn make_backend(kind: BackendKind, model: &ServeModel) -> Box<dyn Backend + Sync> {
@@ -123,6 +131,12 @@ impl Backend for CpuParallel {
     fn predict(&self, queries: QueryView, out: &mut [Label]) {
         self.engine.predict_into(queries, out);
     }
+
+    fn tile_attrs(&self, rows: usize) -> Vec<(&'static str, String)> {
+        let threads =
+            std::thread::available_parallelism().map_or(1, |n| n.get()).clamp(1, rows.max(1));
+        vec![("threads", threads.to_string()), ("chunk_rows", rows.div_ceil(threads).to_string())]
+    }
 }
 
 struct CpuSharded {
@@ -136,6 +150,21 @@ impl Backend for CpuSharded {
 
     fn predict(&self, queries: QueryView, out: &mut [Label]) {
         self.engine.predict_into(queries, out);
+    }
+
+    fn tile_attrs(&self, rows: usize) -> Vec<(&'static str, String)> {
+        let plan = self.engine.plan_for(rows);
+        let n_trees = self.engine.source().num_trees();
+        let shards = n_trees.div_ceil(plan.shard_trees);
+        let blocks = rows.div_ceil(plan.query_block).max(1);
+        vec![
+            ("shard_trees", plan.shard_trees.to_string()),
+            ("query_block", plan.query_block.to_string()),
+            ("shards", shards.to_string()),
+            ("blocks", blocks.to_string()),
+            ("tiles", (shards * blocks).to_string()),
+            ("threads", plan.threads.to_string()),
+        ]
     }
 }
 
@@ -162,6 +191,14 @@ impl Backend for GpuSimHybrid {
 
     fn fallbacks(&self) -> u64 {
         self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    fn tile_attrs(&self, rows: usize) -> Vec<(&'static str, String)> {
+        let cfg = self.model.gpu().config();
+        vec![
+            ("sms", cfg.num_sms.to_string()),
+            ("warps", (rows as u32).div_ceil(cfg.warp_size).max(1).to_string()),
+        ]
     }
 }
 
@@ -193,6 +230,11 @@ impl Backend for FpgaSimIndependent {
 
     fn fallbacks(&self) -> u64 {
         self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    fn tile_attrs(&self, _rows: usize) -> Vec<(&'static str, String)> {
+        let rep = self.model.replication();
+        vec![("cus", rep.total_cus().to_string()), ("slrs", rep.slrs.to_string())]
     }
 }
 

@@ -9,7 +9,7 @@
 //! (the old `SampleRing` sorted up to 2^18 samples on every snapshot).
 
 use crate::backend::BackendKind;
-use rfx_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Telemetry};
+use rfx_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Telemetry, TraceId};
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -72,10 +72,12 @@ impl BackendRecorder {
         }
     }
 
-    pub(crate) fn record_batch(&self, rows: usize, elapsed_us: u64) {
+    /// Records one executed batch; a sampled `trace` becomes the latency
+    /// bucket's exemplar, linking the aggregate back to the span tree.
+    pub(crate) fn record_batch(&self, rows: usize, elapsed_us: u64, trace: TraceId) {
         self.batches.inc();
         self.queries.add(rows as u64);
-        self.batch_latency.record(elapsed_us);
+        self.batch_latency.record_with_exemplar(elapsed_us, trace);
     }
 }
 
@@ -92,6 +94,9 @@ pub(crate) struct MetricsHub {
     queue_wait: Arc<Histogram>,
     queue_depth: Arc<Gauge>,
     request_latency: Arc<Histogram>,
+    /// End-to-end `serve.batch` span durations (oldest enqueue →
+    /// delivery); exemplars point a p99 bucket at a full trace.
+    batch_duration: Arc<Histogram>,
     /// Exact largest batch (the histogram max is bucket-exact too, but
     /// this keeps the old field's exactness guarantee).
     max_batch_rows: AtomicU64,
@@ -110,6 +115,7 @@ impl MetricsHub {
             queue_wait: telemetry.histogram("serve.queue.wait_us"),
             queue_depth: telemetry.gauge("serve.queue.depth"),
             request_latency: telemetry.histogram("serve.request.latency_us"),
+            batch_duration: telemetry.histogram("serve.batch.duration_us"),
             max_batch_rows: AtomicU64::new(0),
             backends: backends.iter().map(|&k| BackendRecorder::new(telemetry, k)).collect(),
         }
@@ -138,9 +144,16 @@ impl MetricsHub {
         self.backends[idx].dispatches.inc();
     }
 
-    pub(crate) fn record_request_done(&self, rows: usize, latency_us: u64) {
+    /// Records one delivered request; a sampled `trace` (the batch it
+    /// rode in) becomes the latency bucket's exemplar.
+    pub(crate) fn record_request_done(&self, rows: usize, latency_us: u64, trace: TraceId) {
         self.completed_rows.add(rows as u64);
-        self.request_latency.record(latency_us);
+        self.request_latency.record_with_exemplar(latency_us, trace);
+    }
+
+    /// Records the whole-batch span duration (enqueue→delivery).
+    pub(crate) fn record_batch_duration(&self, duration_us: u64, trace: TraceId) {
+        self.batch_duration.record_with_exemplar(duration_us, trace);
     }
 
     pub(crate) fn recorder(&self, idx: usize) -> &BackendRecorder {
@@ -265,7 +278,7 @@ mod tests {
     fn percentiles_of_known_series_are_bucket_accurate() {
         let (_tel, hub) = hub();
         for v in 1..=100u64 {
-            hub.record_request_done(1, v);
+            hub.record_request_done(1, v, TraceId::NONE);
         }
         let s = hub.snapshot(0, |_| (0.0, 0, 0));
         let lat = s.request_latency;
@@ -286,7 +299,7 @@ mod tests {
         // 2^18 samples used to be the sort cap; record past it and check
         // count/extremes stay exact — snapshot cost is now O(buckets).
         for v in 0..300_000u64 {
-            hub.record_request_done(1, v % 5_000);
+            hub.record_request_done(1, v % 5_000, TraceId::NONE);
         }
         let s = hub.snapshot(0, |_| (0.0, 0, 0));
         assert_eq!(s.request_latency.count, 300_000);
@@ -301,8 +314,9 @@ mod tests {
         hub.record_submit(4);
         hub.record_batch_formed(4);
         hub.record_dispatch(2);
-        hub.recorder(2).record_batch(4, 250);
-        hub.record_request_done(4, 400);
+        hub.recorder(2).record_batch(4, 250, TraceId(9));
+        hub.record_request_done(4, 400, TraceId(9));
+        hub.record_batch_duration(450, TraceId(9));
         let _ = hub.snapshot(2, |_| (1.5, 3, 0));
         let m = tel.metrics_snapshot();
         assert_eq!(m.counter("serve.queue.submitted_rows"), Some(4));
@@ -315,12 +329,17 @@ mod tests {
             m.histogram("serve.backend.gpu-sim-hybrid.batch_latency_us").map(|h| h.count),
             Some(1)
         );
+        // The tail exemplar of every traced series resolves to the batch.
+        for series in ["serve.backend.gpu-sim-hybrid.batch_latency_us", "serve.batch.duration_us"] {
+            let h = m.histogram(series).expect(series);
+            assert_eq!(h.exemplar_for_quantile(0.99).map(|e| e.trace), Some(TraceId(9)));
+        }
     }
 
     #[test]
     fn single_sample_summary() {
         let (_tel, hub) = hub();
-        hub.record_request_done(1, 7);
+        hub.record_request_done(1, 7, TraceId::NONE);
         let lat = hub.snapshot(0, |_| (0.0, 0, 0)).request_latency;
         assert_eq!((lat.p50_us, lat.p95_us, lat.p99_us, lat.max_us), (7, 7, 7, 7));
     }

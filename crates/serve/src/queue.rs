@@ -99,13 +99,16 @@ impl RequestQueue {
     }
 
     /// Blocks until a batch is ready per the flush rules and removes it
-    /// from the queue. Returns `None` only when the queue is closed *and*
-    /// fully drained — the batcher thread's exit condition.
+    /// from the queue, returning the batch together with the rows still
+    /// queued behind it (the backlog depth the batch left behind — a span
+    /// attribute, measured here to avoid re-locking). Returns `None` only
+    /// when the queue is closed *and* fully drained — the batcher
+    /// thread's exit condition.
     pub(crate) fn collect_batch(
         &self,
         max_rows: usize,
         max_delay: Duration,
-    ) -> Option<Vec<Pending>> {
+    ) -> Option<(Vec<Pending>, usize)> {
         let mut inner = self.inner.lock().unwrap();
         loop {
             // Wait for the first request (or shutdown).
@@ -152,7 +155,7 @@ impl RequestQueue {
                 }
             }
             debug_assert!(!batch.is_empty());
-            return Some(batch);
+            return Some((batch, inner.rows));
         }
     }
 }

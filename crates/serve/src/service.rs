@@ -16,7 +16,7 @@ use crate::queue::{Pending, RequestQueue};
 use crate::scheduler::{SchedulePolicy, Scheduler};
 use crate::ticket::{Slot, Ticket};
 use rfx_forest::dataset::QueryView;
-use rfx_telemetry::{span, Telemetry};
+use rfx_telemetry::{OwnedSpan, Telemetry, TraceId};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -56,11 +56,14 @@ impl Default for ServeConfig {
     }
 }
 
-/// A formed batch in flight to a worker.
+/// A formed batch in flight to a worker, carrying its trace's root span
+/// (backdated to the oldest request's enqueue) across the thread hop.
 struct FormedBatch {
     entries: Vec<Pending>,
     features: Vec<f32>,
     rows: usize,
+    span: OwnedSpan,
+    formed_at: Instant,
 }
 
 /// State shared by clients, the batcher, and the workers.
@@ -280,6 +283,11 @@ fn probe_backends(
 }
 
 /// Forms batches and dispatches them until the queue closes and drains.
+///
+/// Each batch opens the trace's root span `serve.batch` here, backdated
+/// to the oldest member request's enqueue, and hands it to the worker
+/// inside the [`FormedBatch`] — the explicit cross-thread `SpanContext`
+/// edge that the thread-local parent stack cannot provide.
 fn batcher_loop(
     shared: &Shared,
     senders: Vec<mpsc::Sender<FormedBatch>>,
@@ -287,13 +295,30 @@ fn batcher_loop(
     max_delay: Duration,
 ) {
     let nf = shared.model.num_features();
-    while let Some(mut entries) = shared.queue.collect_batch(max_rows, max_delay) {
+    while let Some((mut entries, backlog_rows)) = shared.queue.collect_batch(max_rows, max_delay) {
         let formed_at = Instant::now();
         let rows: usize = entries.iter().map(|p| p.rows).sum();
+        let oldest = entries.iter().map(|p| p.slot.enqueued).min().unwrap_or(formed_at);
+        let mut span = shared.telemetry.start_owned_span_at("serve.batch", oldest);
+        span.set_attr("rows", rows.to_string());
+        span.set_attr("requests", entries.len().to_string());
+        span.set_attr("queue_depth", backlog_rows.to_string());
+        let ctx = span.context();
         for pending in &entries {
+            if ctx.sampled {
+                pending.slot.set_trace(ctx.trace);
+            }
             let wait = formed_at.saturating_duration_since(pending.slot.enqueued);
             shared.metrics.record_queue_wait(wait.as_micros() as u64);
         }
+        // Backfilled first stage: oldest enqueue → batch formation.
+        shared.telemetry.tracer().record_span_at(
+            "serve.batch.queue_wait",
+            ctx,
+            oldest,
+            formed_at.saturating_duration_since(oldest),
+            Vec::new(),
+        );
         // Single-request batches reuse the request's own buffer; merged
         // batches concatenate into one contiguous row-major block.
         let features = if entries.len() == 1 {
@@ -308,9 +333,12 @@ fn batcher_loop(
         shared.metrics.record_batch_formed(rows);
         let idx = shared.scheduler.dispatch(rows);
         shared.metrics.record_dispatch(idx);
-        if senders[idx].send(FormedBatch { entries, features, rows }).is_err() {
+        span.set_attr("backend", shared.backends[idx].kind().name().to_string());
+        span.set_attr("est_us_per_row", format!("{:.1}", shared.scheduler.ewma_us(idx)));
+        if senders[idx].send(FormedBatch { entries, features, rows, span, formed_at }).is_err() {
             // Worker gone (panicked); Pending's drop resolves the
-            // tickets with `Dropped`.
+            // tickets with `Dropped`, and the batch span drops with the
+            // unsent payload.
             shared.scheduler.release(idx, rows);
         }
     }
@@ -318,34 +346,65 @@ fn batcher_loop(
 }
 
 /// Executes batches on one backend until the batcher hangs up.
+///
+/// Stage spans tile the batch's root span end to end: `queue_wait`
+/// (batcher side) + `dispatch` (channel hand-off) + `traverse` (the
+/// kernel) + `deliver` (ticket fan-out) — the decomposition the
+/// `trace_profile` critical-path table is computed from. Device phases
+/// recorded inside the kernels join the same trace through the ambient
+/// scope installed around `predict`.
 fn worker_loop(shared: &Shared, idx: usize, rx: mpsc::Receiver<FormedBatch>) {
     let backend = &shared.backends[idx];
     let name = backend.kind().name();
     let nf = shared.model.num_features();
     while let Ok(batch) = rx.recv() {
-        // Span tree per batch: `serve.batch` (execute + deliver) with a
-        // `serve.batch.traverse` child timing just the backend kernel.
-        let batch_span = span!(shared.telemetry, "serve.batch", backend = name, rows = batch.rows);
-        let queries = QueryView::new(&batch.features, nf).expect("batch shape");
-        let mut out = vec![0; batch.rows];
+        let FormedBatch { entries, features, rows, span: batch_span, formed_at } = batch;
+        let ctx = batch_span.context();
+        let tracer = shared.telemetry.tracer();
+        let queries = QueryView::new(&features, nf).expect("batch shape");
+        let mut out = vec![0; rows];
         let t0 = Instant::now();
+        tracer.record_span_at(
+            "serve.batch.dispatch",
+            ctx,
+            formed_at,
+            t0.saturating_duration_since(formed_at),
+            Vec::new(),
+        );
         {
-            let _traverse = span!(shared.telemetry, "serve.batch.traverse", backend = name);
+            let mut traverse = shared.telemetry.start_span_child_of("serve.batch.traverse", ctx);
+            if traverse.is_recorded() {
+                traverse.set_attr("backend", name.to_string());
+                traverse.set_attr("rows", rows.to_string());
+                for (key, value) in backend.tile_attrs(rows) {
+                    traverse.set_attr(key, value);
+                }
+            }
+            let _ambient = shared.telemetry.in_context(traverse.context());
             backend.predict(queries, &mut out);
         }
         let elapsed = t0.elapsed();
-        shared.scheduler.complete(idx, batch.rows, elapsed);
-        shared.metrics.recorder(idx).record_batch(batch.rows, elapsed.as_micros() as u64);
+        let trace = if ctx.sampled { ctx.trace } else { TraceId::NONE };
+        shared.scheduler.complete(idx, rows, elapsed);
+        shared.metrics.recorder(idx).record_batch(rows, elapsed.as_micros() as u64, trace);
 
-        let done = Instant::now();
+        let traverse_end = t0 + elapsed;
         let mut offset = 0;
-        for pending in &batch.entries {
+        for pending in &entries {
             let labels = out[offset..offset + pending.rows].to_vec();
             offset += pending.rows;
-            let latency = done.saturating_duration_since(pending.slot.enqueued);
-            shared.metrics.record_request_done(pending.rows, latency.as_micros() as u64);
+            let latency = pending.slot.enqueued.elapsed();
+            shared.metrics.record_request_done(pending.rows, latency.as_micros() as u64, trace);
             pending.slot.fulfill(Ok(labels));
         }
-        drop(batch_span);
+        tracer.record_span_at(
+            "serve.batch.deliver",
+            ctx,
+            traverse_end,
+            traverse_end.elapsed(),
+            Vec::new(),
+        );
+        shared.metrics.record_batch_duration(batch_span.elapsed_us(), trace);
+        batch_span.finish();
     }
 }

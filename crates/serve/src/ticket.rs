@@ -2,6 +2,8 @@
 
 use crate::error::ServeError;
 use rfx_core::Label;
+use rfx_telemetry::TraceId;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -12,11 +14,29 @@ pub(crate) struct Slot {
     done: Condvar,
     /// When the request entered the queue — the request-latency clock.
     pub(crate) enqueued: Instant,
+    /// Trace id of the batch this request rode in (0 until the batcher
+    /// forms a sampled batch around it) — the ticket-side handle for
+    /// correlating a slow request with its full span tree.
+    trace: AtomicU64,
 }
 
 impl Slot {
     pub(crate) fn new() -> Arc<Slot> {
-        Arc::new(Slot { state: Mutex::new(None), done: Condvar::new(), enqueued: Instant::now() })
+        Arc::new(Slot {
+            state: Mutex::new(None),
+            done: Condvar::new(),
+            enqueued: Instant::now(),
+            trace: AtomicU64::new(TraceId::NONE.0),
+        })
+    }
+
+    /// Stamps the batch's trace id (batcher side, once per request).
+    pub(crate) fn set_trace(&self, trace: TraceId) {
+        self.trace.store(trace.0, Ordering::Relaxed);
+    }
+
+    pub(crate) fn trace(&self) -> TraceId {
+        TraceId(self.trace.load(Ordering::Relaxed))
     }
 
     pub(crate) fn fulfill(&self, result: Result<Vec<Label>, ServeError>) {
@@ -68,5 +88,15 @@ impl Ticket {
     /// Whether the result is already available (non-blocking).
     pub fn is_ready(&self) -> bool {
         self.slot.state.lock().unwrap().is_some()
+    }
+
+    /// The [`TraceId`] of the batch that served (or is serving) this
+    /// request, once the batcher has formed a *sampled* batch around it.
+    /// `None` before batching or when the batch's trace was not sampled
+    /// (see `rfx_telemetry::TraceConfig`). Look the id up in the
+    /// service's trace snapshot to retrieve the request's full span tree.
+    pub fn trace_id(&self) -> Option<TraceId> {
+        let trace = self.slot.trace();
+        trace.is_some().then_some(trace)
     }
 }

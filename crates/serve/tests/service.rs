@@ -228,6 +228,81 @@ fn telemetry_surface_covers_queue_batcher_scheduler_and_backends() {
     }
 }
 
+/// The batcher opens each `serve.batch` root on its own thread and hands
+/// the span's context to a backend worker; everything the worker (and
+/// anything below it) records must still join that root's trace. One
+/// root per batch, zero orphans.
+#[test]
+fn every_span_reaches_a_single_root_per_batch() {
+    let tel = rfx_telemetry::Telemetry::new();
+    let serve = RfxServe::start_with_telemetry(
+        model(21),
+        ServeConfig {
+            max_batch_size: 8,
+            max_batch_delay: Duration::from_millis(1),
+            policy: SchedulePolicy::RoundRobin,
+            ..ServeConfig::default()
+        },
+        tel.clone(),
+    );
+    let mut rng = StdRng::seed_from_u64(23);
+    let tickets: Vec<Ticket> = (0..32).map(|_| serve.submit(&rows(&mut rng, 1)).unwrap()).collect();
+    for t in &tickets {
+        t.wait_one().unwrap();
+    }
+    let stats = serve.shutdown();
+    let snap = tel.trace_snapshot();
+    assert_eq!(snap.dropped, 0, "the default ring must hold a 32-row run");
+
+    // Exactly one root per batch, and it is always the batch span.
+    let roots: Vec<_> = snap.spans.iter().filter(|s| s.parent == 0).collect();
+    assert_eq!(roots.len() as u64, stats.batches, "one root span per formed batch");
+    let mut seen_traces = std::collections::HashSet::new();
+    for root in &roots {
+        assert_eq!(root.name, "serve.batch", "only batch spans may be roots");
+        assert!(seen_traces.insert(root.trace), "roots must have distinct trace ids");
+    }
+
+    // Every non-root span walks up to a serve.batch root of the same
+    // trace — the cross-thread parent edge is never severed.
+    for span in &snap.spans {
+        let mut cur = span.clone();
+        let mut hops = 0;
+        while cur.parent != 0 {
+            cur = snap
+                .spans
+                .iter()
+                .find(|s| s.id == cur.parent)
+                .unwrap_or_else(|| panic!("span {} ({}) has a missing parent", span.id, span.name))
+                .clone();
+            hops += 1;
+            assert!(hops <= 16, "parent chain of span {} did not terminate", span.id);
+        }
+        assert_eq!(cur.name, "serve.batch");
+        assert_eq!(cur.trace, span.trace, "trace id must be inherited from the root");
+    }
+
+    // Each batch's queue_wait stage records on the batcher thread while
+    // its traverse stage records on a backend worker — sibling spans of
+    // one root completing on different threads is the cross-thread edge
+    // this test exists to pin.
+    let traverse: Vec<_> = snap.spans.iter().filter(|s| s.name == "serve.batch.traverse").collect();
+    assert_eq!(traverse.len(), roots.len(), "each batch has exactly one traverse span");
+    assert!(
+        traverse.iter().any(|t| {
+            snap.spans.iter().any(|q| {
+                q.name == "serve.batch.queue_wait" && q.parent == t.parent && q.thread != t.thread
+            })
+        }),
+        "queue_wait (batcher) and traverse (worker) must come from different threads"
+    );
+
+    // Tickets expose the trace id their batch sampled into, so a caller
+    // can jump from a slow request to its span tree.
+    let ticket_trace = tickets[0].trace_id().expect("full sampling stamps every ticket");
+    assert!(snap.spans.iter().any(|s| s.trace == ticket_trace.0 && s.name == "serve.batch"));
+}
+
 #[test]
 fn stats_snapshot_is_json_serializable() {
     let serve = RfxServe::start_default(model(8));

@@ -7,6 +7,9 @@
 //! metrics (the usual monitoring contract).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use crate::trace::TraceId;
 
 /// Monotonically increasing event count.
 #[derive(Debug, Default)]
@@ -101,6 +104,10 @@ pub struct Histogram {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    /// Per-bucket exemplar slots, allocated lazily on the first
+    /// [`Histogram::record_with_exemplar`] call so histograms that never
+    /// attach traces pay nothing.
+    exemplars: OnceLock<Box<[ExemplarSlot; NUM_BUCKETS]>>,
 }
 
 impl Default for Histogram {
@@ -111,8 +118,43 @@ impl Default for Histogram {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            exemplars: OnceLock::new(),
         }
     }
+}
+
+/// Lock-free slot holding the most recent traced sample for one bucket.
+/// The two cells are written independently, so a concurrent reader can
+/// pair a trace id with a neighbouring write's value — both are still
+/// recent samples from the *same bucket*, which is all an exemplar
+/// promises.
+#[derive(Debug)]
+struct ExemplarSlot {
+    trace: AtomicU64,
+    value: AtomicU64,
+}
+
+impl ExemplarSlot {
+    fn new() -> Self {
+        ExemplarSlot { trace: AtomicU64::new(TraceId::NONE.0), value: AtomicU64::new(0) }
+    }
+
+    fn load(&self) -> Option<Exemplar> {
+        let trace = TraceId(self.trace.load(Ordering::Relaxed));
+        trace.is_some().then(|| Exemplar { trace, value: self.value.load(Ordering::Relaxed) })
+    }
+}
+
+/// A sampled `(trace, value)` pair retained by a histogram bucket: the
+/// most recent sample in that value range that carried a sampled
+/// [`TraceId`]. Links an aggregate tail (a p99 bucket) back to one full
+/// trace in the span ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Trace the sample belonged to (never [`TraceId::NONE`]).
+    pub trace: TraceId,
+    /// The recorded sample value.
+    pub value: u64,
 }
 
 /// Bucket index of a value under the log-linear layout.
@@ -158,6 +200,23 @@ impl Histogram {
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Records one sample and, when `trace` is a real (sampled) id,
+    /// retains `(trace, v)` as the bucket's exemplar. Unsampled work
+    /// passes [`TraceId::NONE`] and degrades to a plain [`record`]
+    /// (`Histogram::record`) — no slot allocation, no extra stores.
+    #[inline]
+    pub fn record_with_exemplar(&self, v: u64, trace: TraceId) {
+        self.record(v);
+        if trace.is_some() {
+            let slots = self
+                .exemplars
+                .get_or_init(|| Box::new(std::array::from_fn(|_| ExemplarSlot::new())));
+            let slot = &slots[bucket_index(v)];
+            slot.value.store(v, Ordering::Relaxed);
+            slot.trace.store(trace.0, Ordering::Relaxed);
+        }
+    }
+
     /// Samples recorded so far.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
@@ -166,12 +225,14 @@ impl Histogram {
     /// Copies the current state out for analysis/export.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let count = self.count.load(Ordering::Relaxed);
+        let slots = self.exemplars.get();
         let buckets = (0..NUM_BUCKETS)
             .filter_map(|i| {
                 let n = self.buckets[i].load(Ordering::Relaxed);
                 (n > 0).then(|| {
                     let (lo, hi) = bucket_bounds(i);
-                    HistogramBucket { lo, hi, count: n }
+                    let exemplar = slots.and_then(|s| s[i].load());
+                    HistogramBucket { lo, hi, count: n, exemplar }
                 })
             })
             .collect();
@@ -192,6 +253,8 @@ pub struct HistogramBucket {
     pub lo: u64,
     pub hi: u64,
     pub count: u64,
+    /// Most recent traced sample that landed in this bucket, if any.
+    pub exemplar: Option<Exemplar>,
 }
 
 /// Immutable copy of a histogram's state; quantiles are computed here,
@@ -241,6 +304,33 @@ impl HistogramSnapshot {
             seen += b.count;
         }
         self.max
+    }
+
+    /// The exemplar attached to the bucket holding the quantile-`q`
+    /// sample, so a "p99 spiked" alert resolves to a concrete
+    /// [`TraceId`]. When that bucket kept no exemplar (its last traced
+    /// sample was overwritten or it never saw one), falls back to the
+    /// nearest occupied bucket below, then above — still a sample from
+    /// the same latency neighbourhood.
+    pub fn exemplar_for_quantile(&self, q: f64) -> Option<Exemplar> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        let mut target = self.buckets.len().saturating_sub(1);
+        for (i, b) in self.buckets.iter().enumerate() {
+            if seen + b.count >= rank {
+                target = i;
+                break;
+            }
+            seen += b.count;
+        }
+        self.buckets[..=target]
+            .iter()
+            .rev()
+            .chain(self.buckets[target + 1..].iter())
+            .find_map(|b| b.exemplar)
     }
 }
 
@@ -305,6 +395,52 @@ mod tests {
         let s = h.snapshot();
         assert_eq!((s.quantile(0.5), s.quantile(0.99), s.min, s.max), (7, 7, 7, 7));
         assert!((s.mean() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exemplars_land_in_their_value_bucket() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        h.record_with_exemplar(900, TraceId(7));
+        h.record_with_exemplar(905, TraceId(8)); // same bucket: overwrites
+        let s = h.snapshot();
+        let b =
+            s.buckets.iter().find(|b| b.lo <= 905 && 905 < b.hi).expect("bucket for 905 occupied");
+        assert_eq!(b.exemplar, Some(Exemplar { trace: TraceId(8), value: 905 }));
+        // The tail quantile resolves to the traced spike.
+        assert_eq!(s.exemplar_for_quantile(0.99).unwrap().trace, TraceId(8));
+    }
+
+    #[test]
+    fn none_trace_records_value_without_exemplar() {
+        let h = Histogram::new();
+        h.record_with_exemplar(42, TraceId::NONE);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert!(s.buckets.iter().all(|b| b.exemplar.is_none()));
+        assert_eq!(s.exemplar_for_quantile(0.5), None);
+    }
+
+    #[test]
+    fn exemplar_quantile_falls_back_to_nearest_bucket() {
+        let h = Histogram::new();
+        // Exemplar lives well below the p99 bucket; lookup walks down.
+        h.record_with_exemplar(10, TraceId(3));
+        for _ in 0..50 {
+            h.record(5000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.exemplar_for_quantile(0.99), Some(Exemplar { trace: TraceId(3), value: 10 }));
+        // And walks up when the only exemplar is above the target bucket.
+        let h = Histogram::new();
+        for _ in 0..50 {
+            h.record(5);
+        }
+        h.record_with_exemplar(9000, TraceId(4));
+        let s = h.snapshot();
+        assert_eq!(s.exemplar_for_quantile(0.10).unwrap().trace, TraceId(4));
     }
 
     #[test]

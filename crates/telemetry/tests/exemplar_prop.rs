@@ -1,0 +1,55 @@
+//! Property tests for histogram exemplars: the exemplar always sits in
+//! the bucket its value's count landed in, for any u64 value.
+
+use proptest::prelude::*;
+use rfx_telemetry::metrics::{bucket_bounds, bucket_index, Histogram, NUM_BUCKETS};
+use rfx_telemetry::TraceId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `record_with_exemplar(v, t)` leaves the exemplar in exactly the
+    /// bucket whose `[lo, hi)` range contains `v` — the bucket whose
+    /// count it incremented.
+    #[test]
+    fn exemplar_lands_in_the_value_bucket(v in any::<u64>(), t in 1u64..u64::MAX) {
+        let hist = Histogram::new();
+        hist.record_with_exemplar(v, TraceId(t));
+        let snap = hist.snapshot();
+
+        let idx = bucket_index(v);
+        let (lo, hi) = bucket_bounds(idx);
+        prop_assert!(v >= lo, "bucket_index({v}) gave [{lo},{hi}) below the value");
+        if idx < NUM_BUCKETS - 1 {
+            prop_assert!(v < hi, "bucket_index({v}) gave [{lo},{hi}) above the value");
+        }
+
+        let holders: Vec<_> = snap.buckets.iter().filter(|b| b.exemplar.is_some()).collect();
+        prop_assert_eq!(holders.len(), 1, "exactly one bucket holds the exemplar");
+        let bucket = holders[0];
+        prop_assert_eq!(bucket.lo, lo);
+        prop_assert_eq!(bucket.count, 1, "the exemplar bucket is the counted bucket");
+        let ex = bucket.exemplar.unwrap();
+        prop_assert_eq!(ex.value, v);
+        prop_assert_eq!(ex.trace, TraceId(t));
+    }
+
+    /// A later value in the same bucket replaces the exemplar; a value in
+    /// a different bucket leaves the first one alone.
+    #[test]
+    fn newest_exemplar_wins_per_bucket(a in any::<u64>(), b in any::<u64>()) {
+        let hist = Histogram::new();
+        hist.record_with_exemplar(a, TraceId(1));
+        hist.record_with_exemplar(b, TraceId(2));
+        let snap = hist.snapshot();
+        let of = |v: u64| snap.buckets.iter()
+            .find(|bk| bk.lo == bucket_bounds(bucket_index(v)).0)
+            .and_then(|bk| bk.exemplar);
+        if bucket_index(a) == bucket_index(b) {
+            prop_assert_eq!(of(b).unwrap().trace, TraceId(2), "most recent sample wins");
+        } else {
+            prop_assert_eq!(of(a).unwrap().trace, TraceId(1));
+            prop_assert_eq!(of(b).unwrap().trace, TraceId(2));
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Schema-stability golden tests for the Chrome trace-event and
+//! collapsed-stack exporters.
+//!
+//! Both formats are consumed by external tools (chrome://tracing,
+//! Perfetto, flamegraph scripts), so their byte-level shape is a contract:
+//! these tests render a fixed hand-built snapshot and compare it against
+//! the committed files under `tests/golden/`. An intentional format
+//! change must update the golden file *and* bump the corresponding
+//! schema version in `export.rs` in the same commit.
+
+use rfx_telemetry::export::{to_chrome_trace, to_collapsed_stacks};
+use rfx_telemetry::{Snapshot, SpanRecord, TraceSnapshot};
+
+fn span(
+    (id, parent, trace): (u64, u64, u64),
+    name: &str,
+    start_us: u64,
+    duration_us: u64,
+    thread: u64,
+    attrs: &[(&str, &str)],
+) -> SpanRecord {
+    SpanRecord {
+        id,
+        parent,
+        trace,
+        name: name.to_string(),
+        start_us,
+        wall_start_us: 1_700_000_000_000_000 + start_us,
+        duration_us,
+        thread,
+        attrs: attrs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+    }
+}
+
+/// A two-backend serve window: one batch per backend, each tiled by a
+/// traverse stage with a device child, plus one orphan-parent span to
+/// pin the `[evicted]` frame behavior.
+fn fixture() -> Snapshot {
+    let spans = vec![
+        span((1, 0, 1), "serve.batch", 0, 1000, 1, &[("rows", "64"), ("backend", "cpu-sharded")]),
+        span(
+            (2, 1, 1),
+            "serve.batch.traverse",
+            100,
+            800,
+            2,
+            &[("backend", "cpu-sharded"), ("rows", "64")],
+        ),
+        span((3, 2, 1), "kernels.sharded.tile", 150, 600, 3, &[("block", "0"), ("shard", "0")]),
+        span(
+            (4, 0, 2),
+            "serve.batch",
+            500,
+            900,
+            1,
+            &[("rows", "32"), ("backend", "gpu-sim-hybrid")],
+        ),
+        span(
+            (5, 4, 2),
+            "serve.batch.traverse",
+            600,
+            700,
+            4,
+            &[("backend", "gpu-sim-hybrid"), ("rows", "32")],
+        ),
+        span((6, 5, 2), "gpusim.launch", 650, 500, 4, &[("blocks", "8")]),
+        // Parent id 99 is not in the snapshot: a ring-evicted ancestor.
+        span((7, 99, 3), "serve.batch.deliver", 1900, 40, 2, &[]),
+    ];
+    Snapshot { trace: TraceSnapshot { dropped: 1, spans }, ..Snapshot::default() }
+}
+
+fn assert_matches_golden(rendered: &str, golden_name: &str) {
+    let path = format!("{}/tests/golden/{golden_name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("RFX_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read golden file {path}: {e}"));
+    assert_eq!(
+        rendered, golden,
+        "{golden_name} drifted from the committed golden output; if the \
+         format change is intentional, update the golden file and bump the \
+         schema version in export.rs"
+    );
+}
+
+#[test]
+fn chrome_trace_matches_golden() {
+    let rendered = to_chrome_trace(&fixture());
+    assert_matches_golden(&rendered, "chrome_trace.json");
+}
+
+#[test]
+fn collapsed_stacks_match_golden() {
+    let rendered = to_collapsed_stacks(&fixture());
+    assert_matches_golden(&rendered, "collapsed_stacks.folded");
+}
+
+#[test]
+fn rendering_is_deterministic() {
+    let snap = fixture();
+    assert_eq!(to_chrome_trace(&snap), to_chrome_trace(&snap));
+    assert_eq!(to_collapsed_stacks(&snap), to_collapsed_stacks(&snap));
+}

@@ -110,7 +110,7 @@ fn json_round_trips_through_the_serde_json_shim() {
     let json = export::to_json(&tel.snapshot());
     let value: Value = serde_json::from_str(&json).expect("exporter output must parse");
 
-    assert_eq!(value.get("schema_version"), Some(&Value::UInt(1)));
+    assert_eq!(value.get("schema_version"), Some(&Value::UInt(2)));
     let counters = value.get("counters").expect("counters key");
     assert_eq!(counters.get("rt.counter"), Some(&Value::UInt(42)));
     let gauges = value.get("gauges").expect("gauges key");
