@@ -39,24 +39,30 @@ pub enum BackendKind {
     FpgaSimIndependent,
 }
 
+/// Single source of truth for the kind ↔ stable-name mapping. `ALL`,
+/// [`BackendKind::name`], and the [`FromStr`] parse (including its
+/// variant-listing error) all derive from this table, so adding a
+/// backend is a one-row change that cannot leave them inconsistent.
+const NAME_TABLE: [(BackendKind, &str); 4] = [
+    (BackendKind::CpuParallel, "cpu-parallel"),
+    (BackendKind::CpuSharded, "cpu-sharded"),
+    (BackendKind::GpuSimHybrid, "gpu-sim-hybrid"),
+    (BackendKind::FpgaSimIndependent, "fpga-sim-independent"),
+];
+
 impl BackendKind {
     /// All kinds, in default executor-pool order.
-    pub const ALL: [BackendKind; 4] = [
-        BackendKind::CpuParallel,
-        BackendKind::CpuSharded,
-        BackendKind::GpuSimHybrid,
-        BackendKind::FpgaSimIndependent,
-    ];
+    pub const ALL: [BackendKind; 4] =
+        [NAME_TABLE[0].0, NAME_TABLE[1].0, NAME_TABLE[2].0, NAME_TABLE[3].0];
 
     /// Stable identifier used in stats, bench reports, and CLI flags
     /// (the inverse of the [`FromStr`] parse).
     pub fn name(self) -> &'static str {
-        match self {
-            BackendKind::CpuParallel => "cpu-parallel",
-            BackendKind::CpuSharded => "cpu-sharded",
-            BackendKind::GpuSimHybrid => "gpu-sim-hybrid",
-            BackendKind::FpgaSimIndependent => "fpga-sim-independent",
-        }
+        NAME_TABLE
+            .iter()
+            .find(|(k, _)| *k == self)
+            .map(|(_, n)| *n)
+            .expect("every BackendKind variant has a NAME_TABLE row")
     }
 }
 
@@ -73,19 +79,58 @@ impl FromStr for BackendKind {
     /// message lists every accepted variant, so CLIs can surface it
     /// verbatim.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        BackendKind::ALL.iter().find(|k| k.name() == s).copied().ok_or_else(|| {
-            let variants: Vec<&str> = BackendKind::ALL.iter().map(|k| k.name()).collect();
+        NAME_TABLE.iter().find(|(_, n)| *n == s).map(|(k, _)| *k).ok_or_else(|| {
+            let variants: Vec<&str> = NAME_TABLE.iter().map(|(_, n)| *n).collect();
             format!("unknown backend {s:?}; expected one of: {}", variants.join(", "))
         })
     }
 }
 
+/// Successful-execution report from a backend: real work done, plus any
+/// **virtual** latency injected by a fault plan. Virtual microseconds
+/// never correspond to a sleep — the resilience layer adds them to the
+/// measured wall time when checking timeouts and deadlines, which is
+/// what keeps chaos tests deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct Exec {
+    /// Injected virtual latency in microseconds (0 for real backends).
+    pub virtual_us: u64,
+}
+
+/// Why a backend attempt produced no usable result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum BackendError {
+    /// The backend refused or failed the batch; retrying (here or
+    /// elsewhere) may succeed.
+    Refused(String),
+    /// The batch will never complete — the resilience layer treats this
+    /// as an instant (virtual) timeout instead of blocking a worker.
+    Wedged,
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::Refused(reason) => write!(f, "refused: {reason}"),
+            BackendError::Wedged => f.write_str("wedged"),
+        }
+    }
+}
+
 /// One executor: predicts a whole batch into a caller-provided slice.
+/// Returns an [`Exec`] report on success; real backends never fail at
+/// this boundary (device refusal degrades internally to the sharded CPU
+/// engine), so errors only arise from an injected
+/// [`crate::fault::FaultPlan`].
 pub(crate) trait Backend: Send + Sync {
     fn kind(&self) -> BackendKind;
-    fn predict(&self, queries: QueryView, out: &mut [Label]);
+    fn predict(&self, queries: QueryView, out: &mut [Label]) -> Result<Exec, BackendError>;
     /// Device-refusal fallbacks taken so far (0 for CPU).
     fn fallbacks(&self) -> u64 {
+        0
+    }
+    /// Faults injected so far (0 unless wrapped by a `FaultyBackend`).
+    fn injected_faults(&self) -> u64 {
         0
     }
     /// Tiling/occupancy attributes for the traverse span of a `rows`-row
@@ -128,8 +173,9 @@ impl Backend for CpuParallel {
         BackendKind::CpuParallel
     }
 
-    fn predict(&self, queries: QueryView, out: &mut [Label]) {
+    fn predict(&self, queries: QueryView, out: &mut [Label]) -> Result<Exec, BackendError> {
         self.engine.predict_into(queries, out);
+        Ok(Exec::default())
     }
 
     fn tile_attrs(&self, rows: usize) -> Vec<(&'static str, String)> {
@@ -148,8 +194,9 @@ impl Backend for CpuSharded {
         BackendKind::CpuSharded
     }
 
-    fn predict(&self, queries: QueryView, out: &mut [Label]) {
+    fn predict(&self, queries: QueryView, out: &mut [Label]) -> Result<Exec, BackendError> {
         self.engine.predict_into(queries, out);
+        Ok(Exec::default())
     }
 
     fn tile_attrs(&self, rows: usize) -> Vec<(&'static str, String)> {
@@ -179,7 +226,7 @@ impl Backend for GpuSimHybrid {
         BackendKind::GpuSimHybrid
     }
 
-    fn predict(&self, queries: QueryView, out: &mut [Label]) {
+    fn predict(&self, queries: QueryView, out: &mut [Label]) -> Result<Exec, BackendError> {
         match run_hybrid(self.model.gpu(), self.model.hier(), queries) {
             Ok(run) => out.copy_from_slice(&run.predictions),
             Err(_) => {
@@ -187,6 +234,7 @@ impl Backend for GpuSimHybrid {
                 self.fallback.predict_into(queries, out);
             }
         }
+        Ok(Exec::default())
     }
 
     fn fallbacks(&self) -> u64 {
@@ -213,7 +261,7 @@ impl Backend for FpgaSimIndependent {
         BackendKind::FpgaSimIndependent
     }
 
-    fn predict(&self, queries: QueryView, out: &mut [Label]) {
+    fn predict(&self, queries: QueryView, out: &mut [Label]) -> Result<Exec, BackendError> {
         match run_independent(
             self.model.fpga(),
             self.model.replication(),
@@ -226,6 +274,7 @@ impl Backend for FpgaSimIndependent {
                 self.fallback.predict_into(queries, out);
             }
         }
+        Ok(Exec::default())
     }
 
     fn fallbacks(&self) -> u64 {
@@ -257,5 +306,17 @@ mod tests {
         for kind in BackendKind::ALL {
             assert!(err.contains(kind.name()), "{err} should list {}", kind.name());
         }
+    }
+
+    #[test]
+    fn name_table_is_a_bijection() {
+        let mut kinds: Vec<BackendKind> = NAME_TABLE.iter().map(|(k, _)| *k).collect();
+        let mut names: Vec<&str> = NAME_TABLE.iter().map(|(_, n)| *n).collect();
+        kinds.dedup();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(kinds.len(), NAME_TABLE.len(), "duplicate kind in NAME_TABLE");
+        assert_eq!(names.len(), NAME_TABLE.len(), "duplicate name in NAME_TABLE");
+        assert_eq!(kinds, BackendKind::ALL.to_vec());
     }
 }

@@ -22,6 +22,24 @@ pub enum ServeError {
     /// The service dropped the request without fulfilling it (worker
     /// panic or teardown race) — never expected in normal operation.
     Dropped,
+    /// Deadline-aware load shedding: the request's batch was already
+    /// past the configured deadline (including virtual fault penalties),
+    /// so the service completed it without running a backend rather than
+    /// burn capacity on an answer nobody is waiting for.
+    Shed {
+        /// The request's effective age (wall + virtual) when shed, ms.
+        age_ms: u64,
+        /// The configured end-to-end deadline, ms.
+        deadline_ms: u64,
+    },
+    /// Every resilience avenue was exhausted: retries on the chosen
+    /// backend, then the backend of last resort, all failed.
+    BackendFailed {
+        /// Total attempts made across backends.
+        attempts: u32,
+        /// Last failure, human-readable.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -33,6 +51,12 @@ impl fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
             ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
             ServeError::Dropped => write!(f, "request dropped before completion"),
+            ServeError::Shed { age_ms, deadline_ms } => {
+                write!(f, "shed: request {age_ms}ms old exceeded {deadline_ms}ms deadline")
+            }
+            ServeError::BackendFailed { attempts, reason } => {
+                write!(f, "backend failed after {attempts} attempts: {reason}")
+            }
         }
     }
 }

@@ -33,6 +33,15 @@
 //!    per-backend shares) from those histograms — no sample sorting.
 //!    The `telemetry` cargo feature additionally enables per-stage
 //!    instrumentation inside the kernels and device simulators.
+//! 6. **Resilience** — per-batch timeouts with bounded retry, backoff,
+//!    and deterministic jitter; per-backend circuit breakers
+//!    (closed/open/half-open) that route around tripped backends with
+//!    `cpu-sharded` as the always-available backend of last resort; and
+//!    deadline-aware load shedding with a typed [`ServeError::Shed`]
+//!    outcome ([`ResilienceConfig`]). A seeded [`FaultPlan`] injects
+//!    deterministic delay/fail/corrupt/wedge faults at the backend
+//!    boundary — with **virtual** delay accounting, so chaos tests
+//!    replay bit-identically without sleeping.
 //!
 //! Shutdown ([`RfxServe::shutdown`]) drains: admission closes, queued
 //! work still executes, every issued [`Ticket`] resolves.
@@ -41,20 +50,26 @@
 //! tests and `serve_bench` drive the service with.
 
 mod backend;
+mod breaker;
 mod error;
+mod fault;
 pub mod loadgen;
 mod metrics;
 mod model;
 mod queue;
+mod resilience;
 mod scheduler;
 mod service;
 mod ticket;
 
 pub use backend::BackendKind;
+pub use breaker::{BreakerConfig, BreakerState};
 pub use error::ServeError;
+pub use fault::{FaultKind, FaultPlan, FaultRule, FaultSchedule};
 pub use loadgen::{run_closed_loop, LoadGenConfig, LoadReport};
 pub use metrics::{BackendStats, LatencySummary, ServeStats};
 pub use model::ServeModel;
+pub use resilience::ResilienceConfig;
 pub use scheduler::SchedulePolicy;
 pub use service::{RfxServe, ServeConfig};
 pub use ticket::Ticket;

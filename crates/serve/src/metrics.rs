@@ -9,6 +9,7 @@
 //! (the old `SampleRing` sorted up to 2^18 samples on every snapshot).
 
 use crate::backend::BackendKind;
+use crate::breaker::BreakerState;
 use rfx_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Telemetry, TraceId};
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -55,6 +56,10 @@ pub(crate) struct BackendRecorder {
     ewma_us: Arc<Gauge>,
     inflight_rows: Arc<Gauge>,
     device_fallbacks: Arc<Gauge>,
+    timeouts: Arc<Counter>,
+    breaker_state: Arc<Gauge>,
+    breaker_trips: Arc<Gauge>,
+    injected_faults: Arc<Gauge>,
 }
 
 impl BackendRecorder {
@@ -69,7 +74,17 @@ impl BackendRecorder {
             ewma_us: telemetry.gauge(&format!("serve.scheduler.{name}.ewma_us")),
             inflight_rows: telemetry.gauge(&format!("serve.scheduler.{name}.inflight_rows")),
             device_fallbacks: telemetry.gauge(&format!("serve.backend.{name}.device_fallbacks")),
+            timeouts: telemetry.counter(&format!("serve.backend.{name}.timeouts")),
+            breaker_state: telemetry.gauge(&format!("serve.breaker.{name}.state")),
+            breaker_trips: telemetry.gauge(&format!("serve.breaker.{name}.trips")),
+            injected_faults: telemetry.gauge(&format!("serve.backend.{name}.injected_faults")),
         }
+    }
+
+    /// Records one attempt that exceeded the per-batch timeout
+    /// (effective time: wall + virtual).
+    pub(crate) fn record_timeout(&self) {
+        self.timeouts.inc();
     }
 
     /// Records one executed batch; a sampled `trace` becomes the latency
@@ -100,6 +115,12 @@ pub(crate) struct MetricsHub {
     /// Exact largest batch (the histogram max is bucket-exact too, but
     /// this keeps the old field's exactness guarantee).
     max_batch_rows: AtomicU64,
+    retries: Arc<Counter>,
+    recovered: Arc<Counter>,
+    shed: Arc<Counter>,
+    shed_rows: Arc<Counter>,
+    failed: Arc<Counter>,
+    failed_rows: Arc<Counter>,
     backends: Vec<BackendRecorder>,
 }
 
@@ -117,8 +138,36 @@ impl MetricsHub {
             request_latency: telemetry.histogram("serve.request.latency_us"),
             batch_duration: telemetry.histogram("serve.batch.duration_us"),
             max_batch_rows: AtomicU64::new(0),
+            retries: telemetry.counter("serve.retry"),
+            recovered: telemetry.counter("serve.recovered"),
+            shed: telemetry.counter("serve.shed"),
+            shed_rows: telemetry.counter("serve.shed_rows"),
+            failed: telemetry.counter("serve.failed"),
+            failed_rows: telemetry.counter("serve.failed_rows"),
             backends: backends.iter().map(|&k| BackendRecorder::new(telemetry, k)).collect(),
         }
+    }
+
+    /// One retry attempt (after a failed/timed-out/corrupt attempt).
+    pub(crate) fn record_retry(&self) {
+        self.retries.inc();
+    }
+
+    /// One batch that ultimately succeeded after at least one retry.
+    pub(crate) fn record_recovered(&self) {
+        self.recovered.inc();
+    }
+
+    /// One batch shed at the deadline (`requests` tickets, `rows` rows).
+    pub(crate) fn record_shed(&self, requests: usize, rows: usize) {
+        self.shed.add(requests as u64);
+        self.shed_rows.add(rows as u64);
+    }
+
+    /// One batch that exhausted every resilience avenue.
+    pub(crate) fn record_failed(&self, requests: usize, rows: usize) {
+        self.failed.add(requests as u64);
+        self.failed_rows.add(rows as u64);
     }
 
     pub(crate) fn record_submit(&self, rows: usize) {
@@ -161,12 +210,13 @@ impl MetricsHub {
     }
 
     /// Builds the [`ServeStats`] surface and refreshes the sampled
-    /// gauges (queue depth, scheduler estimates, fallback counts) so a
-    /// telemetry export taken afterwards is coherent with it.
+    /// gauges (queue depth, scheduler estimates, fallback counts,
+    /// breaker states) so a telemetry export taken afterwards is
+    /// coherent with it.
     pub(crate) fn snapshot(
         &self,
         queue_rows: usize,
-        backend_extra: impl Fn(usize) -> (f64, usize, u64),
+        backend_probe: impl Fn(usize) -> BackendProbe,
     ) -> ServeStats {
         self.queue_depth.set(queue_rows as f64);
         let batches = self.batches.get();
@@ -177,10 +227,13 @@ impl MetricsHub {
             .iter()
             .enumerate()
             .map(|(idx, rec)| {
-                let (ewma_us, inflight, fallbacks) = backend_extra(idx);
-                rec.ewma_us.set(ewma_us);
-                rec.inflight_rows.set(inflight as f64);
-                rec.device_fallbacks.set(fallbacks as f64);
+                let probe = backend_probe(idx);
+                rec.ewma_us.set(probe.ewma_us);
+                rec.inflight_rows.set(probe.inflight_rows as f64);
+                rec.device_fallbacks.set(probe.fallbacks as f64);
+                rec.breaker_state.set(probe.breaker_state.as_gauge());
+                rec.breaker_trips.set(probe.breaker_trips as f64);
+                rec.injected_faults.set(probe.injected_faults as f64);
                 let queries = rec.queries.get();
                 BackendStats {
                     backend: rec.kind.name().to_string(),
@@ -191,9 +244,14 @@ impl MetricsHub {
                     } else {
                         0.0
                     },
-                    ewma_us_per_query: ewma_us,
-                    inflight_rows: inflight,
-                    device_fallbacks: fallbacks,
+                    ewma_us_per_query: probe.ewma_us,
+                    inflight_rows: probe.inflight_rows,
+                    device_fallbacks: probe.fallbacks,
+                    timeouts: rec.timeouts.get(),
+                    injected_faults: probe.injected_faults,
+                    breaker_state: probe.breaker_state.name().to_string(),
+                    breaker_trips: probe.breaker_trips,
+                    breaker_transitions: probe.breaker_transitions,
                     batch_latency: LatencySummary::from_histogram(&rec.batch_latency.snapshot()),
                 }
             })
@@ -208,11 +266,30 @@ impl MetricsHub {
             mean_batch_occupancy: if batches > 0 { completed as f64 / batches as f64 } else { 0.0 },
             max_batch_occupancy: self.max_batch_rows.load(Ordering::Relaxed),
             throughput_qps: completed as f64 / uptime.as_secs_f64().max(1e-9),
+            retries: self.retries.get(),
+            recovered_batches: self.recovered.get(),
+            shed_requests: self.shed.get(),
+            shed_rows: self.shed_rows.get(),
+            failed_requests: self.failed.get(),
+            failed_rows: self.failed_rows.get(),
             queue_wait: LatencySummary::from_histogram(&self.queue_wait.snapshot()),
             request_latency: LatencySummary::from_histogram(&self.request_latency.snapshot()),
             backends,
         }
     }
+}
+
+/// Live per-backend readings the hub samples at snapshot time (supplied
+/// by the service, which owns the scheduler and backend objects).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BackendProbe {
+    pub(crate) ewma_us: f64,
+    pub(crate) inflight_rows: usize,
+    pub(crate) fallbacks: u64,
+    pub(crate) injected_faults: u64,
+    pub(crate) breaker_state: BreakerState,
+    pub(crate) breaker_trips: u64,
+    pub(crate) breaker_transitions: Vec<String>,
 }
 
 /// Per-backend slice of a [`ServeStats`] snapshot.
@@ -232,6 +309,17 @@ pub struct BackendStats {
     pub inflight_rows: usize,
     /// Device-refusal fallbacks to the CPU traversal path.
     pub device_fallbacks: u64,
+    /// Attempts that exceeded the per-batch timeout (wall + virtual).
+    pub timeouts: u64,
+    /// Faults injected by the active `FaultPlan` (0 without one).
+    pub injected_faults: u64,
+    /// Circuit-breaker state: `closed`, `open`, or `half-open`.
+    pub breaker_state: String,
+    /// Closed→Open and HalfOpen→Open breaker trips.
+    pub breaker_trips: u64,
+    /// Full breaker transition log (`"closed->open@<seq>"`, ...), in
+    /// order — the determinism witness chaos runs compare.
+    pub breaker_transitions: Vec<String>,
     /// Wall-clock latency of whole batches on this backend.
     pub batch_latency: LatencySummary,
 }
@@ -256,6 +344,18 @@ pub struct ServeStats {
     pub max_batch_occupancy: u64,
     /// Completed rows per second of uptime.
     pub throughput_qps: f64,
+    /// Retry attempts across all batches.
+    pub retries: u64,
+    /// Batches that succeeded after at least one retry.
+    pub recovered_batches: u64,
+    /// Requests completed with [`crate::ServeError::Shed`].
+    pub shed_requests: u64,
+    /// Rows in shed requests.
+    pub shed_rows: u64,
+    /// Requests completed with [`crate::ServeError::BackendFailed`].
+    pub failed_requests: u64,
+    /// Rows in failed requests.
+    pub failed_rows: u64,
     /// Enqueue-to-batch-formation wait over requests.
     pub queue_wait: LatencySummary,
     /// Enqueue-to-delivery latency over whole requests.
@@ -280,7 +380,7 @@ mod tests {
         for v in 1..=100u64 {
             hub.record_request_done(1, v, TraceId::NONE);
         }
-        let s = hub.snapshot(0, |_| (0.0, 0, 0));
+        let s = hub.snapshot(0, |_| BackendProbe::default());
         let lat = s.request_latency;
         assert_eq!(lat.count, 100);
         assert_eq!(lat.max_us, 100);
@@ -301,7 +401,7 @@ mod tests {
         for v in 0..300_000u64 {
             hub.record_request_done(1, v % 5_000, TraceId::NONE);
         }
-        let s = hub.snapshot(0, |_| (0.0, 0, 0));
+        let s = hub.snapshot(0, |_| BackendProbe::default());
         assert_eq!(s.request_latency.count, 300_000);
         assert_eq!(s.request_latency.max_us, 4_999);
         assert!(s.request_latency.p50_us <= s.request_latency.p95_us);
@@ -317,7 +417,25 @@ mod tests {
         hub.recorder(2).record_batch(4, 250, TraceId(9));
         hub.record_request_done(4, 400, TraceId(9));
         hub.record_batch_duration(450, TraceId(9));
-        let _ = hub.snapshot(2, |_| (1.5, 3, 0));
+        hub.record_retry();
+        hub.record_recovered();
+        hub.record_shed(1, 2);
+        hub.record_failed(1, 3);
+        hub.recorder(2).record_timeout();
+        // Index 2 is gpu-sim-hybrid in BackendKind::ALL order.
+        let _ = hub.snapshot(2, |idx| {
+            if idx == 2 {
+                BackendProbe {
+                    ewma_us: 1.5,
+                    inflight_rows: 3,
+                    breaker_state: BreakerState::HalfOpen,
+                    breaker_trips: 2,
+                    ..BackendProbe::default()
+                }
+            } else {
+                BackendProbe::default()
+            }
+        });
         let m = tel.metrics_snapshot();
         assert_eq!(m.counter("serve.queue.submitted_rows"), Some(4));
         assert_eq!(m.counter("serve.batcher.batches"), Some(1));
@@ -325,6 +443,16 @@ mod tests {
         assert_eq!(m.counter("serve.backend.gpu-sim-hybrid.queries"), Some(4));
         assert_eq!(m.gauge("serve.queue.depth"), Some(2.0));
         assert_eq!(m.gauge("serve.scheduler.gpu-sim-hybrid.ewma_us"), Some(1.5));
+        assert_eq!(m.counter("serve.retry"), Some(1));
+        assert_eq!(m.counter("serve.recovered"), Some(1));
+        assert_eq!(m.counter("serve.shed"), Some(1));
+        assert_eq!(m.counter("serve.shed_rows"), Some(2));
+        assert_eq!(m.counter("serve.failed_rows"), Some(3));
+        assert_eq!(m.counter("serve.backend.gpu-sim-hybrid.timeouts"), Some(1));
+        // Breaker gauges: every backend gets one, refreshed at snapshot.
+        assert_eq!(m.gauge("serve.breaker.gpu-sim-hybrid.state"), Some(2.0));
+        assert_eq!(m.gauge("serve.breaker.gpu-sim-hybrid.trips"), Some(2.0));
+        assert_eq!(m.gauge("serve.breaker.cpu-parallel.state"), Some(0.0));
         assert_eq!(
             m.histogram("serve.backend.gpu-sim-hybrid.batch_latency_us").map(|h| h.count),
             Some(1)
@@ -340,7 +468,7 @@ mod tests {
     fn single_sample_summary() {
         let (_tel, hub) = hub();
         hub.record_request_done(1, 7, TraceId::NONE);
-        let lat = hub.snapshot(0, |_| (0.0, 0, 0)).request_latency;
+        let lat = hub.snapshot(0, |_| BackendProbe::default()).request_latency;
         assert_eq!((lat.p50_us, lat.p95_us, lat.p99_us, lat.max_us), (7, 7, 7, 7));
     }
 }

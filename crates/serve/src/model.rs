@@ -82,6 +82,12 @@ impl ServeModel {
         self.forest.num_features()
     }
 
+    /// Number of label classes; any delivered label must be below it
+    /// (the service's corruption check relies on this bound).
+    pub fn num_classes(&self) -> u32 {
+        self.forest.num_classes()
+    }
+
     /// The node-vector forest (CPU reference path).
     pub fn forest(&self) -> &Arc<RandomForest> {
         &self.forest

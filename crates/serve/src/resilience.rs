@@ -1,0 +1,149 @@
+//! Resilience policy knobs: per-batch timeout, bounded retry with
+//! exponential backoff + jitter, deadline-aware load shedding, and the
+//! per-backend circuit breaker configuration.
+//!
+//! All time comparisons in the retry/shed machinery use **effective
+//! time** = measured wall time + accumulated *virtual* latency injected
+//! by a [`crate::FaultPlan`]. Real deployments see virtual_us = 0, so
+//! effective time is just wall time; chaos tests pick virtual penalties
+//! that dominate wall noise by orders of magnitude, which is what makes
+//! their timeout/shed decisions reproducible without sleeping.
+
+use crate::breaker::BreakerConfig;
+use std::time::Duration;
+
+/// Resilience policy for one service instance
+/// (see [`crate::ServeConfig::resilience`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceConfig {
+    /// Per-attempt batch timeout. An attempt whose effective duration
+    /// (wall + virtual) exceeds this counts as failed and is retried.
+    /// `Duration::ZERO` disables timeout checking (the default — the
+    /// service behaves exactly as before this layer existed).
+    pub timeout: Duration,
+    /// Retries after the first attempt on the *same* backend before
+    /// falling back to the backend of last resort.
+    pub max_retries: u32,
+    /// Base backoff before retry `k` (doubled each retry, capped by
+    /// [`ResilienceConfig::backoff_cap`]). `ZERO` (default) means no
+    /// sleeping — chaos tests keep it zero for speed and determinism.
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Jitter added to each backoff, in thousandths of the backoff
+    /// (0..=1000), drawn from a deterministic per-worker RNG.
+    pub backoff_jitter_permille: u32,
+    /// End-to-end deadline measured from a request's enqueue. A batch
+    /// whose oldest entry is past the deadline (effectively, including
+    /// virtual penalties) is **shed** — completed with
+    /// [`crate::ServeError::Shed`] instead of burning backend time on an
+    /// answer nobody is waiting for. `None` (default) disables shedding.
+    pub request_deadline: Option<Duration>,
+    /// Per-backend circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Seed for backoff jitter (per-worker RNG = `seed ^ worker index`).
+    pub seed: u64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            timeout: Duration::ZERO,
+            max_retries: 2,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::from_millis(100),
+            backoff_jitter_permille: 200,
+            request_deadline: None,
+            breaker: BreakerConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Virtual penalty charged for a wedged attempt when no timeout is
+/// configured: without a timeout there is no natural "time wasted
+/// waiting" figure, so charge something deadline-sized (60 s) to make
+/// wedges count against any configured deadline.
+pub(crate) const WEDGE_FALLBACK_PENALTY_US: u64 = 60_000_000;
+
+impl ResilienceConfig {
+    /// Per-attempt timeout in microseconds; 0 = disabled.
+    pub(crate) fn timeout_us(&self) -> u64 {
+        self.timeout.as_micros() as u64
+    }
+
+    /// Virtual microseconds a wedged attempt wastes: the full timeout if
+    /// one is configured (that is how long a real worker would have
+    /// blocked), else [`WEDGE_FALLBACK_PENALTY_US`].
+    pub(crate) fn wedge_penalty_us(&self) -> u64 {
+        match self.timeout_us() {
+            0 => WEDGE_FALLBACK_PENALTY_US,
+            t => t,
+        }
+    }
+
+    /// The backoff before retry number `attempt` (1-based), including
+    /// deterministic jitter in `[0, backoff * jitter_permille / 1000]`.
+    pub(crate) fn backoff_for(&self, attempt: u32, jitter_draw: u64) -> Duration {
+        if self.backoff_base.is_zero() {
+            return Duration::ZERO;
+        }
+        let base_us = self.backoff_base.as_micros() as u64;
+        let cap_us = self.backoff_cap.as_micros().max(1) as u64;
+        let exp = attempt.saturating_sub(1).min(20);
+        let backoff_us = base_us.saturating_mul(1u64 << exp).min(cap_us);
+        let jitter_span = backoff_us * self.backoff_jitter_permille as u64 / 1000;
+        let jitter_us = if jitter_span == 0 { 0 } else { jitter_draw % (jitter_span + 1) };
+        Duration::from_micros(backoff_us + jitter_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_disable_timeout_and_deadline() {
+        let cfg = ResilienceConfig::default();
+        assert_eq!(cfg.timeout_us(), 0);
+        assert!(cfg.request_deadline.is_none());
+        assert_eq!(cfg.backoff_for(1, 12345), Duration::ZERO, "zero base = no sleep");
+        assert_eq!(cfg.wedge_penalty_us(), WEDGE_FALLBACK_PENALTY_US);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let cfg = ResilienceConfig {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(35),
+            backoff_jitter_permille: 0,
+            ..ResilienceConfig::default()
+        };
+        assert_eq!(cfg.backoff_for(1, 0), Duration::from_millis(10));
+        assert_eq!(cfg.backoff_for(2, 0), Duration::from_millis(20));
+        assert_eq!(cfg.backoff_for(3, 0), Duration::from_millis(35), "capped");
+        assert_eq!(cfg.backoff_for(60, 0), Duration::from_millis(35), "huge attempt stays capped");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let cfg = ResilienceConfig {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(1),
+            backoff_jitter_permille: 500,
+            ..ResilienceConfig::default()
+        };
+        for draw in [0u64, 1, 999, u64::MAX] {
+            let b = cfg.backoff_for(1, draw);
+            assert!(b >= Duration::from_millis(10) && b <= Duration::from_millis(15), "{b:?}");
+            assert_eq!(b, cfg.backoff_for(1, draw), "same draw, same backoff");
+        }
+    }
+
+    #[test]
+    fn wedge_penalty_tracks_timeout() {
+        let cfg =
+            ResilienceConfig { timeout: Duration::from_millis(80), ..ResilienceConfig::default() };
+        assert_eq!(cfg.wedge_penalty_us(), 80_000);
+    }
+}

@@ -12,8 +12,18 @@
 //! argmin. Backends with no samples yet are tried first (one warmup batch
 //! each) so the model never starves an untested device; the service can
 //! also pre-seed the model with probe batches at startup.
+//!
+//! On top of the cost model sits a bank of per-backend
+//! [`CircuitBreaker`]s: a backend whose breaker is open is excluded from
+//! selection (under any policy), and when no backend is admissible the
+//! batch goes to the **backend of last resort** — `cpu-sharded` when the
+//! pool has it (always-available by construction: plain memory, no
+//! device to wedge), else `cpu-parallel`, else pool slot 0. Breaker
+//! cooldowns advance with the global dispatch sequence number, not wall
+//! time, so routing decisions replay exactly under a seeded chaos plan.
 
 use crate::backend::BackendKind;
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use std::fmt;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -80,11 +90,33 @@ struct BackendLoad {
 pub(crate) struct Scheduler {
     policy: SchedulePolicy,
     loads: Vec<BackendLoad>,
+    breakers: Vec<CircuitBreaker>,
+    /// Global dispatch sequence number: the logical clock breaker
+    /// cooldowns count in.
+    dispatch_seq: AtomicU64,
+    /// Pool index of the always-available fallback backend.
+    last_resort: usize,
     rr_next: AtomicUsize,
 }
 
 impl Scheduler {
+    /// Default-breaker construction (tests; the service passes its
+    /// configured breaker explicitly).
+    #[cfg(test)]
     pub(crate) fn new(policy: SchedulePolicy, backends: &[BackendKind]) -> Self {
+        Self::with_breaker_config(policy, backends, BreakerConfig::default())
+    }
+
+    pub(crate) fn with_breaker_config(
+        policy: SchedulePolicy,
+        backends: &[BackendKind],
+        breaker: BreakerConfig,
+    ) -> Self {
+        let last_resort = backends
+            .iter()
+            .position(|&k| k == BackendKind::CpuSharded)
+            .or_else(|| backends.iter().position(|&k| k == BackendKind::CpuParallel))
+            .unwrap_or(0);
         Scheduler {
             policy,
             loads: backends
@@ -96,49 +128,72 @@ impl Scheduler {
                     inflight_rows: AtomicUsize::new(0),
                 })
                 .collect(),
+            breakers: backends.iter().map(|_| CircuitBreaker::new(breaker)).collect(),
+            dispatch_seq: AtomicU64::new(0),
+            last_resort,
             rr_next: AtomicUsize::new(0),
         }
     }
 
     /// Picks the backend index for a batch of `rows` and books the rows
-    /// as in-flight on it.
+    /// as in-flight on it. Backends whose breaker refuses admission are
+    /// routed around; when nothing is admissible the batch lands on the
+    /// backend of last resort regardless of its own breaker.
     pub(crate) fn dispatch(&self, rows: usize) -> usize {
+        let seq = self.dispatch_seq.fetch_add(1, Ordering::Relaxed);
         let idx = match self.policy {
-            SchedulePolicy::Fixed(kind) => self
-                .loads
-                .iter()
-                .position(|l| l.kind == kind)
-                .expect("fixed backend not in executor pool"),
-            SchedulePolicy::RoundRobin => {
-                self.rr_next.fetch_add(1, Ordering::Relaxed) % self.loads.len()
+            SchedulePolicy::Fixed(kind) => {
+                let pinned = self
+                    .loads
+                    .iter()
+                    .position(|l| l.kind == kind)
+                    .expect("fixed backend not in executor pool");
+                if self.breakers[pinned].admit(seq) {
+                    pinned
+                } else {
+                    self.last_resort
+                }
             }
-            SchedulePolicy::Auto => self.choose_auto(rows),
+            SchedulePolicy::RoundRobin => {
+                let start = self.rr_next.fetch_add(1, Ordering::Relaxed);
+                (0..self.loads.len())
+                    .map(|off| (start + off) % self.loads.len())
+                    .find(|&idx| self.breakers[idx].admit(seq))
+                    .unwrap_or(self.last_resort)
+            }
+            SchedulePolicy::Auto => self.choose_auto(rows, seq),
         };
         self.loads[idx].inflight_rows.fetch_add(rows, Ordering::Relaxed);
         idx
     }
 
-    fn choose_auto(&self, rows: usize) -> usize {
-        // Warmup: any backend without a latency sample gets the batch.
-        if let Some(idx) = self.loads.iter().position(|l| l.samples.load(Ordering::Relaxed) == 0) {
-            return idx;
-        }
-        let mut best = 0usize;
-        let mut best_cost = f64::INFINITY;
-        for (idx, load) in self.loads.iter().enumerate() {
+    fn choose_auto(&self, rows: usize, seq: u64) -> usize {
+        // Rank candidates by estimated completion cost (warmup backends
+        // first, as before), then take the cheapest one whose breaker
+        // admits the batch. Admission is only probed in ranked order so
+        // a half-open breaker's single probe slot is booked exactly when
+        // the batch will actually use it.
+        let mut ranked: Vec<usize> = (0..self.loads.len()).collect();
+        let cost = |idx: usize| {
+            let load = &self.loads[idx];
+            if load.samples.load(Ordering::Relaxed) == 0 {
+                // Warmup: sort before every sampled backend, in pool
+                // order.
+                return f64::NEG_INFINITY;
+            }
             let per_query = f64::from_bits(load.ewma_us_bits.load(Ordering::Relaxed));
             let pending = load.inflight_rows.load(Ordering::Relaxed) + rows;
-            let cost = pending as f64 * per_query;
-            if cost < best_cost {
-                best_cost = cost;
-                best = idx;
-            }
-        }
-        best
+            pending as f64 * per_query
+        };
+        ranked.sort_by(|&a, &b| cost(a).total_cmp(&cost(b)).then(a.cmp(&b)));
+        ranked.into_iter().find(|&idx| self.breakers[idx].admit(seq)).unwrap_or(self.last_resort)
     }
 
     /// Records a completed batch: releases the in-flight rows and folds
-    /// the measured latency into the backend's EWMA.
+    /// the measured latency into the backend's EWMA. (The worker loop
+    /// calls `release` and `observe` separately, because under fallback
+    /// the booking backend and the executing backend can differ.)
+    #[cfg(test)]
     pub(crate) fn complete(&self, idx: usize, rows: usize, elapsed: Duration) {
         self.release(idx, rows);
         self.observe(idx, rows, elapsed);
@@ -171,6 +226,30 @@ impl Scheduler {
 
     pub(crate) fn inflight_rows(&self, idx: usize) -> usize {
         self.loads[idx].inflight_rows.load(Ordering::Relaxed)
+    }
+
+    /// Feeds a batch outcome to the backend's circuit breaker, stamped
+    /// with the current dispatch sequence number.
+    pub(crate) fn record_outcome(&self, idx: usize, success: bool) {
+        let seq = self.dispatch_seq.load(Ordering::Relaxed);
+        self.breakers[idx].record(success, seq);
+    }
+
+    /// Pool index of the always-available fallback backend.
+    pub(crate) fn last_resort(&self) -> usize {
+        self.last_resort
+    }
+
+    pub(crate) fn breaker_state(&self, idx: usize) -> BreakerState {
+        self.breakers[idx].state()
+    }
+
+    pub(crate) fn breaker_trips(&self, idx: usize) -> u64 {
+        self.breakers[idx].trips()
+    }
+
+    pub(crate) fn breaker_transitions(&self, idx: usize) -> Vec<String> {
+        self.breakers[idx].transitions()
     }
 }
 
@@ -260,5 +339,75 @@ mod tests {
         );
         assert!("warp-speed".parse::<SchedulePolicy>().unwrap_err().contains("round-robin"));
         assert!("fixed:abacus".parse::<SchedulePolicy>().unwrap_err().contains("cpu-sharded"));
+    }
+
+    fn tight_breaker() -> BreakerConfig {
+        BreakerConfig { window: 4, min_samples: 2, failure_rate: 0.5, cooldown_dispatches: 4 }
+    }
+
+    #[test]
+    fn last_resort_prefers_cpu_sharded_then_cpu_parallel() {
+        let s = Scheduler::new(SchedulePolicy::Auto, &pool());
+        assert_eq!(pool()[s.last_resort()], BackendKind::CpuSharded);
+        let no_sharded = vec![BackendKind::GpuSimHybrid, BackendKind::CpuParallel];
+        let s = Scheduler::new(SchedulePolicy::Auto, &no_sharded);
+        assert_eq!(no_sharded[s.last_resort()], BackendKind::CpuParallel);
+        let devices_only = vec![BackendKind::GpuSimHybrid, BackendKind::FpgaSimIndependent];
+        let s = Scheduler::new(SchedulePolicy::Auto, &devices_only);
+        assert_eq!(s.last_resort(), 0);
+    }
+
+    #[test]
+    fn fixed_policy_degrades_to_last_resort_while_tripped() {
+        let kinds = vec![BackendKind::CpuSharded, BackendKind::GpuSimHybrid];
+        let s = Scheduler::with_breaker_config(
+            SchedulePolicy::Fixed(BackendKind::GpuSimHybrid),
+            &kinds,
+            tight_breaker(),
+        );
+        let gpu = 1usize;
+        // Two failures trip the gpu breaker (min_samples=2, rate 1.0).
+        for _ in 0..2 {
+            let idx = s.dispatch(4);
+            assert_eq!(idx, gpu);
+            s.release(idx, 4);
+            s.record_outcome(idx, false);
+        }
+        assert_eq!(s.breaker_state(gpu), BreakerState::Open);
+        // While open, the pinned policy routes to cpu-sharded instead.
+        let idx = s.dispatch(4);
+        assert_eq!(kinds[idx], BackendKind::CpuSharded);
+        s.release(idx, 4);
+        s.record_outcome(idx, true);
+        // After the cooldown (open since seq 2, until seq 6) the breaker
+        // half-opens and the pinned backend gets its probe batch back.
+        for _ in 0..3 {
+            let idx = s.dispatch(4);
+            assert_eq!(kinds[idx], BackendKind::CpuSharded, "still cooling down");
+            s.release(idx, 4);
+        }
+        let idx = s.dispatch(4);
+        assert_eq!(idx, gpu, "half-open probe goes to the pinned backend");
+        assert_eq!(s.breaker_state(gpu), BreakerState::HalfOpen);
+        s.release(idx, 4);
+        s.record_outcome(idx, true);
+        assert_eq!(s.breaker_state(gpu), BreakerState::Closed);
+        assert_eq!(s.breaker_trips(gpu), 1);
+        assert!(s.breaker_transitions(gpu).iter().any(|t| t.starts_with("closed->open@")));
+    }
+
+    #[test]
+    fn round_robin_skips_tripped_backends() {
+        let kinds = vec![BackendKind::CpuSharded, BackendKind::GpuSimHybrid];
+        let s = Scheduler::with_breaker_config(SchedulePolicy::RoundRobin, &kinds, tight_breaker());
+        // Trip the gpu (index 1) breaker.
+        s.record_outcome(1, false);
+        s.record_outcome(1, false);
+        assert_eq!(s.breaker_state(1), BreakerState::Open);
+        for _ in 0..3 {
+            let idx = s.dispatch(1);
+            assert_eq!(idx, 0, "rotation must skip the open backend");
+            s.release(idx, 1);
+        }
     }
 }

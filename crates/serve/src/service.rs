@@ -8,13 +8,17 @@
 //! senders), and each worker drains its channel before exiting — no
 //! admitted request is ever lost.
 
-use crate::backend::{make_backend, Backend, BackendKind};
+use crate::backend::{make_backend, Backend, BackendError, BackendKind};
 use crate::error::ServeError;
-use crate::metrics::{MetricsHub, ServeStats};
+use crate::fault::{FaultPlan, FaultyBackend};
+use crate::metrics::{BackendProbe, MetricsHub, ServeStats};
 use crate::model::ServeModel;
 use crate::queue::{Pending, RequestQueue};
+use crate::resilience::ResilienceConfig;
 use crate::scheduler::{SchedulePolicy, Scheduler};
 use crate::ticket::{Slot, Ticket};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 use rfx_forest::dataset::QueryView;
 use rfx_telemetry::{OwnedSpan, Telemetry, TraceId};
 use std::sync::mpsc;
@@ -39,8 +43,18 @@ pub struct ServeConfig {
     pub policy: SchedulePolicy,
     /// Rows in the startup probe batch used to seed each backend's
     /// latency estimate (0 disables probing; `Auto` then warms up on the
-    /// first live batches instead).
+    /// first live batches instead). Note probes run through any
+    /// configured fault plan and advance its per-backend attempt
+    /// counters — seeded chaos harnesses set this to 0.
     pub seed_probe_rows: usize,
+    /// Resilience policies: per-batch timeout + bounded retry, circuit
+    /// breakers, deadline shedding. The default disables the timeout and
+    /// deadline, so the service behaves exactly as it did without this
+    /// layer (breakers exist but never trip without recorded failures).
+    pub resilience: ResilienceConfig,
+    /// Deterministic fault injection at the backend boundary (testing
+    /// only); `None` serves faithfully.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -52,6 +66,8 @@ impl Default for ServeConfig {
             backends: BackendKind::ALL.to_vec(),
             policy: SchedulePolicy::Auto,
             seed_probe_rows: 32,
+            resilience: ResilienceConfig::default(),
+            fault_plan: None,
         }
     }
 }
@@ -73,6 +89,7 @@ struct Shared {
     telemetry: Telemetry,
     metrics: MetricsHub,
     scheduler: Scheduler,
+    resilience: ResilienceConfig,
     backends: Vec<Box<dyn Backend + Sync>>,
 }
 
@@ -115,9 +132,28 @@ impl RfxServe {
             );
         }
 
-        let backends: Vec<Box<dyn Backend + Sync>> =
-            config.backends.iter().map(|&k| make_backend(k, &model)).collect();
-        let scheduler = Scheduler::new(config.policy, &config.backends);
+        let backends: Vec<Box<dyn Backend + Sync>> = config
+            .backends
+            .iter()
+            .map(|&k| {
+                let backend = make_backend(k, &model);
+                // Wrap only the backends the plan can ever touch, so
+                // untargeted backends keep a zero-indirection hot path.
+                match &config.fault_plan {
+                    Some(plan) if plan.targets(k) => {
+                        let counter =
+                            telemetry.counter(&format!("serve.fault.{}.injected", k.name()));
+                        Box::new(FaultyBackend::wrap(backend, plan.clone(), counter))
+                    }
+                    _ => backend,
+                }
+            })
+            .collect();
+        let scheduler = Scheduler::with_breaker_config(
+            config.policy,
+            &config.backends,
+            config.resilience.breaker,
+        );
         let metrics = MetricsHub::new(&telemetry, &config.backends);
 
         if config.seed_probe_rows > 0 {
@@ -130,6 +166,7 @@ impl RfxServe {
             telemetry,
             metrics,
             scheduler,
+            resilience: config.resilience.clone(),
             backends,
         });
 
@@ -213,12 +250,14 @@ impl RfxServe {
     /// Point-in-time metrics snapshot.
     pub fn stats(&self) -> ServeStats {
         let shared = &self.shared;
-        shared.metrics.snapshot(shared.queue.depth_rows(), |idx| {
-            (
-                shared.scheduler.ewma_us(idx),
-                shared.scheduler.inflight_rows(idx),
-                shared.backends[idx].fallbacks(),
-            )
+        shared.metrics.snapshot(shared.queue.depth_rows(), |idx| BackendProbe {
+            ewma_us: shared.scheduler.ewma_us(idx),
+            inflight_rows: shared.scheduler.inflight_rows(idx),
+            fallbacks: shared.backends[idx].fallbacks(),
+            injected_faults: shared.backends[idx].injected_faults(),
+            breaker_state: shared.scheduler.breaker_state(idx),
+            breaker_trips: shared.scheduler.breaker_trips(idx),
+            breaker_transitions: shared.scheduler.breaker_transitions(idx),
         })
     }
 
@@ -277,8 +316,11 @@ fn probe_backends(
     let mut out = vec![0; rows];
     for (idx, backend) in backends.iter().enumerate() {
         let t0 = Instant::now();
-        backend.predict(queries, &mut out);
-        scheduler.observe(idx, rows, t0.elapsed());
+        // A probe that hits an injected fault simply leaves the backend
+        // unseeded; `Auto` warms it up on the first live batch instead.
+        if backend.predict(queries, &mut out).is_ok() {
+            scheduler.observe(idx, rows, t0.elapsed());
+        }
     }
 }
 
@@ -331,6 +373,17 @@ fn batcher_loop(
             buf
         };
         shared.metrics.record_batch_formed(rows);
+        // Deadline gate at formation: a batch that is already dead gets
+        // shed here instead of occupying a backend slot at all.
+        if let Some(deadline) = shared.resilience.request_deadline {
+            let age = formed_at.saturating_duration_since(oldest);
+            if age > deadline {
+                shed_batch(shared, &entries, rows, age.as_micros() as u64, deadline);
+                span.set_attr("outcome", "shed".to_string());
+                span.finish();
+                continue;
+            }
+        }
         let idx = shared.scheduler.dispatch(rows);
         shared.metrics.record_dispatch(idx);
         span.set_attr("backend", shared.backends[idx].kind().name().to_string());
@@ -345,6 +398,45 @@ fn batcher_loop(
     // Exiting drops the senders; workers drain their channels and stop.
 }
 
+/// Fulfills every ticket in a dead batch with [`ServeError::Shed`] and
+/// records the shedding metrics (used by both the batcher's formation
+/// gate and the worker's per-attempt gate).
+fn shed_batch(shared: &Shared, entries: &[Pending], rows: usize, age_us: u64, deadline: Duration) {
+    let err = ServeError::Shed { age_ms: age_us / 1000, deadline_ms: deadline.as_millis() as u64 };
+    for pending in entries {
+        pending.slot.fulfill(Err(err.clone()));
+    }
+    shared.metrics.record_shed(entries.len(), rows);
+}
+
+/// Terminal outcome of a batch after the resilience state machine ran.
+enum BatchOutcome {
+    /// Delivered; `effective` = executing attempt's wall + virtual time.
+    Done { effective: Duration },
+    /// Shed at the deadline gate with this effective age.
+    Shed { age_us: u64 },
+    /// Every retry and the last-resort pass failed.
+    Failed,
+}
+
+/// How one backend attempt on a batch ended.
+enum Attempt {
+    Delivered {
+        /// Effective execution time: wall + injected virtual latency.
+        effective: Duration,
+    },
+    Failed {
+        /// Stable reason tag (`timeout` / `corrupt` / `refused` /
+        /// `wedged`) for metrics, spans, and errors.
+        reason: &'static str,
+        /// Virtual time the failure wasted (time a real worker would
+        /// have lost that this deterministic harness did not actually
+        /// spend blocking). Wall time is *not* included — the shed
+        /// gate's age check reads it from the enqueue clock directly.
+        penalty_us: u64,
+    },
+}
+
 /// Executes batches on one backend until the batcher hangs up.
 ///
 /// Stage spans tile the batch's root span end to end: `queue_wait`
@@ -353,12 +445,27 @@ fn batcher_loop(
 /// `trace_profile` critical-path table is computed from. Device phases
 /// recorded inside the kernels join the same trace through the ambient
 /// scope installed around `predict`.
+///
+/// Around the traverse stage sits the resilience state machine: each
+/// attempt is checked against the per-batch timeout (on **effective**
+/// time — wall plus virtual fault penalties) and against label-range
+/// corruption; failed attempts are retried on the same backend up to
+/// `max_retries` times (with backoff + deterministic jitter), then the
+/// batch makes one last pass — with its own retry budget — on the
+/// backend of last resort; every attempt outcome feeds the backend's
+/// circuit breaker; and before each attempt a deadline gate sheds
+/// batches whose oldest request is already effectively past the
+/// deadline. Failed attempts leave a `serve.batch.retry` stage span in
+/// the trace so recovery paths are visible end to end.
 fn worker_loop(shared: &Shared, idx: usize, rx: mpsc::Receiver<FormedBatch>) {
-    let backend = &shared.backends[idx];
-    let name = backend.kind().name();
     let nf = shared.model.num_features();
+    let num_classes = shared.model.num_classes();
+    let res = &shared.resilience;
+    let timeout_us = res.timeout_us();
+    let mut jitter_rng =
+        StdRng::seed_from_u64(res.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     while let Ok(batch) = rx.recv() {
-        let FormedBatch { entries, features, rows, span: batch_span, formed_at } = batch;
+        let FormedBatch { entries, features, rows, span: mut batch_span, formed_at } = batch;
         let ctx = batch_span.context();
         let tracer = shared.telemetry.tracer();
         let queries = QueryView::new(&features, nf).expect("batch shape");
@@ -371,37 +478,172 @@ fn worker_loop(shared: &Shared, idx: usize, rx: mpsc::Receiver<FormedBatch>) {
             t0.saturating_duration_since(formed_at),
             Vec::new(),
         );
-        {
-            let mut traverse = shared.telemetry.start_span_child_of("serve.batch.traverse", ctx);
-            if traverse.is_recorded() {
-                traverse.set_attr("backend", name.to_string());
-                traverse.set_attr("rows", rows.to_string());
-                for (key, value) in backend.tile_attrs(rows) {
-                    traverse.set_attr(key, value);
+
+        let oldest = entries.iter().map(|p| p.slot.enqueued).min().unwrap_or(formed_at);
+        // Virtual time lost to faults so far (timeouts we did not really
+        // wait out, wedges we did not really hang on).
+        let mut penalty_us: u64 = 0;
+        let mut attempts: u32 = 0;
+        // Retries burned on the *current* backend; resets when the batch
+        // falls back to the last resort.
+        let mut retries_here: u32 = 0;
+        let mut exec_idx = idx;
+        let mut fell_back = false;
+        let mut last_reason = "none";
+
+        let outcome = loop {
+            // Deadline gate on effective age: wall age from the enqueue
+            // clock plus everything the faults virtually cost us.
+            if let Some(deadline) = res.request_deadline {
+                let age_us = oldest.elapsed().as_micros() as u64 + penalty_us;
+                if age_us > deadline.as_micros() as u64 {
+                    break BatchOutcome::Shed { age_us };
                 }
             }
-            let _ambient = shared.telemetry.in_context(traverse.context());
-            backend.predict(queries, &mut out);
-        }
-        let elapsed = t0.elapsed();
-        let trace = if ctx.sampled { ctx.trace } else { TraceId::NONE };
-        shared.scheduler.complete(idx, rows, elapsed);
-        shared.metrics.recorder(idx).record_batch(rows, elapsed.as_micros() as u64, trace);
+            let backend = &shared.backends[exec_idx];
+            let a_start = Instant::now();
+            let result = {
+                let mut traverse =
+                    shared.telemetry.start_span_child_of("serve.batch.traverse", ctx);
+                if traverse.is_recorded() {
+                    traverse.set_attr("backend", backend.kind().name().to_string());
+                    traverse.set_attr("rows", rows.to_string());
+                    if attempts > 0 {
+                        traverse.set_attr("attempt", (attempts + 1).to_string());
+                    }
+                    for (key, value) in backend.tile_attrs(rows) {
+                        traverse.set_attr(key, value);
+                    }
+                }
+                let _ambient = shared.telemetry.in_context(traverse.context());
+                backend.predict(queries, &mut out)
+            };
+            let a_wall = a_start.elapsed();
+            attempts += 1;
 
-        let traverse_end = t0 + elapsed;
-        let mut offset = 0;
-        for pending in &entries {
-            let labels = out[offset..offset + pending.rows].to_vec();
-            offset += pending.rows;
-            let latency = pending.slot.enqueued.elapsed();
-            shared.metrics.record_request_done(pending.rows, latency.as_micros() as u64, trace);
-            pending.slot.fulfill(Ok(labels));
+            let verdict = match &result {
+                Ok(exec) => {
+                    let effective = a_wall + Duration::from_micros(exec.virtual_us);
+                    let effective_us = effective.as_micros() as u64;
+                    if timeout_us > 0 && effective_us > timeout_us {
+                        // A real worker abandons the attempt at the
+                        // timeout; charge exactly that much waiting.
+                        shared.metrics.recorder(exec_idx).record_timeout();
+                        Attempt::Failed { reason: "timeout", penalty_us: timeout_us }
+                    } else if out.iter().any(|&label| label >= num_classes) {
+                        // Corrupt-then-detect: the injected sentinel is
+                        // out of the model's class range by construction.
+                        Attempt::Failed { reason: "corrupt", penalty_us: exec.virtual_us }
+                    } else {
+                        Attempt::Delivered { effective }
+                    }
+                }
+                Err(BackendError::Refused(_)) => {
+                    Attempt::Failed { reason: "refused", penalty_us: 0 }
+                }
+                Err(BackendError::Wedged) => {
+                    // The attempt would never return; a real worker
+                    // loses the full timeout (or a deadline-sized chunk
+                    // when no timeout is configured).
+                    shared.metrics.recorder(exec_idx).record_timeout();
+                    Attempt::Failed { reason: "wedged", penalty_us: res.wedge_penalty_us() }
+                }
+            };
+
+            match verdict {
+                Attempt::Delivered { effective } => {
+                    shared.scheduler.record_outcome(exec_idx, true);
+                    break BatchOutcome::Done { effective };
+                }
+                Attempt::Failed { reason, penalty_us: wasted } => {
+                    penalty_us += wasted;
+                    last_reason = reason;
+                    shared.scheduler.record_outcome(exec_idx, false);
+                    tracer.record_span_at(
+                        "serve.batch.retry",
+                        ctx,
+                        a_start,
+                        a_wall,
+                        vec![
+                            ("backend".into(), shared.backends[exec_idx].kind().name().into()),
+                            ("attempt".into(), attempts.to_string()),
+                            ("reason".into(), reason.into()),
+                            ("penalty_us".into(), wasted.to_string()),
+                        ],
+                    );
+                    let last_resort = shared.scheduler.last_resort();
+                    if retries_here < res.max_retries {
+                        retries_here += 1;
+                    } else if !fell_back && exec_idx != last_resort {
+                        fell_back = true;
+                        exec_idx = last_resort;
+                        retries_here = 0;
+                    } else {
+                        break BatchOutcome::Failed;
+                    }
+                    shared.metrics.record_retry();
+                    let backoff = res.backoff_for(retries_here.max(1), jitter_rng.next_u64());
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
+            }
+        };
+
+        let trace = if ctx.sampled { ctx.trace } else { TraceId::NONE };
+        // In-flight rows were booked on the dispatched backend; release
+        // them there no matter where the batch actually ran.
+        shared.scheduler.release(idx, rows);
+        let deliver_start = Instant::now();
+        match outcome {
+            BatchOutcome::Done { effective } => {
+                shared.scheduler.observe(exec_idx, rows, effective);
+                shared.metrics.recorder(exec_idx).record_batch(
+                    rows,
+                    effective.as_micros() as u64,
+                    trace,
+                );
+                if attempts > 1 {
+                    shared.metrics.record_recovered();
+                    batch_span.set_attr("attempts", attempts.to_string());
+                }
+                let mut offset = 0;
+                for pending in &entries {
+                    let labels = out[offset..offset + pending.rows].to_vec();
+                    offset += pending.rows;
+                    let latency = pending.slot.enqueued.elapsed();
+                    shared.metrics.record_request_done(
+                        pending.rows,
+                        latency.as_micros() as u64,
+                        trace,
+                    );
+                    pending.slot.fulfill(Ok(labels));
+                }
+            }
+            BatchOutcome::Shed { age_us } => {
+                batch_span.set_attr("outcome", "shed".to_string());
+                shed_batch(
+                    shared,
+                    &entries,
+                    rows,
+                    age_us,
+                    res.request_deadline.unwrap_or_default(),
+                );
+            }
+            BatchOutcome::Failed => {
+                batch_span.set_attr("outcome", "failed".to_string());
+                let err = ServeError::BackendFailed { attempts, reason: last_reason.to_string() };
+                for pending in &entries {
+                    pending.slot.fulfill(Err(err.clone()));
+                }
+                shared.metrics.record_failed(entries.len(), rows);
+            }
         }
         tracer.record_span_at(
             "serve.batch.deliver",
             ctx,
-            traverse_end,
-            traverse_end.elapsed(),
+            deliver_start,
+            deliver_start.elapsed(),
             Vec::new(),
         );
         shared.metrics.record_batch_duration(batch_span.elapsed_us(), trace);

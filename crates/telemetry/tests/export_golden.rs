@@ -8,8 +8,8 @@
 //! change must update the golden file *and* bump the corresponding
 //! schema version in `export.rs` in the same commit.
 
-use rfx_telemetry::export::{to_chrome_trace, to_collapsed_stacks};
-use rfx_telemetry::{Snapshot, SpanRecord, TraceSnapshot};
+use rfx_telemetry::export::{to_chrome_trace, to_collapsed_stacks, to_json};
+use rfx_telemetry::{MetricsSnapshot, Snapshot, SpanRecord, TraceSnapshot};
 
 fn span(
     (id, parent, trace): (u64, u64, u64),
@@ -70,6 +70,58 @@ fn fixture() -> Snapshot {
     Snapshot { trace: TraceSnapshot { dropped: 1, spans }, ..Snapshot::default() }
 }
 
+/// A snapshot shaped like a post-chaos serve window: the resilience
+/// layer's failure counters (`serve.retry` / `serve.shed` /
+/// `serve.failed`), per-backend timeout and injected-fault counts,
+/// breaker gauges, and a `serve.batch.retry` stage span. Pins the JSON
+/// export shape of every failure-related metric the serve crate emits.
+fn resilience_fixture() -> Snapshot {
+    let metrics = MetricsSnapshot {
+        counters: vec![
+            ("serve.retry".to_string(), 35),
+            ("serve.recovered".to_string(), 20),
+            ("serve.shed".to_string(), 3),
+            ("serve.shed_rows".to_string(), 24),
+            ("serve.failed".to_string(), 1),
+            ("serve.failed_rows".to_string(), 8),
+            ("serve.backend.gpu-sim-hybrid.timeouts".to_string(), 14),
+            ("serve.fault.gpu-sim-hybrid.injected".to_string(), 38),
+        ],
+        gauges: vec![
+            ("serve.breaker.gpu-sim-hybrid.state".to_string(), 2.0),
+            ("serve.breaker.gpu-sim-hybrid.trips".to_string(), 10.0),
+            ("serve.breaker.cpu-sharded.state".to_string(), 0.0),
+            ("serve.breaker.cpu-sharded.trips".to_string(), 0.0),
+        ],
+        histograms: Vec::new(),
+    };
+    let spans = vec![
+        span((1, 0, 1), "serve.batch", 0, 900, 1, &[("rows", "8"), ("backend", "gpu-sim-hybrid")]),
+        span(
+            (2, 1, 1),
+            "serve.batch.retry",
+            100,
+            250,
+            1,
+            &[
+                ("backend", "gpu-sim-hybrid"),
+                ("attempt", "1"),
+                ("reason", "timeout"),
+                ("penalty_us", "100000"),
+            ],
+        ),
+        span(
+            (3, 1, 1),
+            "serve.batch.traverse",
+            400,
+            450,
+            1,
+            &[("backend", "gpu-sim-hybrid"), ("rows", "8"), ("attempt", "2")],
+        ),
+    ];
+    Snapshot { metrics, trace: TraceSnapshot { dropped: 0, spans } }
+}
+
 fn assert_matches_golden(rendered: &str, golden_name: &str) {
     let path = format!("{}/tests/golden/{golden_name}", env!("CARGO_MANIFEST_DIR"));
     if std::env::var_os("RFX_UPDATE_GOLDEN").is_some() {
@@ -99,8 +151,16 @@ fn collapsed_stacks_match_golden() {
 }
 
 #[test]
+fn resilience_metrics_json_matches_golden() {
+    let rendered = to_json(&resilience_fixture());
+    assert_matches_golden(&rendered, "resilience_metrics.json");
+}
+
+#[test]
 fn rendering_is_deterministic() {
     let snap = fixture();
     assert_eq!(to_chrome_trace(&snap), to_chrome_trace(&snap));
     assert_eq!(to_collapsed_stacks(&snap), to_collapsed_stacks(&snap));
+    let resilience = resilience_fixture();
+    assert_eq!(to_json(&resilience), to_json(&resilience));
 }
