@@ -17,7 +17,13 @@
 //!    asserted to add up in-process (a zero baseline cannot gate a
 //!    ratio in `bench_compare`, so the bin enforces it directly).
 //! 3. **Delivered correctness** — every `Ok` ticket's labels are
-//!    bit-identical to `predict_reference` on the CPU, faults or not.
+//!    bit-identical to `predict_reference` on the CPU — for the model
+//!    version that served the ticket: halfway through the stream a
+//!    second forest is published and hot-swapped in while the fault
+//!    plan keeps firing, and each delivered ticket must match its own
+//!    served version's oracle exactly (faults, retries, and breaker
+//!    state all survive the swap because fault sequencing is keyed to
+//!    the executor slot, not the model).
 //!
 //! The determinism hinges on the harness shape: requests are submitted
 //! sequentially (submit → wait → next), each sized exactly to
@@ -58,6 +64,12 @@ struct ChaosOutcome {
     injected_faults_gpu: u64,
     breaker_trips_gpu: u64,
     breaker_transitions_gpu: Vec<String>,
+    /// Delivered tickets served by v1 (before the mid-run hot swap).
+    ok_v1: u64,
+    /// Delivered tickets served by v2 (after the mid-run hot swap).
+    ok_v2: u64,
+    /// Registry activations observed (exactly one mid-run swap).
+    swaps: u64,
     /// Ok-ticket rows whose labels differ from the CPU oracle (must be 0).
     label_mismatch_rows: usize,
     /// Tickets that resolved to no terminal outcome (must be 0).
@@ -119,10 +131,13 @@ fn run_once(seed: u64, requests: usize) -> ChaosOutcome {
     // The model/query seed is independent of the fault seed so `--seed`
     // varies the chaos, not the workload.
     let w = synthetic_workload(8, 12, requests * ROWS_PER_REQUEST, 16, 0x5EED);
-    let oracle = predict_reference(
-        &w.forest,
-        QueryView::new(w.queries.raw_features(), w.queries.num_features()).unwrap(),
-    );
+    let queries = QueryView::new(w.queries.raw_features(), w.queries.num_features()).unwrap();
+    let oracle_v1 = predict_reference(&w.forest, queries);
+    // The refresh forest hot-swapped in at the halfway mark: same shape
+    // (feature width, class count), different trees — so a ticket served
+    // by the wrong version is visible as an oracle mismatch.
+    let w2 = synthetic_workload(8, 12, ROWS_PER_REQUEST, 16, 0x5EED ^ 0xF00D);
+    let oracle_v2 = predict_reference(&w2.forest, queries);
     let model = ServeModel::with_devices(w.forest, GpuConfig::tiny_test(), FpgaConfig::tiny_test())
         .expect("tiny synthetic forest fits tiny devices");
 
@@ -158,14 +173,34 @@ fn run_once(seed: u64, requests: usize) -> ChaosOutcome {
 
     let nf = serve.model().num_features();
     let (mut ok, mut shed, mut failed, mut lost) = (0u64, 0u64, 0u64, 0usize);
+    let (mut ok_v1, mut ok_v2) = (0u64, 0u64);
     let mut label_mismatch_rows = 0usize;
     for req in 0..requests {
+        // Mid-run hot swap: publish the refresh forest and activate it
+        // while the fault plan keeps firing. The harness is sequential,
+        // so the swap point is exact: the next dispatched batch serves
+        // on v2, and the slot-keyed fault/breaker state carries over.
+        if req == requests / 2 {
+            let v2 = serve.publish_forest(w2.forest.clone()).expect("same-shape refresh forest");
+            serve.activate(v2).expect("published version activates");
+        }
         let lo = req * ROWS_PER_REQUEST;
         let rows = &w.queries.raw_features()[lo * nf..(lo + ROWS_PER_REQUEST) * nf];
         let ticket = serve.submit_micro_batch(rows).expect("sequential load never overflows");
         match ticket.wait() {
             Ok(labels) => {
                 ok += 1;
+                let version = ticket.served_version().expect("delivered ticket has a version");
+                let oracle = match version.get() {
+                    1 => {
+                        ok_v1 += 1;
+                        &oracle_v1
+                    }
+                    _ => {
+                        ok_v2 += 1;
+                        &oracle_v2
+                    }
+                };
                 let expected = &oracle[lo..lo + ROWS_PER_REQUEST];
                 label_mismatch_rows += labels.iter().zip(expected).filter(|(a, b)| a != b).count();
             }
@@ -197,6 +232,9 @@ fn run_once(seed: u64, requests: usize) -> ChaosOutcome {
         injected_faults_gpu: gpu.injected_faults,
         breaker_trips_gpu: gpu.breaker_trips,
         breaker_transitions_gpu: gpu.breaker_transitions.clone(),
+        ok_v1,
+        ok_v2,
+        swaps: stats.model.swaps,
         label_mismatch_rows,
         lost_tickets: lost,
     }
@@ -227,6 +265,10 @@ fn main() {
     assert!(first.shed > 0, "the wedge burst shed nothing");
     assert!(first.breaker_trips_gpu > 0, "the gpu breaker never tripped");
     assert!(first.injected_faults_gpu > 0, "the fault plan injected nothing");
+    // The hot swap happened exactly once mid-run and both versions
+    // delivered traffic with their own oracle-exact labels.
+    assert_eq!(first.swaps, 1, "expected exactly one mid-run activation");
+    assert!(first.ok_v1 > 0 && first.ok_v2 > 0, "both model versions must deliver tickets");
 
     let shed_rate_pct = 100.0 * first.shed as f64 / first.requests as f64;
     let retry_rate_pct = 100.0 * first.retries as f64 / first.requests as f64;
@@ -237,6 +279,8 @@ fn main() {
     );
     for (k, v) in [
         ("ok", first.ok),
+        ("ok on v1 (pre-swap)", first.ok_v1),
+        ("ok on v2 (post-swap)", first.ok_v2),
         ("recovered (subset of ok)", first.recovered),
         ("shed", first.shed),
         ("failed", first.failed),

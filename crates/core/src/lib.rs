@@ -32,6 +32,14 @@ pub mod validate;
 pub use csr::CsrForest;
 pub use fil::FilForest;
 pub use hier::{HierConfig, HierForest};
+/// SplitMix64, the workspace's single stateless 64-bit hash.
+///
+/// Defined in `rfx_forest::sampling` (this crate depends on
+/// `rfx-forest`, so the training substrate cannot import it from here
+/// without a cycle) and re-exported at the canonical `rfx_core` path for
+/// every downstream crate: fault schedules, the serving layer's
+/// deterministic A/B split, and the synthetic data generators.
+pub use rfx_forest::sampling::splitmix64;
 
 /// Class label type shared across layouts.
 pub type Label = u32;

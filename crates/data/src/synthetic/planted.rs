@@ -21,6 +21,7 @@ use super::sigmoid;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use rfx_forest::sampling::splitmix64;
 use rfx_forest::Dataset;
 use serde::{Deserialize, Serialize};
 
@@ -57,17 +58,6 @@ impl Default for PlantedConfig {
             plant_seed: 0xC0FFEE,
         }
     }
-}
-
-/// SplitMix64: cheap, high-quality stateless hash used to derive the
-/// implicit tree's per-node parameters from `(seed, path)`.
-#[inline]
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 /// Per-node parameters of the implicit tree, derived by hashing:

@@ -17,6 +17,10 @@
 //!   (`max_depth`, `n_estimators`).
 //! * [`metrics`] — accuracy and confusion matrices for Fig. 5.
 //! * [`importance`] — Gini feature importance and out-of-bag scoring.
+//! * [`online`] — Hoeffding-bound streaming trainer that refreshes a
+//!   forest from an unbounded sample stream and publishes immutable
+//!   [`RandomForest`] snapshots (the artifacts a serving-side model
+//!   registry versions and hot-swaps).
 //!
 //! Everything is deterministic given a seed: trees are trained in parallel
 //! with per-tree RNG streams derived from the forest seed.
@@ -43,6 +47,7 @@ pub mod error;
 pub mod forest;
 pub mod importance;
 pub mod metrics;
+pub mod online;
 pub mod sampling;
 pub mod serialize;
 pub mod train;

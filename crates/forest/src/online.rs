@@ -1,0 +1,784 @@
+//! Streaming forest refresh: Hoeffding-bound incremental trees.
+//!
+//! Batch CART ([`crate::train`]) needs the full dataset in memory; a
+//! serving fleet sees an unbounded stream. This module implements the
+//! Hoeffding-tree (VFDT) template for that regime, following the online
+//! decision-tree acceleration literature (quantile-sketch split
+//! candidates, grace-period split attempts):
+//!
+//! * Each tree routes every arriving sample to a growing leaf and folds
+//!   it into per-leaf sufficient statistics: per-class counts plus one
+//!   fixed-capacity [`QuantileSketch`] per `(feature, class)` pair for
+//!   candidate thresholds.
+//! * Every `grace_period` samples a leaf attempts a split: candidate
+//!   thresholds are read off the merged per-feature sketches at evenly
+//!   spaced quantiles, Gini gains are estimated from sketch ranks, and
+//!   the best split is accepted only when the **Hoeffding bound**
+//!   `eps = sqrt(ln(1/delta) / 2n)` separates it from the runner-up
+//!   feature (or the race is a statistical tie, `eps < tie_epsilon`) —
+//!   the classic guarantee that with probability `1 - delta` the stream
+//!   would have chosen the same attribute given infinite data.
+//! * [`OnlineForestTrainer`] bags the stream over `n_trees` trees with
+//!   deterministic per-tree Poisson(1) weights and publishes an
+//!   immutable [`RandomForest`] snapshot on demand — the artifact a
+//!   model registry hot-swaps into a serving fleet.
+//!
+//! **Determinism contract**: everything — sketch compaction coin flips,
+//! bagging weights, split decisions — is a pure function of
+//! `(config, seed, stream order)` derived through
+//! [`crate::sampling::splitmix64`]. Same stream + same seed = identical
+//! published forest, bit for bit; this is what lets a chaos harness
+//! replay a whole train-publish-swap scenario and compare outcomes
+//! exactly.
+
+use crate::error::ForestError;
+use crate::forest::RandomForest;
+use crate::sampling::splitmix64;
+use crate::tree::{DecisionTree, Node};
+
+/// Streaming quantile sketch with fixed per-level capacity (KLL-style).
+///
+/// Values land in a level-0 buffer; a full buffer is sorted and every
+/// other element is promoted to the next level with doubled weight (the
+/// kept parity alternates deterministically from the sketch seed), so a
+/// stream of `n` values occupies `O(capacity · log(n / capacity))`
+/// memory. `rank(t)` estimates how many inserted values were `< t` from
+/// the weighted survivors — the only query split finding needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    /// `levels[i]` holds survivors of weight `2^i`.
+    levels: Vec<Vec<f32>>,
+    capacity: usize,
+    count: u64,
+    compactions: u64,
+    seed: u64,
+}
+
+impl QuantileSketch {
+    /// An empty sketch. `capacity` is the per-level buffer size (min 4);
+    /// `seed` drives the deterministic compaction parity.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        QuantileSketch {
+            levels: vec![Vec::new()],
+            capacity: capacity.max(4),
+            count: 0,
+            compactions: 0,
+            seed,
+        }
+    }
+
+    /// Folds one value into the sketch.
+    pub fn insert(&mut self, value: f32) {
+        self.count += 1;
+        self.levels[0].push(value);
+        let mut level = 0;
+        while self.levels[level].len() >= self.capacity {
+            self.levels[level].sort_by(f32::total_cmp);
+            // Deterministic compaction coin: which parity survives.
+            let keep_odd = splitmix64(self.seed ^ self.compactions) & 1 == 1;
+            self.compactions += 1;
+            let promoted: Vec<f32> =
+                self.levels[level].iter().copied().skip(keep_odd as usize).step_by(2).collect();
+            self.levels[level].clear();
+            if level + 1 == self.levels.len() {
+                self.levels.push(Vec::new());
+            }
+            self.levels[level + 1].extend(promoted);
+            level += 1;
+        }
+    }
+
+    /// Number of values inserted (exact).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Total weight of the survivors (`Σ len(level_i) · 2^i`). Close to
+    /// [`QuantileSketch::count`] but not exactly equal — compaction
+    /// preserves weight only in expectation — so ranks are normalized
+    /// against this, not against the exact count.
+    pub fn total_weight(&self) -> u64 {
+        self.levels.iter().enumerate().map(|(i, buf)| (buf.len() as u64) << i).sum()
+    }
+
+    /// Estimated number of inserted values strictly below `threshold`,
+    /// in survivor-weight units (normalize by
+    /// [`QuantileSketch::total_weight`]).
+    pub fn rank(&self, threshold: f32) -> u64 {
+        self.levels
+            .iter()
+            .enumerate()
+            .map(|(i, buf)| (buf.iter().filter(|&&v| v < threshold).count() as u64) << i)
+            .sum()
+    }
+
+    /// All survivors as sorted `(value, weight)` pairs.
+    fn weighted_items(&self) -> Vec<(f32, u64)> {
+        let mut items: Vec<(f32, u64)> = self
+            .levels
+            .iter()
+            .enumerate()
+            .flat_map(|(i, buf)| buf.iter().map(move |&v| (v, 1u64 << i)))
+            .collect();
+        items.sort_by(|a, b| a.0.total_cmp(&b.0));
+        items
+    }
+}
+
+/// Tuning for [`OnlineForestTrainer`] / [`HoeffdingTree`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineTrainerConfig {
+    /// Trees in the bagged ensemble.
+    pub n_trees: usize,
+    /// Depth cap per tree (edges root→leaf); leaves at the cap absorb
+    /// samples but never attempt splits.
+    pub max_depth: usize,
+    /// Samples a leaf accumulates between split attempts — attempts are
+    /// the expensive step, so they are amortized (VFDT's `n_min`).
+    pub grace_period: u64,
+    /// Hoeffding failure probability: with probability `1 - delta` the
+    /// chosen split agrees with the infinite-data choice.
+    pub delta: f64,
+    /// Tie threshold (VFDT's `tau`): when the bound shrinks below this,
+    /// the top contenders are declared statistically tied and the best
+    /// one is taken rather than waiting forever.
+    pub tie_epsilon: f64,
+    /// Candidate thresholds per feature per attempt (evenly spaced
+    /// sketch quantiles).
+    pub n_candidates: usize,
+    /// Per-level buffer size of every `(feature, class)` sketch.
+    pub sketch_capacity: usize,
+    /// Master seed: bagging weights, sketch compaction, everything.
+    pub seed: u64,
+}
+
+impl Default for OnlineTrainerConfig {
+    fn default() -> Self {
+        OnlineTrainerConfig {
+            n_trees: 10,
+            max_depth: 12,
+            grace_period: 50,
+            delta: 1e-3,
+            tie_epsilon: 0.05,
+            n_candidates: 8,
+            sketch_capacity: 64,
+            seed: 0,
+        }
+    }
+}
+
+impl OnlineTrainerConfig {
+    fn validate(&self) -> Result<(), ForestError> {
+        let bad = |field: &'static str, detail: &str| {
+            Err(ForestError::InvalidConfig { field, detail: detail.into() })
+        };
+        if self.n_trees == 0 {
+            return bad("n_trees", "must be at least 1");
+        }
+        if self.grace_period == 0 {
+            return bad("grace_period", "must be at least 1");
+        }
+        if !(self.delta > 0.0 && self.delta < 1.0) {
+            return bad("delta", "must be in (0, 1)");
+        }
+        if self.n_candidates == 0 {
+            return bad("n_candidates", "must be at least 1");
+        }
+        Ok(())
+    }
+}
+
+/// Growing-leaf sufficient statistics.
+#[derive(Debug, Clone)]
+struct LeafStats {
+    /// Weighted per-class sample counts.
+    class_counts: Vec<u64>,
+    /// One sketch per `(feature, class)`, row-major by feature — keyed
+    /// by class so `rank(t)` yields per-class left-side counts directly.
+    sketches: Vec<QuantileSketch>,
+    /// Weighted samples since the last split attempt.
+    since_attempt: u64,
+    /// Edges from the root.
+    depth: usize,
+    /// Label to predict while the leaf is empty: the majority of the
+    /// parent at split time (the root's fallback is class 0).
+    fallback: u32,
+}
+
+impl LeafStats {
+    fn new(
+        num_features: usize,
+        num_classes: u32,
+        capacity: usize,
+        depth: usize,
+        fallback: u32,
+        leaf_seed: u64,
+    ) -> Self {
+        let nc = num_classes as usize;
+        LeafStats {
+            class_counts: vec![0; nc],
+            sketches: (0..num_features * nc)
+                .map(|i| QuantileSketch::new(capacity, splitmix64(leaf_seed ^ i as u64)))
+                .collect(),
+            since_attempt: 0,
+            depth,
+            fallback,
+        }
+    }
+
+    fn total(&self) -> u64 {
+        self.class_counts.iter().sum()
+    }
+
+    /// Majority label, ties toward the lower class id (the workspace
+    /// convention); the fallback while empty.
+    fn majority(&self) -> u32 {
+        if self.total() == 0 {
+            return self.fallback;
+        }
+        let mut best = 0usize;
+        for (i, &c) in self.class_counts.iter().enumerate() {
+            if c > self.class_counts[best] {
+                best = i;
+            }
+        }
+        best as u32
+    }
+}
+
+/// One node of a growing Hoeffding tree.
+#[derive(Debug, Clone)]
+enum ONode {
+    /// Frozen internal split.
+    Split { feature: u16, threshold: f32, left: u32, right: u32 },
+    /// Growing leaf accumulating statistics.
+    Grow(Box<LeafStats>),
+}
+
+/// The best and runner-up candidate splits of one attempt.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    gain: f64,
+    feature: u16,
+    threshold: f32,
+}
+
+/// A single incrementally grown decision tree (VFDT-style).
+#[derive(Debug, Clone)]
+pub struct HoeffdingTree {
+    nodes: Vec<ONode>,
+    num_features: usize,
+    num_classes: u32,
+    cfg: OnlineTrainerConfig,
+    seed: u64,
+    /// Monotone leaf id counter — gives every leaf created over the
+    /// tree's lifetime a unique, order-deterministic sketch seed.
+    next_leaf: u64,
+    splits: u64,
+}
+
+impl HoeffdingTree {
+    /// An empty tree (a single growing root leaf predicting class 0).
+    pub fn new(num_features: usize, num_classes: u32, cfg: OnlineTrainerConfig, seed: u64) -> Self {
+        let mut tree = HoeffdingTree {
+            nodes: Vec::new(),
+            num_features,
+            num_classes,
+            cfg,
+            seed,
+            next_leaf: 0,
+            splits: 0,
+        };
+        let root = tree.fresh_stats(0, 0);
+        tree.nodes.push(ONode::Grow(Box::new(root)));
+        tree
+    }
+
+    fn fresh_stats(&mut self, depth: usize, fallback: u32) -> LeafStats {
+        let leaf_seed = splitmix64(self.seed ^ (self.next_leaf << 24));
+        self.next_leaf += 1;
+        LeafStats::new(
+            self.num_features,
+            self.num_classes,
+            self.cfg.sketch_capacity,
+            depth,
+            fallback,
+            leaf_seed,
+        )
+    }
+
+    /// Splits frozen into the tree so far.
+    pub fn num_splits(&self) -> u64 {
+        self.splits
+    }
+
+    /// Index of the growing leaf `x` routes to.
+    fn route(&self, x: &[f32]) -> usize {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                ONode::Split { feature, threshold, left, right } => {
+                    idx = if x[*feature as usize] < *threshold { *left } else { *right } as usize;
+                }
+                ONode::Grow(_) => return idx,
+            }
+        }
+    }
+
+    /// Folds one weighted sample into the tree and attempts a split when
+    /// the routed leaf's grace period has elapsed. `weight` is the
+    /// bagging multiplicity (0 = skip).
+    pub fn ingest(&mut self, x: &[f32], label: u32, weight: u64) {
+        assert_eq!(x.len(), self.num_features, "feature width mismatch");
+        assert!(label < self.num_classes, "label {label} out of range");
+        if weight == 0 {
+            return;
+        }
+        let idx = self.route(x);
+        let attempt = {
+            let ONode::Grow(stats) = &mut self.nodes[idx] else { unreachable!("routed to leaf") };
+            stats.class_counts[label as usize] += weight;
+            stats.since_attempt += weight;
+            let nc = self.num_classes as usize;
+            for (f, &v) in x.iter().enumerate() {
+                let sketch = &mut stats.sketches[f * nc + label as usize];
+                for _ in 0..weight {
+                    sketch.insert(v);
+                }
+            }
+            stats.depth < self.cfg.max_depth && stats.since_attempt >= self.cfg.grace_period
+        };
+        if attempt {
+            self.try_split(idx);
+        }
+    }
+
+    /// Evaluates candidate splits at leaf `idx` and freezes the best one
+    /// if the Hoeffding bound (or the tie rule) clears it.
+    fn try_split(&mut self, idx: usize) {
+        let (best, second_gain, total) = {
+            let ONode::Grow(stats) = &self.nodes[idx] else { unreachable!("split attempt target") };
+            let total = stats.total();
+            if total < 2 {
+                return;
+            }
+            let Some((best, second_gain)) = self.evaluate_candidates(stats) else {
+                // No informative candidate at all; wait for more data.
+                let ONode::Grow(stats) = &mut self.nodes[idx] else { unreachable!() };
+                stats.since_attempt = 0;
+                return;
+            };
+            (best, second_gain, total)
+        };
+        // Hoeffding: with prob 1 - delta the empirical best stays best.
+        let eps = (f64::ln(1.0 / self.cfg.delta) / (2.0 * total as f64)).sqrt();
+        let decided = best.gain - second_gain > eps || eps < self.cfg.tie_epsilon;
+        if !(decided && best.gain > 1e-9) {
+            let ONode::Grow(stats) = &mut self.nodes[idx] else { unreachable!() };
+            stats.since_attempt = 0;
+            return;
+        }
+        // Freeze: the leaf becomes an internal node with two fresh
+        // children inheriting its majority as their fallback label.
+        let ONode::Grow(stats) = &mut self.nodes[idx] else { unreachable!() };
+        let depth = stats.depth;
+        let fallback = stats.majority();
+        let left = self.nodes.len() as u32;
+        let right = left + 1;
+        let l = self.fresh_stats(depth + 1, fallback);
+        let r = self.fresh_stats(depth + 1, fallback);
+        self.nodes.push(ONode::Grow(Box::new(l)));
+        self.nodes.push(ONode::Grow(Box::new(r)));
+        self.nodes[idx] =
+            ONode::Split { feature: best.feature, threshold: best.threshold, left, right };
+        self.splits += 1;
+    }
+
+    /// Best candidate and the runner-up gain **on a different feature**
+    /// (the Hoeffding race is between attributes, per VFDT).
+    fn evaluate_candidates(&self, stats: &LeafStats) -> Option<(Candidate, f64)> {
+        let nc = self.num_classes as usize;
+        let total = stats.total() as f64;
+        let parent_gini = gini(&stats.class_counts, total);
+        let mut best: Option<Candidate> = None;
+        let mut second_gain = 0.0f64;
+        for f in 0..self.num_features {
+            let class_sketches = &stats.sketches[f * nc..(f + 1) * nc];
+            let mut feature_best: Option<Candidate> = None;
+            for threshold in self.thresholds(class_sketches) {
+                // Per-class left-side estimates from sketch ranks,
+                // normalized to the exact class counts.
+                let mut left = vec![0.0f64; nc];
+                let mut right = vec![0.0f64; nc];
+                for c in 0..nc {
+                    let count = stats.class_counts[c] as f64;
+                    let w = class_sketches[c].total_weight();
+                    let frac = if w == 0 {
+                        0.0
+                    } else {
+                        class_sketches[c].rank(threshold) as f64 / w as f64
+                    };
+                    left[c] = frac * count;
+                    right[c] = count - left[c];
+                }
+                let nl: f64 = left.iter().sum();
+                let nr: f64 = right.iter().sum();
+                if nl < 1.0 || nr < 1.0 {
+                    continue; // degenerate split, no information
+                }
+                let gain = parent_gini
+                    - (nl / total) * gini_f(&left, nl)
+                    - (nr / total) * gini_f(&right, nr);
+                if feature_best.is_none_or(|b| gain > b.gain) {
+                    feature_best = Some(Candidate { gain, feature: f as u16, threshold });
+                }
+            }
+            if let Some(fb) = feature_best {
+                match best {
+                    Some(b) if fb.gain > b.gain => {
+                        second_gain = b.gain;
+                        best = Some(fb);
+                    }
+                    Some(_) => second_gain = second_gain.max(fb.gain),
+                    None => best = Some(fb),
+                }
+            }
+        }
+        best.map(|b| (b, second_gain))
+    }
+
+    /// Candidate thresholds for one feature: evenly spaced quantiles of
+    /// the per-class sketches merged by weight, deduplicated.
+    fn thresholds(&self, class_sketches: &[QuantileSketch]) -> Vec<f32> {
+        let mut items: Vec<(f32, u64)> =
+            class_sketches.iter().flat_map(|s| s.weighted_items()).collect();
+        items.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let total: u64 = items.iter().map(|&(_, w)| w).sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        let n = self.cfg.n_candidates;
+        let mut out = Vec::with_capacity(n);
+        let mut cursor = 0usize;
+        let mut cum = 0u64;
+        for i in 0..n {
+            let target = (total as u128 * (i as u128 + 1) / (n as u128 + 1)) as u64;
+            while cursor < items.len() && cum + items[cursor].1 <= target {
+                cum += items[cursor].1;
+                cursor += 1;
+            }
+            let v = items[cursor.min(items.len() - 1)].0;
+            if out.last().is_none_or(|&last| last != v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Classifies one row with the current (still growing) tree.
+    pub fn predict(&self, x: &[f32]) -> u32 {
+        let idx = self.route(x);
+        let ONode::Grow(stats) = &self.nodes[idx] else { unreachable!("routes end at leaves") };
+        stats.majority()
+    }
+
+    /// Freezes the current shape into an immutable [`DecisionTree`]
+    /// (growing leaves become majority-label leaves). The result always
+    /// passes [`DecisionTree::validate`].
+    pub fn freeze(&self) -> DecisionTree {
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        self.emit(0, &mut nodes);
+        DecisionTree::from_nodes(nodes).expect("frozen Hoeffding tree is structurally valid")
+    }
+
+    fn emit(&self, idx: usize, nodes: &mut Vec<Node>) -> u32 {
+        let my = nodes.len() as u32;
+        match &self.nodes[idx] {
+            ONode::Split { feature, threshold, left, right } => {
+                nodes.push(Node::Leaf { label: 0 }); // placeholder
+                let l = self.emit(*left as usize, nodes);
+                let r = self.emit(*right as usize, nodes);
+                nodes[my as usize] =
+                    Node::Inner { feature: *feature, threshold: *threshold, left: l, right: r };
+            }
+            ONode::Grow(stats) => nodes.push(Node::Leaf { label: stats.majority() }),
+        }
+        my
+    }
+}
+
+/// Gini impurity of integer class counts.
+fn gini(counts: &[u64], total: f64) -> f64 {
+    gini_f(&counts.iter().map(|&c| c as f64).collect::<Vec<_>>(), total)
+}
+
+/// Gini impurity of fractional class masses.
+fn gini_f(counts: &[f64], total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    1.0 - counts.iter().map(|&c| (c / total) * (c / total)).sum::<f64>()
+}
+
+/// Deterministic Poisson(1) bagging weight from one hash draw
+/// (cumulative thresholds of the Poisson(1) pmf in 1/10000ths).
+fn poisson1(h: u64) -> u64 {
+    match h % 10_000 {
+        0..=3678 => 0,
+        3679..=7357 => 1,
+        7358..=9196 => 2,
+        9197..=9809 => 3,
+        _ => 4,
+    }
+}
+
+/// A bagged ensemble of [`HoeffdingTree`]s over one sample stream,
+/// periodically snapshot into immutable [`RandomForest`] artifacts.
+#[derive(Debug, Clone)]
+pub struct OnlineForestTrainer {
+    trees: Vec<HoeffdingTree>,
+    num_features: usize,
+    num_classes: u32,
+    cfg: OnlineTrainerConfig,
+    samples: u64,
+}
+
+impl OnlineForestTrainer {
+    /// An empty trainer for `num_features`-wide samples over
+    /// `num_classes` labels.
+    pub fn new(
+        num_features: usize,
+        num_classes: u32,
+        cfg: OnlineTrainerConfig,
+    ) -> Result<Self, ForestError> {
+        cfg.validate()?;
+        if num_features == 0 {
+            return Err(ForestError::InvalidConfig {
+                field: "num_features",
+                detail: "must be at least 1".into(),
+            });
+        }
+        if num_classes == 0 {
+            return Err(ForestError::InvalidConfig {
+                field: "num_classes",
+                detail: "must be at least 1".into(),
+            });
+        }
+        let trees = (0..cfg.n_trees)
+            .map(|i| {
+                // Independent per-tree streams, same construction idea as
+                // `sampling::tree_rng`: derived, not shared.
+                let tree_seed = splitmix64(cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+                HoeffdingTree::new(num_features, num_classes, cfg, tree_seed)
+            })
+            .collect();
+        Ok(OnlineForestTrainer { trees, num_features, num_classes, cfg, samples: 0 })
+    }
+
+    /// Feature width every sample must match.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Label classes the published forests vote over.
+    pub fn num_classes(&self) -> u32 {
+        self.num_classes
+    }
+
+    /// Samples ingested so far.
+    pub fn samples_seen(&self) -> u64 {
+        self.samples
+    }
+
+    /// Total splits frozen across all trees.
+    pub fn total_splits(&self) -> u64 {
+        self.trees.iter().map(|t| t.num_splits()).sum()
+    }
+
+    /// Folds one labeled sample into every tree with its deterministic
+    /// Poisson(1) bagging weight (online bootstrap).
+    pub fn ingest(&mut self, x: &[f32], label: u32) {
+        assert_eq!(x.len(), self.num_features, "feature width mismatch");
+        assert!(label < self.num_classes, "label {label} out of range");
+        let sample_idx = self.samples;
+        self.samples += 1;
+        for (i, tree) in self.trees.iter_mut().enumerate() {
+            let draw = splitmix64(
+                self.cfg.seed ^ sample_idx.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ (i as u64) << 48,
+            );
+            tree.ingest(x, label, poisson1(draw));
+        }
+    }
+
+    /// Convenience: ingests `rows * num_features` row-major features with
+    /// one label per row, in row order.
+    pub fn ingest_batch(&mut self, features: &[f32], labels: &[u32]) {
+        assert!(
+            features.len() == labels.len() * self.num_features,
+            "feature block does not match label count"
+        );
+        for (row, &label) in features.chunks_exact(self.num_features).zip(labels) {
+            self.ingest(row, label);
+        }
+    }
+
+    /// Publishes the current ensemble as an immutable [`RandomForest`]
+    /// (the artifact a model registry versions and hot-swaps). Pure
+    /// snapshot: the trainer keeps growing afterwards.
+    pub fn snapshot_forest(&self) -> RandomForest {
+        let trees: Vec<DecisionTree> = self.trees.iter().map(HoeffdingTree::freeze).collect();
+        RandomForest::from_trees(trees, self.num_features, self.num_classes)
+            .expect("frozen Hoeffding trees always assemble into a valid forest")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-uniform f32 in [0, 1) from a hash counter.
+    fn unit(h: u64) -> f32 {
+        (splitmix64(h) >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// A simple threshold concept: label = x[1] > 0.55.
+    fn stream(n: usize, salt: u64) -> Vec<(Vec<f32>, u32)> {
+        (0..n)
+            .map(|i| {
+                let x: Vec<f32> = (0..4).map(|f| unit(salt ^ (i as u64) << 3 ^ f as u64)).collect();
+                let y = (x[1] > 0.55) as u32;
+                (x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sketch_rank_tracks_exact_rank() {
+        let mut sk = QuantileSketch::new(32, 7);
+        // 4000 values in [0, 1), inserted in hash order (not sorted).
+        let n = 4000u64;
+        for i in 0..n {
+            sk.insert(unit(i));
+        }
+        assert_eq!(sk.count(), n);
+        let w = sk.total_weight() as f64;
+        assert!(w > 0.0);
+        for t in [0.1f32, 0.25, 0.5, 0.75, 0.9] {
+            let exact = (0..n).filter(|&i| unit(i) < t).count() as f64 / n as f64;
+            let est = sk.rank(t) as f64 / w;
+            assert!((est - exact).abs() < 0.06, "rank({t}) = {est:.3}, exact {exact:.3} diverged");
+        }
+        // Memory stays logarithmic: well below the 4000 raw values.
+        let held: usize = sk.levels.iter().map(Vec::len).sum();
+        assert!(held < 400, "sketch holds {held} raw values");
+    }
+
+    #[test]
+    fn sketch_is_deterministic_and_seed_sensitive() {
+        let run = |seed| {
+            let mut sk = QuantileSketch::new(16, seed);
+            for i in 0..1000 {
+                sk.insert(unit(i));
+            }
+            sk
+        };
+        assert_eq!(run(1), run(1), "same seed, same sketch");
+        assert_ne!(run(1), run(2), "compaction parity must depend on the seed");
+    }
+
+    #[test]
+    fn trainer_learns_a_threshold_concept() {
+        let cfg =
+            OnlineTrainerConfig { n_trees: 5, grace_period: 40, ..OnlineTrainerConfig::default() };
+        let mut trainer = OnlineForestTrainer::new(4, 2, cfg).unwrap();
+        for (x, y) in stream(3000, 0xA11CE) {
+            trainer.ingest(&x, y);
+        }
+        assert!(trainer.total_splits() > 0, "the stream must force at least one split");
+        let forest = trainer.snapshot_forest();
+        let test = stream(500, 0xB0B);
+        let correct = test.iter().filter(|(x, y)| forest.predict(x) == *y).count() as f64 / 500.0;
+        assert!(correct > 0.9, "online forest accuracy {correct} on a 1-feature threshold");
+    }
+
+    #[test]
+    fn trainer_is_seed_deterministic() {
+        let cfg = OnlineTrainerConfig { n_trees: 4, ..OnlineTrainerConfig::default() };
+        let run = |seed| {
+            let mut t =
+                OnlineForestTrainer::new(4, 2, OnlineTrainerConfig { seed, ..cfg }).unwrap();
+            for (x, y) in stream(1500, 0xFEED) {
+                t.ingest(&x, y);
+            }
+            t.snapshot_forest()
+        };
+        // Same stream + same seed => identical published forest. This is
+        // the determinism contract the registry/chaos harness relies on.
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "bagging must vary with the seed");
+    }
+
+    #[test]
+    fn snapshot_keeps_growing_afterwards() {
+        let cfg =
+            OnlineTrainerConfig { n_trees: 3, grace_period: 30, ..OnlineTrainerConfig::default() };
+        let mut trainer = OnlineForestTrainer::new(4, 2, cfg).unwrap();
+        let data = stream(2400, 0xCAFE);
+        for (x, y) in &data[..600] {
+            trainer.ingest(x, *y);
+        }
+        let early = trainer.snapshot_forest();
+        for (x, y) in &data[600..] {
+            trainer.ingest(x, *y);
+        }
+        let late = trainer.snapshot_forest();
+        assert_eq!(trainer.samples_seen(), 2400);
+        assert!(
+            late.total_nodes() >= early.total_nodes(),
+            "more stream must never shrink the ensemble"
+        );
+        // Both snapshots are valid, independently usable forests.
+        assert_eq!(early.num_features(), 4);
+        assert_eq!(late.num_classes(), 2);
+    }
+
+    #[test]
+    fn depth_cap_is_respected() {
+        // A depth-1 cap admits exactly one split per tree no matter how
+        // much stream arrives, so the frozen trees are stumps.
+        let cfg = OnlineTrainerConfig {
+            n_trees: 3,
+            max_depth: 1,
+            grace_period: 25,
+            ..OnlineTrainerConfig::default()
+        };
+        let mut trainer = OnlineForestTrainer::new(4, 2, cfg).unwrap();
+        for (x, y) in stream(4000, 0xD1) {
+            trainer.ingest(&x, y);
+        }
+        assert!(trainer.total_splits() > 0, "the cap must not prevent the first split");
+        let forest = trainer.snapshot_forest();
+        assert_eq!(forest.max_depth(), 1, "every tree must stop at the configured depth");
+    }
+
+    #[test]
+    fn empty_trainer_publishes_single_leaf_trees() {
+        let trainer = OnlineForestTrainer::new(3, 2, OnlineTrainerConfig::default()).unwrap();
+        let forest = trainer.snapshot_forest();
+        assert_eq!(forest.num_trees(), 10);
+        assert_eq!(forest.max_depth(), 0);
+        assert_eq!(forest.predict(&[0.5, 0.5, 0.5]), 0, "empty leaves fall back to class 0");
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let bad = |cfg: OnlineTrainerConfig| OnlineForestTrainer::new(2, 2, cfg).is_err();
+        assert!(bad(OnlineTrainerConfig { n_trees: 0, ..OnlineTrainerConfig::default() }));
+        assert!(bad(OnlineTrainerConfig { grace_period: 0, ..OnlineTrainerConfig::default() }));
+        assert!(bad(OnlineTrainerConfig { delta: 0.0, ..OnlineTrainerConfig::default() }));
+        assert!(bad(OnlineTrainerConfig { delta: 1.5, ..OnlineTrainerConfig::default() }));
+        assert!(bad(OnlineTrainerConfig { n_candidates: 0, ..OnlineTrainerConfig::default() }));
+        assert!(OnlineForestTrainer::new(0, 2, OnlineTrainerConfig::default()).is_err());
+        assert!(OnlineForestTrainer::new(2, 0, OnlineTrainerConfig::default()).is_err());
+    }
+}

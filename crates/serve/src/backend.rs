@@ -129,10 +129,6 @@ pub(crate) trait Backend: Send + Sync {
     fn fallbacks(&self) -> u64 {
         0
     }
-    /// Faults injected so far (0 unless wrapped by a `FaultyBackend`).
-    fn injected_faults(&self) -> u64 {
-        0
-    }
     /// Tiling/occupancy attributes for the traverse span of a `rows`-row
     /// batch: how this backend would carve the batch up (shards, blocks,
     /// grid, compute units). Keys are stable per backend; values are

@@ -17,7 +17,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Tuning for one [`CircuitBreaker`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -111,8 +111,12 @@ impl CircuitBreaker {
     /// Whether a batch dispatched at global sequence `seq` may use this
     /// backend. Transitions Open → HalfOpen when the cooldown has
     /// elapsed, and books the single half-open probe slot.
+    /// Breaker locks recover from poisoning (here and below): the state
+    /// machine's invariants hold on entry to every method, so a panic in
+    /// some other worker mid-update is no reason to wedge dispatch for
+    /// the rest of the pool.
     pub(crate) fn admit(&self, seq: u64) -> bool {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         match inner.state {
             BreakerState::Closed => true,
             BreakerState::Open => {
@@ -139,7 +143,7 @@ impl CircuitBreaker {
     /// dispatch sequence of the *recording* moment, used to stamp
     /// transitions and start cooldowns.
     pub(crate) fn record(&self, success: bool, seq: u64) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         match inner.state {
             BreakerState::Closed => {
                 inner.outcomes.push_back(success);
@@ -180,7 +184,7 @@ impl CircuitBreaker {
     }
 
     pub(crate) fn state(&self) -> BreakerState {
-        self.inner.lock().unwrap().state
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).state
     }
 
     /// Closed→Open and HalfOpen→Open trips so far.
@@ -190,7 +194,7 @@ impl CircuitBreaker {
 
     /// The full transition log (`"closed->open@12"`, ...), in order.
     pub(crate) fn transitions(&self) -> Vec<String> {
-        self.inner.lock().unwrap().transitions.clone()
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).transitions.clone()
     }
 }
 

@@ -40,6 +40,19 @@ pub enum ServeError {
         /// Last failure, human-readable.
         reason: String,
     },
+    /// The referenced model version was never published to this
+    /// service's registry.
+    UnknownVersion {
+        /// The raw version number that failed to resolve.
+        version: u64,
+    },
+    /// A published model's shape does not match what the service is
+    /// serving (feature width / class count) — queued requests could not
+    /// be executed against it.
+    IncompatibleModel {
+        /// Human-readable shape mismatch.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -56,6 +69,12 @@ impl fmt::Display for ServeError {
             }
             ServeError::BackendFailed { attempts, reason } => {
                 write!(f, "backend failed after {attempts} attempts: {reason}")
+            }
+            ServeError::UnknownVersion { version } => {
+                write!(f, "model version v{version} was never published")
+            }
+            ServeError::IncompatibleModel { reason } => {
+                write!(f, "incompatible model: {reason}")
             }
         }
     }

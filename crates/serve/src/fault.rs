@@ -3,13 +3,15 @@
 //! A [`FaultPlan`] is a seeded, schedule-driven description of what goes
 //! wrong: each rule targets a backend (or all of them) and fires as a
 //! pure function of the backend's **attempt sequence number** — the
-//! count of `predict` calls the backend has served — never of wall-clock
-//! time. The [`FaultyBackend`] decorator wraps a real backend and
-//! consults the plan on every call, so the same seed replays the exact
-//! same fault sequence run after run. Injected *delays* are **virtual**:
-//! the decorator reports them in [`Exec::virtual_us`] instead of
-//! sleeping, and the resilience layer folds them into its timeout and
-//! deadline arithmetic. That keeps chaos tests deterministic and fast —
+//! count of `predict` calls the backend's pool *slot* has served — never
+//! of wall-clock time. A per-slot [`FaultState`] consults the plan on
+//! every call, so the same seed replays the exact same fault sequence
+//! run after run; because the counter belongs to the slot rather than to
+//! any one backend object, the sequence keeps advancing across model
+//! hot-swaps and chaos replays stay bit-identical with a swap mid-run.
+//! Injected *delays* are **virtual**: the injector reports them in
+//! [`Exec::virtual_us`] instead of sleeping, and the resilience layer
+//! folds them into its timeout and deadline arithmetic. That keeps chaos tests deterministic and fast —
 //! a "two-minute device hang" costs zero test seconds.
 //!
 //! The four fault kinds map to the failure modes a production forest
@@ -29,7 +31,7 @@
 //!   timeout policy fires without any thread ever blocking.
 
 use crate::backend::{Backend, BackendError, BackendKind, Exec};
-use rfx_core::Label;
+use rfx_core::{splitmix64, Label};
 use rfx_forest::dataset::QueryView;
 use rfx_telemetry::Counter;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -117,14 +119,6 @@ impl FaultSchedule {
     }
 }
 
-/// SplitMix64 — the standard 64-bit finalizer; good avalanche, no state.
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 /// One injection rule: which backend, when, and what.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultRule {
@@ -194,72 +188,67 @@ impl FaultPlan {
 /// class index, so the service's label validation always detects it.
 pub(crate) const CORRUPT_LABEL: Label = Label::MAX;
 
-/// Decorator injecting a [`FaultPlan`] into a real backend. Keeps its
-/// own attempt counter (retries advance it too, so a burst rule can hit
-/// consecutive retries of one batch) and counts injections per kind.
-pub(crate) struct FaultyBackend {
-    inner: Box<dyn Backend + Sync>,
+/// Per-pool-slot injection state. One per backend *slot*, not per model
+/// version and not wrapped around any particular backend object: the
+/// attempt sequence counter belongs to the slot, so it keeps advancing
+/// across hot-swaps and a seeded chaos scenario replays identically
+/// whether or not a version swap happens mid-run. (Retries advance the
+/// counter too, so a burst rule can hit consecutive retries of one
+/// batch.) Startup probes and the shadow-scoring lane call backends
+/// directly and never pass through here.
+pub(crate) struct FaultState {
     plan: FaultPlan,
+    kind: BackendKind,
     seq: AtomicU64,
     injected: AtomicU64,
     injected_counter: Arc<Counter>,
 }
 
-impl FaultyBackend {
-    pub(crate) fn wrap(
-        inner: Box<dyn Backend + Sync>,
-        plan: FaultPlan,
-        injected_counter: Arc<Counter>,
-    ) -> Self {
-        FaultyBackend {
-            inner,
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan, kind: BackendKind, injected_counter: Arc<Counter>) -> Self {
+        FaultState {
             plan,
+            kind,
             seq: AtomicU64::new(0),
             injected: AtomicU64::new(0),
             injected_counter,
         }
     }
-}
 
-impl Backend for FaultyBackend {
-    fn kind(&self) -> BackendKind {
-        self.inner.kind()
+    /// Faults injected through this slot so far.
+    pub(crate) fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
     }
 
-    fn predict(&self, queries: QueryView, out: &mut [Label]) -> Result<Exec, BackendError> {
+    /// Runs one attempt of `backend` through the plan, consuming one
+    /// slot-attempt sequence number.
+    pub(crate) fn execute(
+        &self,
+        backend: &dyn Backend,
+        queries: QueryView,
+        out: &mut [Label],
+    ) -> Result<Exec, BackendError> {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let Some(fault) = self.plan.fault_for(self.kind(), seq) else {
-            return self.inner.predict(queries, out);
+        let Some(fault) = self.plan.fault_for(self.kind, seq) else {
+            return backend.predict(queries, out);
         };
         self.injected.fetch_add(1, Ordering::Relaxed);
         self.injected_counter.inc();
         match fault {
             FaultKind::Delay { us } => {
-                let exec = self.inner.predict(queries, out)?;
+                let exec = backend.predict(queries, out)?;
                 Ok(Exec { virtual_us: exec.virtual_us + us })
             }
             FaultKind::Fail => Err(BackendError::Refused(format!("injected fault at seq {seq}"))),
             FaultKind::Corrupt => {
                 // Compute the real batch, then trash it — the corruption
                 // must be *detectable*, not silently plausible.
-                self.inner.predict(queries, out)?;
+                backend.predict(queries, out)?;
                 out.fill(CORRUPT_LABEL);
                 Ok(Exec::default())
             }
             FaultKind::Wedge => Err(BackendError::Wedged),
         }
-    }
-
-    fn fallbacks(&self) -> u64 {
-        self.inner.fallbacks()
-    }
-
-    fn injected_faults(&self) -> u64 {
-        self.injected.load(Ordering::Relaxed)
-    }
-
-    fn tile_attrs(&self, rows: usize) -> Vec<(&'static str, String)> {
-        self.inner.tile_attrs(rows)
     }
 }
 

@@ -43,6 +43,24 @@
 //!    boundary — with **virtual** delay accounting, so chaos tests
 //!    replay bit-identically without sleeping.
 //!
+//! 7. **Model lifecycle** — the service serves out of a versioned model
+//!    registry. [`RfxServe::publish`] registers a new [`ServeModel`] (or
+//!    [`RfxServe::publish_forest`] a bare forest, e.g. an
+//!    `rfx_forest::online` trainer snapshot) as the next
+//!    [`ModelVersion`]; [`RfxServe::activate`] hot-swaps serving to it
+//!    with an atomic epoch-based `Arc` handoff — in-flight batches
+//!    finish on the version they were dispatched with, zero tickets are
+//!    dropped, and activating an older version *is* rollback.
+//!    [`RfxServe::set_route`] layers traffic control on top: **shadow
+//!    mode** re-scores a deterministic sample of batches on a candidate
+//!    version after delivery (argmax agreement recorded, responses
+//!    never affected), and **A/B split** partitions requests across two
+//!    versions by a deterministic admission-sequence hash, whole
+//!    batches only — a response is never a blend of versions. Every
+//!    ticket reports which version served it
+//!    ([`Ticket::served_version`]), and per-version telemetry lands
+//!    under `serve.model.<v>.*`.
+//!
 //! Shutdown ([`RfxServe::shutdown`]) drains: admission closes, queued
 //! work still executes, every issued [`Ticket`] resolves.
 //!
@@ -57,7 +75,9 @@ pub mod loadgen;
 mod metrics;
 mod model;
 mod queue;
+mod registry;
 mod resilience;
+mod router;
 mod scheduler;
 mod service;
 mod ticket;
@@ -67,9 +87,11 @@ pub use breaker::{BreakerConfig, BreakerState};
 pub use error::ServeError;
 pub use fault::{FaultKind, FaultPlan, FaultRule, FaultSchedule};
 pub use loadgen::{run_closed_loop, LoadGenConfig, LoadReport};
-pub use metrics::{BackendStats, LatencySummary, ServeStats};
+pub use metrics::{BackendStats, LatencySummary, ModelLifecycleStats, ServeStats};
 pub use model::ServeModel;
+pub use registry::{ModelVersion, VersionStats};
 pub use resilience::ResilienceConfig;
+pub use router::{Arm, RouteMode, ShadowStats};
 pub use scheduler::SchedulePolicy;
 pub use service::{RfxServe, ServeConfig};
 pub use ticket::Ticket;

@@ -10,6 +10,8 @@
 
 use crate::backend::BackendKind;
 use crate::breaker::BreakerState;
+use crate::registry::VersionStats;
+use crate::router::ShadowStats;
 use rfx_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Telemetry, TraceId};
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -217,6 +219,7 @@ impl MetricsHub {
         &self,
         queue_rows: usize,
         backend_probe: impl Fn(usize) -> BackendProbe,
+        model: ModelLifecycleStats,
     ) -> ServeStats {
         self.queue_depth.set(queue_rows as f64);
         let batches = self.batches.get();
@@ -275,8 +278,28 @@ impl MetricsHub {
             queue_wait: LatencySummary::from_histogram(&self.queue_wait.snapshot()),
             request_latency: LatencySummary::from_histogram(&self.request_latency.snapshot()),
             backends,
+            model,
         }
     }
+}
+
+/// Model-lifecycle slice of a [`ServeStats`] snapshot: which version is
+/// serving, how traffic is routed, and what every published version has
+/// done so far.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ModelLifecycleStats {
+    /// Version currently serving new batches (1-based).
+    pub active_version: u64,
+    /// Activation epoch: bumps on every swap (including rollbacks).
+    pub epoch: u64,
+    /// Total activations since startup.
+    pub swaps: u64,
+    /// The current route mode, rendered (`single`, `shadow:v2@...`).
+    pub route: String,
+    /// Aggregate shadow-scoring counters across all candidates.
+    pub shadow: ShadowStats,
+    /// Per-version breakdown, in publish order.
+    pub versions: Vec<VersionStats>,
 }
 
 /// Live per-backend readings the hub samples at snapshot time (supplied
@@ -362,6 +385,8 @@ pub struct ServeStats {
     pub request_latency: LatencySummary,
     /// Per-backend breakdown.
     pub backends: Vec<BackendStats>,
+    /// Model lifecycle: active version, route mode, per-version counts.
+    pub model: ModelLifecycleStats,
 }
 
 #[cfg(test)]
@@ -380,7 +405,7 @@ mod tests {
         for v in 1..=100u64 {
             hub.record_request_done(1, v, TraceId::NONE);
         }
-        let s = hub.snapshot(0, |_| BackendProbe::default());
+        let s = hub.snapshot(0, |_| BackendProbe::default(), ModelLifecycleStats::default());
         let lat = s.request_latency;
         assert_eq!(lat.count, 100);
         assert_eq!(lat.max_us, 100);
@@ -401,7 +426,7 @@ mod tests {
         for v in 0..300_000u64 {
             hub.record_request_done(1, v % 5_000, TraceId::NONE);
         }
-        let s = hub.snapshot(0, |_| BackendProbe::default());
+        let s = hub.snapshot(0, |_| BackendProbe::default(), ModelLifecycleStats::default());
         assert_eq!(s.request_latency.count, 300_000);
         assert_eq!(s.request_latency.max_us, 4_999);
         assert!(s.request_latency.p50_us <= s.request_latency.p95_us);
@@ -423,19 +448,23 @@ mod tests {
         hub.record_failed(1, 3);
         hub.recorder(2).record_timeout();
         // Index 2 is gpu-sim-hybrid in BackendKind::ALL order.
-        let _ = hub.snapshot(2, |idx| {
-            if idx == 2 {
-                BackendProbe {
-                    ewma_us: 1.5,
-                    inflight_rows: 3,
-                    breaker_state: BreakerState::HalfOpen,
-                    breaker_trips: 2,
-                    ..BackendProbe::default()
+        let _ = hub.snapshot(
+            2,
+            |idx| {
+                if idx == 2 {
+                    BackendProbe {
+                        ewma_us: 1.5,
+                        inflight_rows: 3,
+                        breaker_state: BreakerState::HalfOpen,
+                        breaker_trips: 2,
+                        ..BackendProbe::default()
+                    }
+                } else {
+                    BackendProbe::default()
                 }
-            } else {
-                BackendProbe::default()
-            }
-        });
+            },
+            ModelLifecycleStats::default(),
+        );
         let m = tel.metrics_snapshot();
         assert_eq!(m.counter("serve.queue.submitted_rows"), Some(4));
         assert_eq!(m.counter("serve.batcher.batches"), Some(1));
@@ -468,7 +497,9 @@ mod tests {
     fn single_sample_summary() {
         let (_tel, hub) = hub();
         hub.record_request_done(1, 7, TraceId::NONE);
-        let lat = hub.snapshot(0, |_| BackendProbe::default()).request_latency;
+        let lat = hub
+            .snapshot(0, |_| BackendProbe::default(), ModelLifecycleStats::default())
+            .request_latency;
         assert_eq!((lat.p50_us, lat.p95_us, lat.p99_us, lat.max_us), (7, 7, 7, 7));
     }
 }

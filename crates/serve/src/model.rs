@@ -77,6 +77,15 @@ impl ServeModel {
         })
     }
 
+    /// Rebuilds a serving artifact for a *new* forest on this model's
+    /// exact device configuration — the publish path for refreshed
+    /// forests (e.g. from `rfx_forest::online`), so a hot-swapped
+    /// version runs on the same simulated hardware as the version it
+    /// replaces.
+    pub fn with_same_devices(&self, forest: RandomForest) -> Result<Self, LayoutError> {
+        Self::with_devices(forest, *self.gpu.config(), self.fpga)
+    }
+
     /// Feature width every submission must match.
     pub fn num_features(&self) -> usize {
         self.forest.num_features()

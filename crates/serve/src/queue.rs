@@ -15,9 +15,10 @@
 //! batches — it forms its own oversized batch (requests are atomic).
 
 use crate::error::ServeError;
+use crate::router::Arm;
 use crate::ticket::Slot;
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// One admitted request: its feature rows and the completion slot.
@@ -29,6 +30,11 @@ pub(crate) struct Pending {
     pub rows: usize,
     /// Completion slot shared with the client's [`crate::Ticket`].
     pub slot: Arc<Slot>,
+    /// Traffic arm assigned at admission (deterministic hash of the
+    /// admission sequence number; always [`Arm::A`] outside an A/B
+    /// split). The batcher partitions batches by arm so one batch is
+    /// always served by exactly one model version.
+    pub arm: Arm,
 }
 
 impl Drop for Pending {
@@ -68,8 +74,14 @@ impl RequestQueue {
 
     /// Admits a request or rejects it with a typed error. Never blocks —
     /// back-pressure is the client's problem by design.
+    ///
+    /// Locks recover from poisoning throughout this queue: a client
+    /// thread that panics mid-push must not wedge the batcher (and with
+    /// it the whole service) — the queue's invariants are re-established
+    /// by construction on every acquisition, so the poison flag carries
+    /// no information worth cascading a panic for.
     pub(crate) fn try_push(&self, pending: Pending) -> Result<(), ServeError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if inner.closed {
             return Err(ServeError::ShuttingDown);
         }
@@ -87,13 +99,13 @@ impl RequestQueue {
 
     /// Rows currently queued (admission gauge; also exported in stats).
     pub(crate) fn depth_rows(&self) -> usize {
-        self.inner.lock().unwrap().rows
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).rows
     }
 
     /// Stops admission. Queued requests remain and will still be drained
     /// by [`RequestQueue::collect_batch`].
     pub(crate) fn close(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.closed = true;
         self.arrived.notify_all();
     }
@@ -109,14 +121,14 @@ impl RequestQueue {
         max_rows: usize,
         max_delay: Duration,
     ) -> Option<(Vec<Pending>, usize)> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             // Wait for the first request (or shutdown).
             while inner.entries.is_empty() {
                 if inner.closed {
                     return None;
                 }
-                inner = self.arrived.wait(inner).unwrap();
+                inner = self.arrived.wait(inner).unwrap_or_else(PoisonError::into_inner);
             }
             // A batch is forming: flush on size, deadline, or shutdown
             // (drain immediately — no point honoring the deadline when no
@@ -127,7 +139,10 @@ impl RequestQueue {
                 if now >= deadline {
                     break;
                 }
-                let (guard, _timeout) = self.arrived.wait_timeout(inner, deadline - now).unwrap();
+                let (guard, _timeout) = self
+                    .arrived
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
                 inner = guard;
                 if inner.entries.is_empty() {
                     // Raced with nothing (only this thread pops); treat as

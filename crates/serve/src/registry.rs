@@ -1,0 +1,427 @@
+//! Versioned model registry with atomic hot-swap.
+//!
+//! The registry owns every [`ServeModel`] the service has ever published,
+//! each paired with its own pre-built executor set (one [`Backend`] per
+//! pool slot — backends embed model artifacts, so they are versioned
+//! together with the model). Swapping the active version is **epoch-based
+//! `Arc` handoff**:
+//!
+//! * the batcher pins `Arc<VersionEntry>` clones into formed batches, so
+//!   an in-flight batch finishes on the exact version it was dispatched
+//!   with no matter how many activations happen mid-flight;
+//! * [`ModelRegistry::activate`] is a single pointer store under a short
+//!   lock — no barrier, no draining, no ticket is ever dropped by a swap;
+//! * retired versions stay alive (and resident in the registry) until
+//!   their last in-flight batch drops its pin, then idle at the cost of
+//!   one `Arc` — which is also what makes **rollback a plain
+//!   re-activation** of a prior version rather than a special recovery
+//!   path.
+//!
+//! Every version records into its own telemetry sub-domain
+//! (`serve.model.v<N>.*`), and the registry itself exports the active
+//! version, the epoch counter, and the swap count, so dashboards can
+//! correlate a latency shift with the exact activation that caused it.
+
+use crate::backend::{make_backend, Backend, BackendKind};
+use crate::error::ServeError;
+use crate::metrics::LatencySummary;
+use crate::model::ServeModel;
+use rfx_telemetry::{Counter, Gauge, Histogram, Telemetry, TraceId};
+use serde::Serialize;
+use std::fmt;
+use std::num::NonZeroU64;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Identifier of one published model version. Versions are 1-based and
+/// strictly increasing in publish order; `v1` is the model the service
+/// started with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelVersion(NonZeroU64);
+
+impl ModelVersion {
+    /// The numeric version (1-based).
+    pub fn get(self) -> u64 {
+        self.0.get()
+    }
+
+    /// Reconstructs a version from its raw number; `None` for 0 (the
+    /// "not served yet" sentinel in ticket slots).
+    pub fn from_raw(raw: u64) -> Option<ModelVersion> {
+        NonZeroU64::new(raw).map(ModelVersion)
+    }
+}
+
+impl fmt::Display for ModelVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Per-version telemetry handles (`serve.model.v<N>.*`), registered once
+/// at publish time.
+#[derive(Debug)]
+pub(crate) struct VersionRecorder {
+    batches: Arc<Counter>,
+    rows: Arc<Counter>,
+    batch_latency: Arc<Histogram>,
+    shadow_batches: Arc<Counter>,
+    shadow_rows: Arc<Counter>,
+    shadow_agree_rows: Arc<Counter>,
+}
+
+impl VersionRecorder {
+    fn new(telemetry: &Telemetry, version: ModelVersion) -> Self {
+        VersionRecorder {
+            batches: telemetry.counter(&format!("serve.model.{version}.batches")),
+            rows: telemetry.counter(&format!("serve.model.{version}.rows")),
+            batch_latency: telemetry.histogram(&format!("serve.model.{version}.batch_latency_us")),
+            shadow_batches: telemetry.counter(&format!("serve.model.{version}.shadow_batches")),
+            shadow_rows: telemetry.counter(&format!("serve.model.{version}.shadow_rows")),
+            shadow_agree_rows: telemetry
+                .counter(&format!("serve.model.{version}.shadow_agree_rows")),
+        }
+    }
+
+    /// Records one batch served *live* by this version.
+    pub(crate) fn record_batch(&self, rows: usize, elapsed_us: u64, trace: TraceId) {
+        self.batches.inc();
+        self.rows.add(rows as u64);
+        self.batch_latency.record_with_exemplar(elapsed_us, trace);
+    }
+
+    /// Records one shadow-scored batch against this (candidate) version:
+    /// `agree_rows` of `rows` matched the served model's labels.
+    pub(crate) fn record_shadow(&self, rows: usize, agree_rows: usize) {
+        self.shadow_batches.inc();
+        self.shadow_rows.add(rows as u64);
+        self.shadow_agree_rows.add(agree_rows as u64);
+    }
+}
+
+/// One published version: the immutable model, its executor set, and its
+/// telemetry recorder. Batches pin an `Arc` of this for their whole
+/// flight — the handoff unit of the hot-swap protocol.
+pub(crate) struct VersionEntry {
+    pub(crate) version: ModelVersion,
+    pub(crate) model: ServeModel,
+    /// One backend per pool slot, same order as `ServeConfig::backends`.
+    pub(crate) backends: Vec<Box<dyn Backend + Sync>>,
+    pub(crate) recorder: VersionRecorder,
+}
+
+impl fmt::Debug for VersionEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VersionEntry")
+            .field("version", &self.version)
+            .field("backends", &self.backends.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    versions: Vec<Arc<VersionEntry>>,
+    active: Arc<VersionEntry>,
+    /// Bumps on every activation. A batch formed under epoch `e` may
+    /// deliver under any later epoch — the pinned entry, not the epoch,
+    /// decides which model serves it.
+    epoch: u64,
+}
+
+/// The versioned model store. All mutation happens under one short-held
+/// mutex (publish and activate are control-plane rare); the data plane
+/// only clones `Arc`s out of it.
+#[derive(Debug)]
+pub(crate) struct ModelRegistry {
+    inner: Mutex<Inner>,
+    kinds: Vec<BackendKind>,
+    telemetry: Telemetry,
+    active_version_gauge: Arc<Gauge>,
+    epoch_gauge: Arc<Gauge>,
+    swaps: Arc<Counter>,
+}
+
+impl ModelRegistry {
+    /// Registers `model` as `v1` and activates it.
+    pub(crate) fn new(model: ServeModel, kinds: &[BackendKind], telemetry: &Telemetry) -> Self {
+        let version = ModelVersion::from_raw(1).unwrap();
+        let entry = Arc::new(VersionEntry {
+            version,
+            backends: kinds.iter().map(|&k| make_backend(k, &model)).collect(),
+            recorder: VersionRecorder::new(telemetry, version),
+            model,
+        });
+        let active_version_gauge = telemetry.gauge("serve.model.active_version");
+        let epoch_gauge = telemetry.gauge("serve.model.epoch");
+        active_version_gauge.set(1.0);
+        epoch_gauge.set(0.0);
+        ModelRegistry {
+            inner: Mutex::new(Inner {
+                versions: vec![Arc::clone(&entry)],
+                active: entry,
+                epoch: 0,
+            }),
+            kinds: kinds.to_vec(),
+            telemetry: telemetry.clone(),
+            active_version_gauge,
+            epoch_gauge,
+            swaps: telemetry.counter("serve.model.swaps"),
+        }
+    }
+
+    /// Publishes `model` as the next version **without** activating it.
+    /// The model must be shape-compatible with `v1` (same feature width
+    /// and class count) — the queue holds feature vectors of one width,
+    /// and tickets promise labels from one class range.
+    pub(crate) fn publish(&self, model: ServeModel) -> Result<ModelVersion, ServeError> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let v1 = &inner.versions[0].model;
+        if model.num_features() != v1.num_features() {
+            return Err(ServeError::IncompatibleModel {
+                reason: format!(
+                    "feature width {} != serving width {}",
+                    model.num_features(),
+                    v1.num_features()
+                ),
+            });
+        }
+        if model.num_classes() != v1.num_classes() {
+            return Err(ServeError::IncompatibleModel {
+                reason: format!(
+                    "class count {} != serving count {}",
+                    model.num_classes(),
+                    v1.num_classes()
+                ),
+            });
+        }
+        let version = ModelVersion::from_raw(inner.versions.len() as u64 + 1).unwrap();
+        let entry = Arc::new(VersionEntry {
+            version,
+            backends: self.kinds.iter().map(|&k| make_backend(k, &model)).collect(),
+            recorder: VersionRecorder::new(&self.telemetry, version),
+            model,
+        });
+        inner.versions.push(entry);
+        Ok(version)
+    }
+
+    /// Makes `version` the active (serving) version and returns the
+    /// previously active one. This is the whole hot-swap: one pointer
+    /// store plus an epoch bump — in-flight batches keep their pinned
+    /// entries, new batches pick up the new pointer. Re-activating an
+    /// older version IS rollback; there is no other mechanism.
+    pub(crate) fn activate(&self, version: ModelVersion) -> Result<ModelVersion, ServeError> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let entry = Self::lookup(&inner, version)?;
+        let previous = inner.active.version;
+        inner.active = entry;
+        inner.epoch += 1;
+        self.active_version_gauge.set(version.get() as f64);
+        self.epoch_gauge.set(inner.epoch as f64);
+        self.swaps.inc();
+        Ok(previous)
+    }
+
+    fn lookup(inner: &Inner, version: ModelVersion) -> Result<Arc<VersionEntry>, ServeError> {
+        inner
+            .versions
+            .get(version.get() as usize - 1)
+            .cloned()
+            .ok_or(ServeError::UnknownVersion { version: version.get() })
+    }
+
+    /// The entry new batches should serve with (pin it — the `Arc` is
+    /// the in-flight guarantee).
+    pub(crate) fn active(&self) -> Arc<VersionEntry> {
+        Arc::clone(&self.inner.lock().unwrap_or_else(PoisonError::into_inner).active)
+    }
+
+    /// A specific published version's entry.
+    pub(crate) fn get(&self, version: ModelVersion) -> Result<Arc<VersionEntry>, ServeError> {
+        Self::lookup(&self.inner.lock().unwrap_or_else(PoisonError::into_inner), version)
+    }
+
+    pub(crate) fn active_version(&self) -> ModelVersion {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).active.version
+    }
+
+    /// Every published version, in publish order.
+    pub(crate) fn versions(&self) -> Vec<ModelVersion> {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .versions
+            .iter()
+            .map(|e| e.version)
+            .collect()
+    }
+
+    pub(crate) fn epoch(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).epoch
+    }
+
+    /// Device-refusal fallbacks taken in pool slot `idx`, summed across
+    /// every version that ever executed there (the stats surface reports
+    /// per-slot cumulative counts, which must not reset on a swap).
+    pub(crate) fn slot_fallbacks(&self, idx: usize) -> u64 {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .versions
+            .iter()
+            .map(|e| e.backends[idx].fallbacks())
+            .sum()
+    }
+
+    pub(crate) fn swaps(&self) -> u64 {
+        self.swaps.get()
+    }
+
+    /// Per-version stats rows for the [`crate::ServeStats`] surface.
+    pub(crate) fn version_stats(&self) -> Vec<VersionStats> {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner
+            .versions
+            .iter()
+            .map(|e| VersionStats {
+                version: e.version.get(),
+                active: e.version == inner.active.version,
+                batches: e.recorder.batches.get(),
+                rows: e.recorder.rows.get(),
+                shadow_batches: e.recorder.shadow_batches.get(),
+                shadow_rows: e.recorder.shadow_rows.get(),
+                shadow_agree_rows: e.recorder.shadow_agree_rows.get(),
+                batch_latency: LatencySummary::from_histogram(&e.recorder.batch_latency.snapshot()),
+            })
+            .collect()
+    }
+}
+
+/// Per-version slice of a [`crate::ServeStats`] snapshot.
+#[derive(Debug, Clone, Serialize)]
+pub struct VersionStats {
+    /// Numeric version (1-based publish order).
+    pub version: u64,
+    /// Whether this version is currently serving new batches.
+    pub active: bool,
+    /// Batches served live by this version.
+    pub batches: u64,
+    /// Rows served live by this version.
+    pub rows: u64,
+    /// Batches shadow-scored against this version as the candidate.
+    pub shadow_batches: u64,
+    /// Rows shadow-scored against this version.
+    pub shadow_rows: u64,
+    /// Shadow rows whose candidate label agreed with the served label.
+    pub shadow_agree_rows: u64,
+    /// Wall latency of live batches on this version.
+    pub batch_latency: LatencySummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfx_forest::forest::RandomForest;
+    use rfx_forest::tree::DecisionTree;
+    use rfx_fpga_sim::FpgaConfig;
+    use rfx_gpu_sim::GpuConfig;
+
+    fn model(label: u32) -> ServeModel {
+        // Constant-label stump forests: distinguishable by prediction.
+        let trees = vec![DecisionTree::leaf(label); 3];
+        let forest = RandomForest::from_trees(trees, 4, 2).unwrap();
+        ServeModel::with_devices(forest, GpuConfig::tiny_test(), FpgaConfig::tiny_test()).unwrap()
+    }
+
+    fn registry() -> ModelRegistry {
+        ModelRegistry::new(model(0), &[BackendKind::CpuSharded], &Telemetry::new())
+    }
+
+    #[test]
+    fn versions_are_one_based_and_monotone() {
+        let reg = registry();
+        assert_eq!(reg.active_version().get(), 1);
+        assert_eq!(reg.publish(model(1)).unwrap().get(), 2);
+        assert_eq!(reg.publish(model(0)).unwrap().get(), 3);
+        assert_eq!(reg.versions().iter().map(|v| v.get()).collect::<Vec<_>>(), vec![1, 2, 3]);
+        // Publish alone never changes what is serving.
+        assert_eq!(reg.active_version().get(), 1);
+        assert_eq!(reg.epoch(), 0);
+    }
+
+    #[test]
+    fn activate_returns_previous_and_bumps_epoch() {
+        let reg = registry();
+        let v2 = reg.publish(model(1)).unwrap();
+        let prev = reg.activate(v2).unwrap();
+        assert_eq!(prev.get(), 1);
+        assert_eq!(reg.active_version(), v2);
+        assert_eq!(reg.epoch(), 1);
+        assert_eq!(reg.swaps(), 1);
+    }
+
+    #[test]
+    fn rollback_is_a_plain_reactivation() {
+        // The acceptance property: rolling back needs no special path —
+        // the prior version is still registered, so activating it again
+        // is the same operation as any forward swap.
+        let reg = registry();
+        let v1 = reg.active_version();
+        let v2 = reg.publish(model(1)).unwrap();
+        reg.activate(v2).unwrap();
+        let prev = reg.activate(v1).unwrap();
+        assert_eq!(prev, v2);
+        assert_eq!(reg.active_version(), v1);
+        assert_eq!(reg.epoch(), 2, "rollback is just another epoch bump");
+        // And forward again: versions never disappear.
+        reg.activate(v2).unwrap();
+        assert_eq!(reg.active_version(), v2);
+    }
+
+    #[test]
+    fn entries_survive_while_pinned() {
+        let reg = registry();
+        let v1_entry = reg.active();
+        let v2 = reg.publish(model(1)).unwrap();
+        reg.activate(v2).unwrap();
+        // The old entry is still fully usable through the pin: this is
+        // what lets an in-flight batch deliver on its dispatch version.
+        assert_eq!(v1_entry.version.get(), 1);
+        assert_eq!(v1_entry.model.num_features(), 4);
+        assert!(Arc::strong_count(&v1_entry) >= 2, "registry retains retired versions");
+    }
+
+    #[test]
+    fn unknown_version_is_a_typed_error() {
+        let reg = registry();
+        let ghost = ModelVersion::from_raw(9).unwrap();
+        assert!(matches!(reg.activate(ghost), Err(ServeError::UnknownVersion { version: 9 })));
+        assert!(reg.get(ghost).is_err());
+    }
+
+    #[test]
+    fn incompatible_models_are_rejected_at_publish() {
+        let reg = registry();
+        // Wrong feature width.
+        let narrow = RandomForest::from_trees(vec![DecisionTree::leaf(0)], 3, 2).unwrap();
+        let narrow =
+            ServeModel::with_devices(narrow, GpuConfig::tiny_test(), FpgaConfig::tiny_test())
+                .unwrap();
+        assert!(matches!(reg.publish(narrow), Err(ServeError::IncompatibleModel { .. })));
+        // Wrong class count.
+        let wide = RandomForest::from_trees(vec![DecisionTree::leaf(0)], 4, 5).unwrap();
+        let wide = ServeModel::with_devices(wide, GpuConfig::tiny_test(), FpgaConfig::tiny_test())
+            .unwrap();
+        assert!(matches!(reg.publish(wide), Err(ServeError::IncompatibleModel { .. })));
+        // Nothing was registered by the failed publishes.
+        assert_eq!(reg.versions().len(), 1);
+    }
+
+    #[test]
+    fn model_version_raw_round_trip() {
+        assert_eq!(ModelVersion::from_raw(0), None);
+        let v = ModelVersion::from_raw(7).unwrap();
+        assert_eq!(v.get(), 7);
+        assert_eq!(v.to_string(), "v7");
+    }
+}

@@ -7,20 +7,35 @@
 //! batcher drains what is queued and exits (dropping the channel
 //! senders), and each worker drains its channel before exiting — no
 //! admitted request is ever lost.
+//!
+//! Model lifecycle: the service serves out of a versioned
+//! [`ModelRegistry`]. Every formed batch pins an `Arc` of the version it
+//! was dispatched with, so [`RfxServe::activate`] (hot-swap) and
+//! rollback are single pointer stores — in-flight batches finish on
+//! their dispatch version, zero tickets dropped. A [`Router`] optionally
+//! shadow-scores a sampled slice of batches on a candidate version
+//! (after delivery, never affecting responses) or splits request traffic
+//! deterministically across two versions, always whole-batch — a
+//! response is never a blend of versions.
 
-use crate::backend::{make_backend, Backend, BackendError, BackendKind};
+use crate::backend::{BackendError, BackendKind};
 use crate::error::ServeError;
-use crate::fault::{FaultPlan, FaultyBackend};
-use crate::metrics::{BackendProbe, MetricsHub, ServeStats};
+use crate::fault::FaultState;
+use crate::metrics::{BackendProbe, MetricsHub, ModelLifecycleStats, ServeStats};
 use crate::model::ServeModel;
 use crate::queue::{Pending, RequestQueue};
+use crate::registry::{ModelRegistry, ModelVersion, VersionEntry};
 use crate::resilience::ResilienceConfig;
+use crate::router::{Arm, RouteMode, Router};
 use crate::scheduler::{SchedulePolicy, Scheduler};
 use crate::ticket::{Slot, Ticket};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
+use rfx_core::splitmix64;
 use rfx_forest::dataset::QueryView;
+use rfx_forest::RandomForest;
 use rfx_telemetry::{OwnedSpan, Telemetry, TraceId};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -37,15 +52,17 @@ pub struct ServeConfig {
     /// Admission bound in queued rows; beyond it submissions are
     /// rejected with [`ServeError::Overloaded`].
     pub queue_capacity: usize,
-    /// Backends in the executor pool (one worker thread each).
+    /// Backends in the executor pool (one worker thread each). Every
+    /// published model version builds its own executor set for these
+    /// same slots.
     pub backends: Vec<BackendKind>,
     /// Batch-to-backend assignment policy.
     pub policy: SchedulePolicy,
     /// Rows in the startup probe batch used to seed each backend's
     /// latency estimate (0 disables probing; `Auto` then warms up on the
-    /// first live batches instead). Note probes run through any
-    /// configured fault plan and advance its per-backend attempt
-    /// counters — seeded chaos harnesses set this to 0.
+    /// first live batches instead). Probes call the backends directly
+    /// and bypass any configured fault plan — the plan's per-slot
+    /// attempt counters only advance on live batches.
     pub seed_probe_rows: usize,
     /// Resilience policies: per-batch timeout + bounded retry, circuit
     /// breakers, deadline shedding. The default disables the timeout and
@@ -54,8 +71,11 @@ pub struct ServeConfig {
     pub resilience: ResilienceConfig,
     /// Deterministic fault injection at the backend boundary (testing
     /// only); `None` serves faithfully.
-    pub fault_plan: Option<FaultPlan>,
+    pub fault_plan: Option<FaultPlanOpt>,
 }
+
+/// Re-exported alias so the config field keeps its historical shape.
+pub type FaultPlanOpt = crate::fault::FaultPlan;
 
 impl Default for ServeConfig {
     fn default() -> Self {
@@ -73,24 +93,42 @@ impl Default for ServeConfig {
 }
 
 /// A formed batch in flight to a worker, carrying its trace's root span
-/// (backdated to the oldest request's enqueue) across the thread hop.
+/// (backdated to the oldest request's enqueue) across the thread hop,
+/// plus the pinned model version that must serve it (and optionally a
+/// pinned shadow candidate to score it on after delivery).
 struct FormedBatch {
     entries: Vec<Pending>,
     features: Vec<f32>,
     rows: usize,
     span: OwnedSpan,
     formed_at: Instant,
+    /// The version every row of this batch is served by — pinned at
+    /// formation, immune to concurrent swaps.
+    entry: Arc<VersionEntry>,
+    /// Candidate version to shadow-score this batch on (never affects
+    /// the response).
+    shadow: Option<Arc<VersionEntry>>,
 }
 
 /// State shared by clients, the batcher, and the workers.
 struct Shared {
-    model: ServeModel,
+    registry: ModelRegistry,
+    router: Router,
     queue: RequestQueue,
     telemetry: Telemetry,
     metrics: MetricsHub,
     scheduler: Scheduler,
     resilience: ResilienceConfig,
-    backends: Vec<Box<dyn Backend + Sync>>,
+    /// Per-pool-slot fault injectors (slot-keyed so attempt counters
+    /// survive hot-swaps); `None` for untargeted slots.
+    faults: Vec<Option<FaultState>>,
+    /// Shape contract every version satisfies (checked at publish).
+    num_features: usize,
+    num_classes: u32,
+    /// Admission sequence — the A/B hash input.
+    admission_seq: AtomicU64,
+    /// Formed-batch sequence — the shadow-sampling hash input.
+    batch_seq: AtomicU64,
 }
 
 /// The dynamic-batching inference service.
@@ -132,23 +170,21 @@ impl RfxServe {
             );
         }
 
-        let backends: Vec<Box<dyn Backend + Sync>> = config
+        let num_features = model.num_features();
+        let num_classes = model.num_classes();
+        let registry = ModelRegistry::new(model, &config.backends, &telemetry);
+        let faults: Vec<Option<FaultState>> = config
             .backends
             .iter()
-            .map(|&k| {
-                let backend = make_backend(k, &model);
-                // Wrap only the backends the plan can ever touch, so
-                // untargeted backends keep a zero-indirection hot path.
-                match &config.fault_plan {
-                    Some(plan) if plan.targets(k) => {
-                        let counter =
-                            telemetry.counter(&format!("serve.fault.{}.injected", k.name()));
-                        Box::new(FaultyBackend::wrap(backend, plan.clone(), counter))
-                    }
-                    _ => backend,
+            .map(|&k| match &config.fault_plan {
+                Some(plan) if plan.targets(k) => {
+                    let counter = telemetry.counter(&format!("serve.fault.{}.injected", k.name()));
+                    Some(FaultState::new(plan.clone(), k, counter))
                 }
+                _ => None,
             })
             .collect();
+        let router = Router::new(splitmix64(config.resilience.seed ^ 0x00A0_B517), &telemetry);
         let scheduler = Scheduler::with_breaker_config(
             config.policy,
             &config.backends,
@@ -157,28 +193,34 @@ impl RfxServe {
         let metrics = MetricsHub::new(&telemetry, &config.backends);
 
         if config.seed_probe_rows > 0 {
-            probe_backends(&model, &backends, &scheduler, config.seed_probe_rows);
+            probe_backends(&registry.active(), &scheduler, config.seed_probe_rows);
         }
 
         let shared = Arc::new(Shared {
-            model,
+            registry,
+            router,
             queue: RequestQueue::new(config.queue_capacity),
             telemetry,
             metrics,
             scheduler,
             resilience: config.resilience.clone(),
-            backends,
+            faults,
+            num_features,
+            num_classes,
+            admission_seq: AtomicU64::new(0),
+            batch_seq: AtomicU64::new(0),
         });
 
-        let mut senders = Vec::with_capacity(shared.backends.len());
-        let mut workers = Vec::with_capacity(shared.backends.len());
-        for idx in 0..shared.backends.len() {
+        let backend_count = config.backends.len();
+        let mut senders = Vec::with_capacity(backend_count);
+        let mut workers = Vec::with_capacity(backend_count);
+        for (idx, kind) in config.backends.iter().enumerate() {
             let (tx, rx) = mpsc::channel::<FormedBatch>();
             senders.push(tx);
             let shared = Arc::clone(&shared);
             workers.push(
                 std::thread::Builder::new()
-                    .name(format!("rfx-serve-{}", shared.backends[idx].kind().name()))
+                    .name(format!("rfx-serve-{}", kind.name()))
                     .spawn(move || worker_loop(&shared, idx, rx))
                     .expect("spawn worker"),
             );
@@ -204,7 +246,7 @@ impl RfxServe {
     /// Submits one query row (`row.len()` must equal the model's feature
     /// count). Non-blocking; returns a [`Ticket`] to wait on.
     pub fn submit(&self, row: &[f32]) -> Result<Ticket, ServeError> {
-        let nf = self.shared.model.num_features();
+        let nf = self.shared.num_features;
         if row.len() != nf {
             return Err(ServeError::BadRequest {
                 reason: format!("expected {nf} features, got {}", row.len()),
@@ -217,7 +259,7 @@ impl RfxServe {
     /// (`features.len()` must be a positive multiple of the feature
     /// count). The micro-batch is batched and predicted atomically.
     pub fn submit_micro_batch(&self, features: &[f32]) -> Result<Ticket, ServeError> {
-        let nf = self.shared.model.num_features();
+        let nf = self.shared.num_features;
         if features.is_empty() || !features.len().is_multiple_of(nf) {
             return Err(ServeError::BadRequest {
                 reason: format!(
@@ -230,9 +272,11 @@ impl RfxServe {
     }
 
     fn admit(&self, features: &[f32]) -> Result<Ticket, ServeError> {
-        let rows = features.len() / self.shared.model.num_features();
+        let rows = features.len() / self.shared.num_features;
         let slot = Slot::new();
-        let pending = Pending { features: features.to_vec(), rows, slot: Arc::clone(&slot) };
+        let seq = self.shared.admission_seq.fetch_add(1, Ordering::Relaxed);
+        let arm = self.shared.router.arm_for(seq);
+        let pending = Pending { features: features.to_vec(), rows, slot: Arc::clone(&slot), arm };
         match self.shared.queue.try_push(pending) {
             Ok(()) => {
                 self.shared.metrics.record_submit(rows);
@@ -247,18 +291,89 @@ impl RfxServe {
         }
     }
 
+    /// Publishes a prepared model as the next registry version without
+    /// activating it. The model must match the serving shape (feature
+    /// width, class count).
+    pub fn publish(&self, model: ServeModel) -> Result<ModelVersion, ServeError> {
+        self.shared.registry.publish(model)
+    }
+
+    /// Publishes a bare forest (e.g. an `rfx_forest::online` snapshot),
+    /// rebuilding the serving artifacts on the same device configuration
+    /// as the current model.
+    pub fn publish_forest(&self, forest: RandomForest) -> Result<ModelVersion, ServeError> {
+        let model = self
+            .shared
+            .registry
+            .active()
+            .model
+            .with_same_devices(forest)
+            .map_err(|e| ServeError::IncompatibleModel { reason: e.to_string() })?;
+        self.publish(model)
+    }
+
+    /// Hot-swaps serving to `version` and returns the previously active
+    /// version. Atomic epoch-based handoff: new batches pick up the new
+    /// version immediately; batches already in flight deliver on the
+    /// version they were formed with; no ticket is dropped. Activating
+    /// an older version **is** rollback — there is no separate path.
+    pub fn activate(&self, version: ModelVersion) -> Result<ModelVersion, ServeError> {
+        self.shared.registry.activate(version)
+    }
+
+    /// [`RfxServe::publish`] + [`RfxServe::activate`] in one call.
+    pub fn publish_and_activate(&self, model: ServeModel) -> Result<ModelVersion, ServeError> {
+        let version = self.publish(model)?;
+        self.activate(version)?;
+        Ok(version)
+    }
+
+    /// The version currently serving new batches.
+    pub fn active_version(&self) -> ModelVersion {
+        self.shared.registry.active_version()
+    }
+
+    /// Every published version, in publish order.
+    pub fn versions(&self) -> Vec<ModelVersion> {
+        self.shared.registry.versions()
+    }
+
+    /// Sets the traffic route (shadow scoring / A/B split). Any version
+    /// the mode references must already be published.
+    pub fn set_route(&self, mode: RouteMode) -> Result<(), ServeError> {
+        Router::validate(mode, |v| self.shared.registry.get(v).is_ok())?;
+        self.shared.router.set_mode(mode);
+        Ok(())
+    }
+
+    /// The current traffic route.
+    pub fn route(&self) -> RouteMode {
+        self.shared.router.mode()
+    }
+
     /// Point-in-time metrics snapshot.
     pub fn stats(&self) -> ServeStats {
         let shared = &self.shared;
-        shared.metrics.snapshot(shared.queue.depth_rows(), |idx| BackendProbe {
-            ewma_us: shared.scheduler.ewma_us(idx),
-            inflight_rows: shared.scheduler.inflight_rows(idx),
-            fallbacks: shared.backends[idx].fallbacks(),
-            injected_faults: shared.backends[idx].injected_faults(),
-            breaker_state: shared.scheduler.breaker_state(idx),
-            breaker_trips: shared.scheduler.breaker_trips(idx),
-            breaker_transitions: shared.scheduler.breaker_transitions(idx),
-        })
+        shared.metrics.snapshot(
+            shared.queue.depth_rows(),
+            |idx| BackendProbe {
+                ewma_us: shared.scheduler.ewma_us(idx),
+                inflight_rows: shared.scheduler.inflight_rows(idx),
+                fallbacks: shared.registry.slot_fallbacks(idx),
+                injected_faults: shared.faults[idx].as_ref().map_or(0, FaultState::injected),
+                breaker_state: shared.scheduler.breaker_state(idx),
+                breaker_trips: shared.scheduler.breaker_trips(idx),
+                breaker_transitions: shared.scheduler.breaker_transitions(idx),
+            },
+            ModelLifecycleStats {
+                active_version: shared.registry.active_version().get(),
+                epoch: shared.registry.epoch(),
+                swaps: shared.registry.swaps(),
+                route: shared.router.mode().to_string(),
+                shadow: shared.router.shadow_stats(),
+                versions: shared.registry.version_stats(),
+            },
+        )
     }
 
     /// The telemetry domain this service records into. Clone it to keep
@@ -267,9 +382,11 @@ impl RfxServe {
         &self.shared.telemetry
     }
 
-    /// The served model.
-    pub fn model(&self) -> &ServeModel {
-        &self.shared.model
+    /// The currently active model (owned snapshot — cheap, everything
+    /// heavy is behind `Arc`). A hot-swap after this call does not
+    /// change the returned value.
+    pub fn model(&self) -> ServeModel {
+        self.shared.registry.active().model.clone()
     }
 
     /// The active configuration.
@@ -303,21 +420,16 @@ impl Drop for RfxServe {
 }
 
 /// Seeds the scheduler's cost model with one timed probe batch per
-/// backend (synthetic in-range features; labels are discarded).
-fn probe_backends(
-    model: &ServeModel,
-    backends: &[Box<dyn Backend + Sync>],
-    scheduler: &Scheduler,
-    rows: usize,
-) {
-    let nf = model.num_features();
+/// backend (synthetic in-range features; labels are discarded). Probes
+/// call backends directly: no fault injection, no attempt-counter
+/// consumption.
+fn probe_backends(entry: &VersionEntry, scheduler: &Scheduler, rows: usize) {
+    let nf = entry.model.num_features();
     let features: Vec<f32> = (0..rows * nf).map(|i| (i % 17) as f32 / 17.0).collect();
     let queries = QueryView::new(&features, nf).expect("probe batch shape");
     let mut out = vec![0; rows];
-    for (idx, backend) in backends.iter().enumerate() {
+    for (idx, backend) in entry.backends.iter().enumerate() {
         let t0 = Instant::now();
-        // A probe that hits an injected fault simply leaves the backend
-        // unseeded; `Auto` warms it up on the first live batch instead.
         if backend.predict(queries, &mut out).is_ok() {
             scheduler.observe(idx, rows, t0.elapsed());
         }
@@ -326,76 +438,122 @@ fn probe_backends(
 
 /// Forms batches and dispatches them until the queue closes and drains.
 ///
-/// Each batch opens the trace's root span `serve.batch` here, backdated
-/// to the oldest member request's enqueue, and hands it to the worker
-/// inside the [`FormedBatch`] — the explicit cross-thread `SpanContext`
-/// edge that the thread-local parent stack cannot provide.
+/// Each collected batch is partitioned by traffic arm (outside an A/B
+/// split every request is on arm A and the batch rides whole), and each
+/// arm group is dispatched as its own batch pinned to exactly one model
+/// version — the structural guarantee that no response blends versions.
 fn batcher_loop(
     shared: &Shared,
     senders: Vec<mpsc::Sender<FormedBatch>>,
     max_rows: usize,
     max_delay: Duration,
 ) {
-    let nf = shared.model.num_features();
-    while let Some((mut entries, backlog_rows)) = shared.queue.collect_batch(max_rows, max_delay) {
-        let formed_at = Instant::now();
-        let rows: usize = entries.iter().map(|p| p.rows).sum();
-        let oldest = entries.iter().map(|p| p.slot.enqueued).min().unwrap_or(formed_at);
-        let mut span = shared.telemetry.start_owned_span_at("serve.batch", oldest);
-        span.set_attr("rows", rows.to_string());
-        span.set_attr("requests", entries.len().to_string());
-        span.set_attr("queue_depth", backlog_rows.to_string());
-        let ctx = span.context();
-        for pending in &entries {
-            if ctx.sampled {
-                pending.slot.set_trace(ctx.trace);
-            }
-            let wait = formed_at.saturating_duration_since(pending.slot.enqueued);
-            shared.metrics.record_queue_wait(wait.as_micros() as u64);
-        }
-        // Backfilled first stage: oldest enqueue → batch formation.
-        shared.telemetry.tracer().record_span_at(
-            "serve.batch.queue_wait",
-            ctx,
-            oldest,
-            formed_at.saturating_duration_since(oldest),
-            Vec::new(),
-        );
-        // Single-request batches reuse the request's own buffer; merged
-        // batches concatenate into one contiguous row-major block.
-        let features = if entries.len() == 1 {
-            std::mem::take(&mut entries[0].features)
-        } else {
-            let mut buf = Vec::with_capacity(rows * nf);
-            for pending in &entries {
-                buf.extend_from_slice(&pending.features);
-            }
-            buf
-        };
-        shared.metrics.record_batch_formed(rows);
-        // Deadline gate at formation: a batch that is already dead gets
-        // shed here instead of occupying a backend slot at all.
-        if let Some(deadline) = shared.resilience.request_deadline {
-            let age = formed_at.saturating_duration_since(oldest);
-            if age > deadline {
-                shed_batch(shared, &entries, rows, age.as_micros() as u64, deadline);
-                span.set_attr("outcome", "shed".to_string());
-                span.finish();
+    while let Some((entries, backlog_rows)) = shared.queue.collect_batch(max_rows, max_delay) {
+        let (arm_a, arm_b): (Vec<Pending>, Vec<Pending>) =
+            entries.into_iter().partition(|p| p.arm == Arm::A);
+        for (arm, group) in [(Arm::A, arm_a), (Arm::B, arm_b)] {
+            if group.is_empty() {
                 continue;
             }
-        }
-        let idx = shared.scheduler.dispatch(rows);
-        shared.metrics.record_dispatch(idx);
-        span.set_attr("backend", shared.backends[idx].kind().name().to_string());
-        span.set_attr("est_us_per_row", format!("{:.1}", shared.scheduler.ewma_us(idx)));
-        if senders[idx].send(FormedBatch { entries, features, rows, span, formed_at }).is_err() {
-            // Worker gone (panicked); Pending's drop resolves the
-            // tickets with `Dropped`, and the batch span drops with the
-            // unsent payload.
-            shared.scheduler.release(idx, rows);
+            dispatch_group(shared, &senders, arm, group, backlog_rows);
         }
     }
     // Exiting drops the senders; workers drain their channels and stop.
+}
+
+/// Opens the trace root for one arm group, resolves its model version,
+/// and hands it to the scheduled worker.
+///
+/// The batch opens the trace's root span `serve.batch` here, backdated
+/// to the oldest member request's enqueue, and hands it to the worker
+/// inside the [`FormedBatch`] — the explicit cross-thread `SpanContext`
+/// edge that the thread-local parent stack cannot provide.
+fn dispatch_group(
+    shared: &Shared,
+    senders: &[mpsc::Sender<FormedBatch>],
+    arm: Arm,
+    mut entries: Vec<Pending>,
+    backlog_rows: usize,
+) {
+    let nf = shared.num_features;
+    let formed_at = Instant::now();
+    let batch_seq = shared.batch_seq.fetch_add(1, Ordering::Relaxed);
+    // Pin the serving version for this whole group. Arm B resolves
+    // through the route's B version; if the split was retired between
+    // admission and formation, the group serves on the active version
+    // like everything else.
+    let entry = match (arm, shared.router.mode()) {
+        (Arm::B, RouteMode::AbSplit { arm_b, .. }) => {
+            shared.registry.get(arm_b).unwrap_or_else(|_| shared.registry.active())
+        }
+        _ => shared.registry.active(),
+    };
+    // Shadow-score only arm-A (active-version) batches: the comparison
+    // baseline is what the active model served.
+    let shadow = match shared.router.shadow_for(batch_seq) {
+        Some(candidate) if candidate != entry.version => shared.registry.get(candidate).ok(),
+        _ => None,
+    };
+    let rows: usize = entries.iter().map(|p| p.rows).sum();
+    let oldest = entries.iter().map(|p| p.slot.enqueued).min().unwrap_or(formed_at);
+    let mut span = shared.telemetry.start_owned_span_at("serve.batch", oldest);
+    span.set_attr("rows", rows.to_string());
+    span.set_attr("requests", entries.len().to_string());
+    span.set_attr("queue_depth", backlog_rows.to_string());
+    span.set_attr("version", entry.version.to_string());
+    if arm == Arm::B {
+        span.set_attr("arm", arm.name().to_string());
+    }
+    let ctx = span.context();
+    for pending in &entries {
+        if ctx.sampled {
+            pending.slot.set_trace(ctx.trace);
+        }
+        let wait = formed_at.saturating_duration_since(pending.slot.enqueued);
+        shared.metrics.record_queue_wait(wait.as_micros() as u64);
+    }
+    // Backfilled first stage: oldest enqueue → batch formation.
+    shared.telemetry.tracer().record_span_at(
+        "serve.batch.queue_wait",
+        ctx,
+        oldest,
+        formed_at.saturating_duration_since(oldest),
+        Vec::new(),
+    );
+    // Single-request batches reuse the request's own buffer; merged
+    // batches concatenate into one contiguous row-major block.
+    let features = if entries.len() == 1 {
+        std::mem::take(&mut entries[0].features)
+    } else {
+        let mut buf = Vec::with_capacity(rows * nf);
+        for pending in &entries {
+            buf.extend_from_slice(&pending.features);
+        }
+        buf
+    };
+    shared.metrics.record_batch_formed(rows);
+    // Deadline gate at formation: a batch that is already dead gets
+    // shed here instead of occupying a backend slot at all.
+    if let Some(deadline) = shared.resilience.request_deadline {
+        let age = formed_at.saturating_duration_since(oldest);
+        if age > deadline {
+            shed_batch(shared, &entries, rows, age.as_micros() as u64, deadline);
+            span.set_attr("outcome", "shed".to_string());
+            span.finish();
+            return;
+        }
+    }
+    let idx = shared.scheduler.dispatch(rows);
+    shared.metrics.record_dispatch(idx);
+    span.set_attr("backend", entry.backends[idx].kind().name().to_string());
+    span.set_attr("est_us_per_row", format!("{:.1}", shared.scheduler.ewma_us(idx)));
+    let batch = FormedBatch { entries, features, rows, span, formed_at, entry, shadow };
+    if senders[idx].send(batch).is_err() {
+        // Worker gone (panicked); Pending's drop resolves the
+        // tickets with `Dropped`, and the batch span drops with the
+        // unsent payload.
+        shared.scheduler.release(idx, rows);
+    }
 }
 
 /// Fulfills every ticket in a dead batch with [`ServeError::Shed`] and
@@ -437,7 +595,7 @@ enum Attempt {
     },
 }
 
-/// Executes batches on one backend until the batcher hangs up.
+/// Executes batches on one backend slot until the batcher hangs up.
 ///
 /// Stage spans tile the batch's root span end to end: `queue_wait`
 /// (batcher side) + `dispatch` (channel hand-off) + `traverse` (the
@@ -457,15 +615,24 @@ enum Attempt {
 /// batches whose oldest request is already effectively past the
 /// deadline. Failed attempts leave a `serve.batch.retry` stage span in
 /// the trace so recovery paths are visible end to end.
+///
+/// Every attempt runs on the batch's **pinned** version's backend for
+/// this slot (fault injection stays keyed to the slot), and delivered
+/// tickets are stamped with that version before fulfillment. When the
+/// batch carries a shadow candidate, the candidate re-scores the same
+/// queries after delivery — directly, with no fault injection — and
+/// only agreement counters and a `serve.batch.shadow` span come out of
+/// it.
 fn worker_loop(shared: &Shared, idx: usize, rx: mpsc::Receiver<FormedBatch>) {
-    let nf = shared.model.num_features();
-    let num_classes = shared.model.num_classes();
+    let nf = shared.num_features;
+    let num_classes = shared.num_classes;
     let res = &shared.resilience;
     let timeout_us = res.timeout_us();
     let mut jitter_rng =
         StdRng::seed_from_u64(res.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     while let Ok(batch) = rx.recv() {
-        let FormedBatch { entries, features, rows, span: mut batch_span, formed_at } = batch;
+        let FormedBatch { entries, features, rows, span: mut batch_span, formed_at, entry, shadow } =
+            batch;
         let ctx = batch_span.context();
         let tracer = shared.telemetry.tracer();
         let queries = QueryView::new(&features, nf).expect("batch shape");
@@ -500,7 +667,7 @@ fn worker_loop(shared: &Shared, idx: usize, rx: mpsc::Receiver<FormedBatch>) {
                     break BatchOutcome::Shed { age_us };
                 }
             }
-            let backend = &shared.backends[exec_idx];
+            let backend = &entry.backends[exec_idx];
             let a_start = Instant::now();
             let result = {
                 let mut traverse =
@@ -516,7 +683,10 @@ fn worker_loop(shared: &Shared, idx: usize, rx: mpsc::Receiver<FormedBatch>) {
                     }
                 }
                 let _ambient = shared.telemetry.in_context(traverse.context());
-                backend.predict(queries, &mut out)
+                match &shared.faults[exec_idx] {
+                    Some(fault) => fault.execute(backend.as_ref(), queries, &mut out),
+                    None => backend.predict(queries, &mut out),
+                }
             };
             let a_wall = a_start.elapsed();
             attempts += 1;
@@ -565,7 +735,7 @@ fn worker_loop(shared: &Shared, idx: usize, rx: mpsc::Receiver<FormedBatch>) {
                         a_start,
                         a_wall,
                         vec![
-                            ("backend".into(), shared.backends[exec_idx].kind().name().into()),
+                            ("backend".into(), entry.backends[exec_idx].kind().name().into()),
                             ("attempt".into(), attempts.to_string()),
                             ("reason".into(), reason.into()),
                             ("penalty_us".into(), wasted.to_string()),
@@ -591,6 +761,7 @@ fn worker_loop(shared: &Shared, idx: usize, rx: mpsc::Receiver<FormedBatch>) {
         };
 
         let trace = if ctx.sampled { ctx.trace } else { TraceId::NONE };
+        let delivered = matches!(outcome, BatchOutcome::Done { .. });
         // In-flight rows were booked on the dispatched backend; release
         // them there no matter where the batch actually ran.
         shared.scheduler.release(idx, rows);
@@ -598,11 +769,9 @@ fn worker_loop(shared: &Shared, idx: usize, rx: mpsc::Receiver<FormedBatch>) {
         match outcome {
             BatchOutcome::Done { effective } => {
                 shared.scheduler.observe(exec_idx, rows, effective);
-                shared.metrics.recorder(exec_idx).record_batch(
-                    rows,
-                    effective.as_micros() as u64,
-                    trace,
-                );
+                let effective_us = effective.as_micros() as u64;
+                shared.metrics.recorder(exec_idx).record_batch(rows, effective_us, trace);
+                entry.recorder.record_batch(rows, effective_us, trace);
                 if attempts > 1 {
                     shared.metrics.record_recovered();
                     batch_span.set_attr("attempts", attempts.to_string());
@@ -617,6 +786,9 @@ fn worker_loop(shared: &Shared, idx: usize, rx: mpsc::Receiver<FormedBatch>) {
                         latency.as_micros() as u64,
                         trace,
                     );
+                    // Stamp the serving version before the result lands:
+                    // a ready ticket always knows who served it.
+                    pending.slot.set_version(entry.version);
                     pending.slot.fulfill(Ok(labels));
                 }
             }
@@ -646,6 +818,33 @@ fn worker_loop(shared: &Shared, idx: usize, rx: mpsc::Receiver<FormedBatch>) {
             deliver_start.elapsed(),
             Vec::new(),
         );
+        // Shadow lane: after the response is out the door, re-score the
+        // same queries on the candidate and record argmax agreement.
+        // Direct backend call — no fault injection, no breaker feedback,
+        // no effect on any ticket.
+        if delivered {
+            if let Some(candidate) = &shadow {
+                let s_start = Instant::now();
+                let s_idx = shared.scheduler.last_resort();
+                let mut shadow_out = vec![0; rows];
+                if candidate.backends[s_idx].predict(queries, &mut shadow_out).is_ok() {
+                    let agree = out.iter().zip(shadow_out.iter()).filter(|(a, b)| a == b).count();
+                    shared.router.record_shadow(rows, agree);
+                    candidate.recorder.record_shadow(rows, agree);
+                    tracer.record_span_at(
+                        "serve.batch.shadow",
+                        ctx,
+                        s_start,
+                        s_start.elapsed(),
+                        vec![
+                            ("candidate".into(), candidate.version.to_string()),
+                            ("rows".into(), rows.to_string()),
+                            ("agree_rows".into(), agree.to_string()),
+                        ],
+                    );
+                }
+            }
+        }
         shared.metrics.record_batch_duration(batch_span.elapsed_us(), trace);
         batch_span.finish();
     }

@@ -1,13 +1,19 @@
 //! Completion tickets: the client-side handle for an in-flight request.
 
 use crate::error::ServeError;
+use crate::registry::ModelVersion;
 use rfx_core::Label;
 use rfx_telemetry::TraceId;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
 /// Shared completion slot between the client and the executor.
+///
+/// All locks here recover from poisoning: a waiter that panics while
+/// holding the state lock says nothing about the slot's one-shot
+/// invariant (`fulfill` is idempotent by construction), and a worker
+/// panic must not cascade into every client blocked on [`Ticket::wait`].
 #[derive(Debug)]
 pub(crate) struct Slot {
     state: Mutex<Option<Result<Vec<Label>, ServeError>>>,
@@ -18,6 +24,9 @@ pub(crate) struct Slot {
     /// forms a sampled batch around it) — the ticket-side handle for
     /// correlating a slow request with its full span tree.
     trace: AtomicU64,
+    /// Model version that served this request (0 until a worker delivers
+    /// labels — versions are 1-based, so 0 is unambiguous).
+    version: AtomicU64,
 }
 
 impl Slot {
@@ -27,6 +36,7 @@ impl Slot {
             done: Condvar::new(),
             enqueued: Instant::now(),
             trace: AtomicU64::new(TraceId::NONE.0),
+            version: AtomicU64::new(0),
         })
     }
 
@@ -39,8 +49,18 @@ impl Slot {
         TraceId(self.trace.load(Ordering::Relaxed))
     }
 
+    /// Stamps the version whose model produced this request's labels
+    /// (worker side, immediately before the delivering `fulfill`).
+    pub(crate) fn set_version(&self, version: ModelVersion) {
+        self.version.store(version.get(), Ordering::Release);
+    }
+
+    pub(crate) fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
     pub(crate) fn fulfill(&self, result: Result<Vec<Label>, ServeError>) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if state.is_none() {
             *state = Some(result);
             self.done.notify_all();
@@ -69,12 +89,12 @@ impl Ticket {
     /// Blocks until the prediction is available and returns one label per
     /// submitted row.
     pub fn wait(&self) -> Result<Vec<Label>, ServeError> {
-        let mut state = self.slot.state.lock().unwrap();
+        let mut state = self.slot.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(result) = state.as_ref() {
                 return result.clone();
             }
-            state = self.slot.done.wait(state).unwrap();
+            state = self.slot.done.wait(state).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -87,7 +107,7 @@ impl Ticket {
 
     /// Whether the result is already available (non-blocking).
     pub fn is_ready(&self) -> bool {
-        self.slot.state.lock().unwrap().is_some()
+        self.slot.state.lock().unwrap_or_else(PoisonError::into_inner).is_some()
     }
 
     /// The [`TraceId`] of the batch that served (or is serving) this
@@ -98,5 +118,15 @@ impl Ticket {
     pub fn trace_id(&self) -> Option<TraceId> {
         let trace = self.slot.trace();
         trace.is_some().then_some(trace)
+    }
+
+    /// The [`ModelVersion`] whose forest produced this ticket's labels.
+    /// `None` until labels are delivered (and for tickets that resolve to
+    /// an error — shed or failed requests were never served by any
+    /// version). The linearizability contract: the returned version's
+    /// model computed *every* row of this ticket; responses are never a
+    /// blend of two versions.
+    pub fn served_version(&self) -> Option<ModelVersion> {
+        ModelVersion::from_raw(self.slot.version())
     }
 }
