@@ -16,6 +16,7 @@
 //! | `fig9` | Fig. 9 — FPGA runtime vs tree depth and subtree depth |
 //! | `fig10` | Fig. 10 — GPU vs FPGA on Susy |
 //! | `ablation` | §3.2.1 "other optimizations" — collaborative-variant ablation |
+//! | `quant_bench` | quantized-layout matrix — footprint/throughput/accuracy vs f32 |
 //!
 //! Every binary accepts `--scale tiny|default|full` (see [`scale`]):
 //! simulating a device is orders of magnitude slower than being one, so

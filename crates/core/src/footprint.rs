@@ -26,6 +26,19 @@ impl LayoutFootprint {
     pub fn ratio_to(&self, baseline: &LayoutFootprint) -> f64 {
         self.total() as f64 / baseline.total() as f64
     }
+
+    /// Average resident bytes per tree, never zero.
+    ///
+    /// Shard sizing must use the footprint of the layout **actually being
+    /// traversed** — a u8-quantized forest packs ~2.4× more trees into the
+    /// same L2 budget than the f32 FIL records, and bin-packing from the
+    /// f32 stride would leave that headroom unused. Every layout's
+    /// `footprint()` reports its own resident bytes, so this helper is the
+    /// one place per-tree cost is derived for `EnginePlan::auto` and the
+    /// serve-layer footprint gauges.
+    pub fn per_tree(&self, num_trees: usize) -> usize {
+        (self.total() / num_trees.max(1)).max(1)
+    }
 }
 
 #[cfg(test)]
@@ -67,6 +80,21 @@ mod tests {
         assert!(r8 > r6 && r6 > r4, "padding cost grows with SD: {r4} {r6} {r8}");
         // At SD=8 a sparse deep tree pads heavily past the CSR footprint.
         assert!(r8 > 1.0, "r8 = {r8}");
+    }
+
+    #[test]
+    fn per_tree_is_layout_aware_and_never_zero() {
+        let fp = LayoutFootprint { attribute_bytes: 100, topology_bytes: 20, index_bytes: 0 };
+        assert_eq!(fp.per_tree(10), 12);
+        assert_eq!(fp.per_tree(0), 120, "zero trees clamps the divisor");
+        let empty = LayoutFootprint::default();
+        assert_eq!(empty.per_tree(4), 1, "never zero");
+        // A quantized layout reports fewer bytes per tree than its f32
+        // counterpart for the same forest — the property shard sizing needs.
+        let f = forest(12, 8);
+        let fil = crate::fil::FilForest::build(&f).footprint();
+        let qfil = crate::quant::QFilForest::<u8>::build(&f).unwrap().footprint();
+        assert!(qfil.per_tree(f.num_trees()) < fil.per_tree(f.num_trees()));
     }
 
     #[test]

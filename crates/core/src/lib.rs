@@ -12,6 +12,10 @@
 //!   depth (SD) and root-subtree depth (RSD).
 //! * [`fil`] — a cuML-FIL-style sparse layout (the paper's GPU baseline):
 //!   colocated 12-byte nodes with adjacent children, one read per step.
+//! * [`quant`] — quantized & compressed layouts: u8/u16 thresholds on a
+//!   per-feature monotone grid plus packed narrow-node encodings of the
+//!   FIL and CSR layouts, with an integer-only comparator path (the
+//!   FPGA's BRAM-resident design point).
 //! * [`footprint`] — byte accounting for the Fig. 6 memory study.
 //! * [`cluster`] — K-means tree clustering (the §3.2.1 ablation's
 //!   "Optimization 1").
@@ -27,11 +31,13 @@ pub mod csr;
 pub mod fil;
 pub mod footprint;
 pub mod hier;
+pub mod quant;
 pub mod validate;
 
 pub use csr::CsrForest;
 pub use fil::FilForest;
 pub use hier::{HierConfig, HierForest};
+pub use quant::{QCsrForest, QFilForest, QuantLevel, ThresholdQuantizer};
 /// SplitMix64, the workspace's single stateless 64-bit hash.
 ///
 /// Defined in `rfx_forest::sampling` (this crate depends on

@@ -23,6 +23,7 @@
 //! free-function zoo (see the deprecated wrappers in [`crate::cpu`]).
 
 use rfx_core::footprint::LayoutFootprint;
+use rfx_core::quant::{QCsrForest, QFilForest, QuantLevel};
 use rfx_core::{CsrForest, FilForest, HierForest, Label};
 use rfx_forest::dataset::QueryView;
 use rfx_forest::{Node, RandomForest};
@@ -116,6 +117,47 @@ impl TreeEnsemble for FilForest {
 
     fn footprint(&self) -> LayoutFootprint {
         FilForest::footprint(self)
+    }
+
+    fn vote_tree(&self, t: usize, query: &[f32]) -> Label {
+        self.predict_tree(t, query)
+    }
+}
+
+// The quantized layouts plug in through the same capability trait, so the
+// sharded engine, the row-parallel baseline, and every serve backend can
+// traverse them without call-site changes. Their `footprint()` reports the
+// *compressed* bytes, which is what lets `EnginePlan::auto` pack ~2.4×
+// more u8-quantized trees into each L2 shard.
+impl<T: QuantLevel> TreeEnsemble for QFilForest<T> {
+    fn num_trees(&self) -> usize {
+        QFilForest::num_trees(self)
+    }
+
+    fn num_classes(&self) -> u32 {
+        QFilForest::num_classes(self)
+    }
+
+    fn footprint(&self) -> LayoutFootprint {
+        QFilForest::footprint(self)
+    }
+
+    fn vote_tree(&self, t: usize, query: &[f32]) -> Label {
+        self.predict_tree(t, query)
+    }
+}
+
+impl<T: QuantLevel> TreeEnsemble for QCsrForest<T> {
+    fn num_trees(&self) -> usize {
+        QCsrForest::num_trees(self)
+    }
+
+    fn num_classes(&self) -> u32 {
+        QCsrForest::num_classes(self)
+    }
+
+    fn footprint(&self) -> LayoutFootprint {
+        QCsrForest::footprint(self)
     }
 
     fn vote_tree(&self, t: usize, query: &[f32]) -> Label {
@@ -239,7 +281,10 @@ impl EnginePlan {
     /// block bookkeeping would be pure overhead.
     pub fn auto(footprint: &LayoutFootprint, n_trees: usize, n_queries: usize) -> EnginePlan {
         let n_trees = n_trees.max(1);
-        let per_tree_bytes = (footprint.total() / n_trees).max(1);
+        // `LayoutFootprint::per_tree` is layout-aware: quantized layouts
+        // report their compressed resident bytes, so their shards hold
+        // proportionally more trees than the f32 layouts'.
+        let per_tree_bytes = footprint.per_tree(n_trees);
         let shard_trees = (L2_SHARD_BUDGET_BYTES / per_tree_bytes).clamp(1, n_trees);
         let threads = available_threads();
         let per_thread = n_queries.div_ceil(threads).max(1);
@@ -515,6 +560,47 @@ mod tests {
 
         assert_eq!(RowParallel::new(&forest).predict(qv), reference, "row-parallel");
         assert_eq!(RowParallel::new(&hier).predict(qv), reference, "row-parallel hier");
+    }
+
+    #[test]
+    fn quantized_layouts_match_their_snapped_oracle() {
+        let (forest, queries) = fixture(11, 3);
+        let qv = QueryView::new(&queries, 6).unwrap();
+        let qfil8 = QFilForest::<u8>::build(&forest).unwrap();
+        let snapped = qfil8.quantizer().snap_forest(&forest);
+        let reference = snapped.predict_batch(qv);
+
+        assert_eq!(ShardedEngine::new(&qfil8).predict(qv), reference, "qfil-u8");
+        let qcsr8 = QCsrForest::<u8>::build(&forest).unwrap();
+        assert_eq!(ShardedEngine::new(&qcsr8).predict(qv), reference, "qcsr-u8");
+        assert_eq!(RowParallel::new(&qfil8).predict(qv), reference, "row-parallel qfil-u8");
+        // u16 snaps to a different (finer) grid — its own oracle.
+        let qfil16 = QFilForest::<u16>::build(&forest).unwrap();
+        let ref16 = qfil16.quantizer().snap_forest(&forest).predict_batch(qv);
+        assert_eq!(ShardedEngine::new(&qfil16).predict(qv), ref16, "qfil-u16");
+        let qcsr16 = QCsrForest::<u16>::build(&forest).unwrap();
+        assert_eq!(ShardedEngine::new(&qcsr16).predict(qv), ref16, "qcsr-u16");
+    }
+
+    #[test]
+    fn auto_packs_more_quantized_trees_per_shard() {
+        // Same forest, deep enough that per-tree bytes exceed the budget
+        // granularity: the compressed footprint must yield a larger (or
+        // equal-at-clamp) shard than the f32 FIL stride.
+        let mut rng = StdRng::seed_from_u64(29);
+        let trees: Vec<DecisionTree> =
+            (0..64).map(|_| DecisionTree::random(&mut rng, 14, 6, 4, 0.1)).collect();
+        let forest = RandomForest::from_trees(trees, 6, 4).unwrap();
+        let fil = FilForest::build(&forest);
+        let qfil = QFilForest::<u8>::build(&forest).unwrap();
+        let f32_plan = EnginePlan::auto(&TreeEnsemble::footprint(&fil), 64, 1024);
+        let q_plan = EnginePlan::auto(&TreeEnsemble::footprint(&qfil), 64, 1024);
+        assert!(
+            q_plan.shard_trees > f32_plan.shard_trees,
+            "compressed shards hold more trees: {} vs {}",
+            q_plan.shard_trees,
+            f32_plan.shard_trees
+        );
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! counts the fallback rather than failing the request.
 
 use crate::model::ServeModel;
+use rfx_core::footprint::LayoutFootprint;
+use rfx_core::quant::QFilForest;
 use rfx_core::{HierForest, Label};
 use rfx_forest::dataset::QueryView;
 use rfx_forest::RandomForest;
@@ -37,22 +39,37 @@ pub enum BackendKind {
     GpuSimHybrid,
     /// Simulated FPGA running the independent hierarchical kernel.
     FpgaSimIndependent,
+    /// Tree-sharded CPU engine over the u8-quantized packed FIL layout
+    /// (~2.4× smaller resident bytes, exact argmax on the quantized
+    /// grid). Predictions may differ from the f32 oracle within the
+    /// committed accuracy epsilon, so it is **not** in
+    /// [`BackendKind::DEFAULT_POOL`]; opt in explicitly.
+    CpuShardedQ8,
 }
 
 /// Single source of truth for the kind ↔ stable-name mapping. `ALL`,
 /// [`BackendKind::name`], and the [`FromStr`] parse (including its
 /// variant-listing error) all derive from this table, so adding a
 /// backend is a one-row change that cannot leave them inconsistent.
-const NAME_TABLE: [(BackendKind, &str); 4] = [
+const NAME_TABLE: [(BackendKind, &str); 5] = [
     (BackendKind::CpuParallel, "cpu-parallel"),
     (BackendKind::CpuSharded, "cpu-sharded"),
     (BackendKind::GpuSimHybrid, "gpu-sim-hybrid"),
     (BackendKind::FpgaSimIndependent, "fpga-sim-independent"),
+    (BackendKind::CpuShardedQ8, "cpu-sharded-q8"),
 ];
 
 impl BackendKind {
-    /// All kinds, in default executor-pool order.
-    pub const ALL: [BackendKind; 4] =
+    /// All kinds, in executor-pool order (exact backends first, then the
+    /// quantized opt-ins).
+    pub const ALL: [BackendKind; 5] =
+        [NAME_TABLE[0].0, NAME_TABLE[1].0, NAME_TABLE[2].0, NAME_TABLE[3].0, NAME_TABLE[4].0];
+
+    /// The default executor pool: every backend whose predictions are
+    /// bit-exact vs the f32 CPU oracle. Quantized backends answer on
+    /// their own (snapped) grid, so they join a pool only by explicit
+    /// configuration.
+    pub const DEFAULT_POOL: [BackendKind; 4] =
         [NAME_TABLE[0].0, NAME_TABLE[1].0, NAME_TABLE[2].0, NAME_TABLE[3].0];
 
     /// Stable identifier used in stats, bench reports, and CLI flags
@@ -137,6 +154,11 @@ pub(crate) trait Backend: Send + Sync {
         let _ = rows;
         Vec::new()
     }
+    /// Byte footprint of the layout this backend actually traverses —
+    /// quantized backends report their compressed bytes, so the
+    /// `serve.backend.<name>.resident_bytes` gauges agree with what is
+    /// resident, not with the f32 stride.
+    fn resident_footprint(&self) -> LayoutFootprint;
 }
 
 pub(crate) fn make_backend(kind: BackendKind, model: &ServeModel) -> Box<dyn Backend + Sync> {
@@ -155,6 +177,11 @@ pub(crate) fn make_backend(kind: BackendKind, model: &ServeModel) -> Box<dyn Bac
         BackendKind::FpgaSimIndependent => Box::new(FpgaSimIndependent {
             model: model.clone(),
             fallback: ShardedEngine::new(Arc::clone(model.hier())),
+            fallbacks: AtomicU64::new(0),
+        }),
+        BackendKind::CpuShardedQ8 => Box::new(CpuShardedQ8 {
+            engine: QFilForest::<u8>::build(model.forest()).ok().map(ShardedEngine::new),
+            fallback: ShardedEngine::new(Arc::clone(model.forest())),
             fallbacks: AtomicU64::new(0),
         }),
     }
@@ -178,6 +205,10 @@ impl Backend for CpuParallel {
         let threads =
             std::thread::available_parallelism().map_or(1, |n| n.get()).clamp(1, rows.max(1));
         vec![("threads", threads.to_string()), ("chunk_rows", rows.div_ceil(threads).to_string())]
+    }
+
+    fn resident_footprint(&self) -> LayoutFootprint {
+        self.engine.source().footprint()
     }
 }
 
@@ -208,6 +239,10 @@ impl Backend for CpuSharded {
             ("tiles", (shards * blocks).to_string()),
             ("threads", plan.threads.to_string()),
         ]
+    }
+
+    fn resident_footprint(&self) -> LayoutFootprint {
+        self.engine.source().footprint()
     }
 }
 
@@ -243,6 +278,10 @@ impl Backend for GpuSimHybrid {
             ("sms", cfg.num_sms.to_string()),
             ("warps", (rows as u32).div_ceil(cfg.warp_size).max(1).to_string()),
         ]
+    }
+
+    fn resident_footprint(&self) -> LayoutFootprint {
+        self.model.hier().footprint()
     }
 }
 
@@ -281,6 +320,67 @@ impl Backend for FpgaSimIndependent {
         let rep = self.model.replication();
         vec![("cus", rep.total_cus().to_string()), ("slrs", rep.slrs.to_string())]
     }
+
+    fn resident_footprint(&self) -> LayoutFootprint {
+        self.model.hier().footprint()
+    }
+}
+
+/// The quantized CPU backend: tree-sharded engine over the u8 packed FIL
+/// layout. When the forest exceeds the packed bitfield budgets (feature
+/// index or tree width), the build falls back to the f32 sharded engine
+/// and every batch served that way is counted as a fallback — the same
+/// degrade-and-count contract the device backends use for refusals.
+struct CpuShardedQ8 {
+    engine: Option<ShardedEngine<QFilForest<u8>>>,
+    fallback: ShardedEngine<Arc<RandomForest>>,
+    fallbacks: AtomicU64,
+}
+
+impl Backend for CpuShardedQ8 {
+    fn kind(&self) -> BackendKind {
+        BackendKind::CpuShardedQ8
+    }
+
+    fn predict(&self, queries: QueryView, out: &mut [Label]) -> Result<Exec, BackendError> {
+        match &self.engine {
+            Some(engine) => engine.predict_into(queries, out),
+            None => {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.fallback.predict_into(queries, out);
+            }
+        }
+        Ok(Exec::default())
+    }
+
+    fn fallbacks(&self) -> u64 {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    fn tile_attrs(&self, rows: usize) -> Vec<(&'static str, String)> {
+        let (layout, plan, n_trees) = match &self.engine {
+            Some(e) => ("qfil-u8", e.plan_for(rows), e.source().num_trees()),
+            None => {
+                ("f32-fallback", self.fallback.plan_for(rows), self.fallback.source().num_trees())
+            }
+        };
+        let shards = n_trees.div_ceil(plan.shard_trees);
+        let blocks = rows.div_ceil(plan.query_block).max(1);
+        vec![
+            ("layout", layout.to_string()),
+            ("shard_trees", plan.shard_trees.to_string()),
+            ("shards", shards.to_string()),
+            ("blocks", blocks.to_string()),
+            ("threads", plan.threads.to_string()),
+        ]
+    }
+
+    fn resident_footprint(&self) -> LayoutFootprint {
+        match &self.engine {
+            Some(e) => e.source().footprint(),
+            None => self.fallback.source().footprint(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -302,6 +402,18 @@ mod tests {
         for kind in BackendKind::ALL {
             assert!(err.contains(kind.name()), "{err} should list {}", kind.name());
         }
+    }
+
+    #[test]
+    fn default_pool_is_the_exact_prefix_of_all() {
+        assert_eq!(
+            &BackendKind::ALL[..BackendKind::DEFAULT_POOL.len()],
+            &BackendKind::DEFAULT_POOL
+        );
+        assert!(
+            !BackendKind::DEFAULT_POOL.contains(&BackendKind::CpuShardedQ8),
+            "quantized backends are opt-in, never default"
+        );
     }
 
     #[test]

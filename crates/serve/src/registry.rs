@@ -155,6 +155,7 @@ impl ModelRegistry {
         let epoch_gauge = telemetry.gauge("serve.model.epoch");
         active_version_gauge.set(1.0);
         epoch_gauge.set(0.0);
+        Self::export_resident_bytes(telemetry, &entry);
         ModelRegistry {
             inner: Mutex::new(Inner {
                 versions: vec![Arc::clone(&entry)],
@@ -219,7 +220,21 @@ impl ModelRegistry {
         self.active_version_gauge.set(version.get() as f64);
         self.epoch_gauge.set(inner.epoch as f64);
         self.swaps.inc();
+        Self::export_resident_bytes(&self.telemetry, &inner.active);
         Ok(previous)
+    }
+
+    /// Points the per-backend `serve.backend.<name>.resident_bytes`
+    /// gauges at the newly active version's executors. Each backend
+    /// reports the footprint of the layout it **actually traverses** —
+    /// quantized backends report compressed bytes — so these gauges agree
+    /// with the per-tree cost `EnginePlan::auto` bin-packs shards from.
+    fn export_resident_bytes(telemetry: &Telemetry, entry: &VersionEntry) {
+        for backend in &entry.backends {
+            telemetry
+                .gauge(&format!("serve.backend.{}.resident_bytes", backend.kind().name()))
+                .set(backend.resident_footprint().total() as f64);
+        }
     }
 
     fn lookup(inner: &Inner, version: ModelVersion) -> Result<Arc<VersionEntry>, ServeError> {
@@ -335,6 +350,24 @@ mod tests {
 
     fn registry() -> ModelRegistry {
         ModelRegistry::new(model(0), &[BackendKind::CpuSharded], &Telemetry::new())
+    }
+
+    #[test]
+    fn resident_bytes_gauges_track_the_active_layouts() {
+        let tel = Telemetry::new();
+        let reg = ModelRegistry::new(
+            model(0),
+            &[BackendKind::CpuSharded, BackendKind::CpuShardedQ8],
+            &tel,
+        );
+        let f32_bytes = tel.gauge("serve.backend.cpu-sharded.resident_bytes").get();
+        let q8_bytes = tel.gauge("serve.backend.cpu-sharded-q8.resident_bytes").get();
+        assert!(f32_bytes > 0.0 && q8_bytes > 0.0);
+        assert!(q8_bytes < f32_bytes, "quantized bytes {q8_bytes} < f32 bytes {f32_bytes}");
+        // Activation re-exports the gauges for the new active version.
+        let v2 = reg.publish(model(1)).unwrap();
+        reg.activate(v2).unwrap();
+        assert!(tel.gauge("serve.backend.cpu-sharded-q8.resident_bytes").get() > 0.0);
     }
 
     #[test]

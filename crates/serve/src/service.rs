@@ -83,7 +83,9 @@ impl Default for ServeConfig {
             max_batch_size: 256,
             max_batch_delay: Duration::from_millis(2),
             queue_capacity: 4096,
-            backends: BackendKind::ALL.to_vec(),
+            // The exact backends only — quantized backends answer on
+            // their own grid and must be opted into per deployment.
+            backends: BackendKind::DEFAULT_POOL.to_vec(),
             policy: SchedulePolicy::Auto,
             seed_probe_rows: 32,
             resilience: ResilienceConfig::default(),

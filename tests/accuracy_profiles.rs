@@ -51,6 +51,36 @@ fn higgs_like_has_lower_ceiling_than_susy_like() {
     assert!(higgs > 0.58, "but well above chance: {higgs}");
 }
 
+/// Threshold quantization stays inside its committed accuracy budget:
+/// u8/u16 packed layouts may only move test accuracy below the f32
+/// forest by [`MAX_ACCURACY_DELTA_U8`] / [`MAX_ACCURACY_DELTA_U16`] —
+/// the same bounds `quant_bench` asserts on the paper workloads.
+#[test]
+fn quantized_layouts_stay_inside_the_committed_accuracy_budget() {
+    use rfx::core::quant::{MAX_ACCURACY_DELTA_U16, MAX_ACCURACY_DELTA_U8};
+    use rfx::core::{QCsrForest, QFilForest};
+
+    for kind in [DatasetKind::CovertypeLike, DatasetKind::SusyLike] {
+        let data = DatasetSpec::scaled(kind, 30_000).generate();
+        let (train, test) = train_test_split(&data, 0.5, 13);
+        let tc = TrainConfig { n_trees: 20, max_depth: 14, seed: 19, ..TrainConfig::default() };
+        let forest = RandomForest::fit(&train, &tc).unwrap();
+        let f32_acc = accuracy(&forest.predict_batch_parallel(&test), test.labels());
+
+        let nf = forest.num_features();
+        let acc_of = |predict: &dyn Fn(&[f32]) -> u32| {
+            let preds: Vec<u32> = test.raw_features().chunks(nf).map(predict).collect();
+            accuracy(&preds, test.labels())
+        };
+        let q8 = QFilForest::<u8>::build(&forest).unwrap();
+        let q16 = QCsrForest::<u16>::build(&forest).unwrap();
+        let d8 = f32_acc - acc_of(&|q| q8.predict(q));
+        let d16 = f32_acc - acc_of(&|q| q16.predict(q));
+        assert!(d8 <= MAX_ACCURACY_DELTA_U8, "{kind:?}: u8 delta {d8} over budget");
+        assert!(d16 <= MAX_ACCURACY_DELTA_U16, "{kind:?}: u16 delta {d16} over budget");
+    }
+}
+
 /// More trees never hurt much (the paper's tree-count insensitivity near
 /// 100 trees).
 #[test]

@@ -49,7 +49,15 @@ proptest! {
         queries in proptest::collection::vec(0.0f32..1.0, NF * 40),
     ) {
         let qv = QueryView::new(&queries, NF).unwrap();
-        let reference = model.forest().predict_batch(qv);
+        // The quantized backend answers on its own grid, so its oracle
+        // is the packed layout's scalar traversal; every exact backend
+        // must reproduce the serial f32 reference.
+        let reference = if backend == BackendKind::CpuShardedQ8 {
+            let packed = rfx::core::QFilForest::<u8>::build(model.forest()).unwrap();
+            queries.chunks(NF).map(|q| packed.predict(q)).collect()
+        } else {
+            model.forest().predict_batch(qv)
+        };
 
         let serve = RfxServe::start(model.clone(), ServeConfig {
             max_batch_size: max_batch,
