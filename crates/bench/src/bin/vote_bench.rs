@@ -1,0 +1,303 @@
+//! Vote-reduction policy matrix: sharded-engine throughput and traverse
+//! stage accounting under [`VotePolicy::Exact`] (scalar tally),
+//! [`VotePolicy::BitSliced`] (popcount lanes), and
+//! [`VotePolicy::EarlyExit`] (popcount lanes + unreachable-lead shard
+//! skipping), on the same trained paper forests and the same pinned
+//! plan — the only variable is the reduction policy.
+//!
+//! Two metric families land in `bench_results/vote-<scale>.json`:
+//!
+//! * **throughput** — queries/second per policy as `throughput_qps`
+//!   objects (wall-clock; CI gates them with a generous threshold).
+//! * **stage accounting** — `trace_profile`-style per-span self-time
+//!   from a fully-sampled traced pass: traverse-span seconds, tile-span
+//!   seconds, and executed-tile counts per policy, plus the
+//!   `kernels.votes.*` counters (shards_skipped, blocks_exited,
+//!   popcount_reductions). These are plain ungated scalars — the bench
+//!   asserts their invariants in-process instead, so a counter that
+//!   silently dropped to zero fails the run rather than passing a
+//!   lower-is-better gate. Requires the `telemetry` feature; without it
+//!   the stage columns record zeros and only throughput is measured.
+//!
+//! In-process asserts, mirroring the committed acceptance criteria:
+//! every policy's labels are bit-identical to `predict_reference`; with
+//! telemetry, early exit must skip at least one shard somewhere; and at
+//! default scale and above the best early-exit/exact throughput ratio
+//! must clear [`MIN_EARLY_EXIT_SPEEDUP`].
+
+use rfx_bench::harness::{write_json, Table};
+use rfx_bench::scale::Scale;
+use rfx_bench::workloads::trained_forest;
+use rfx_core::FilForest;
+use rfx_data::specs::paper_datasets;
+use rfx_forest::dataset::QueryView;
+use rfx_kernels::cpu::predict_reference;
+use rfx_kernels::{EnginePlan, Predictor, ShardedEngine, TreeEnsemble, VotePolicy};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Minimum rows in a timed batch: tiny-scale query sets are tiled up to
+/// this so a single pass is long enough to time.
+const MIN_TIMED_ROWS: usize = 4_096;
+
+/// Minimum seconds per timing sample (passes repeat until reached).
+const MIN_SAMPLE_SECONDS: f64 = 0.05;
+
+/// Shard count the plan is pinned to: early exit skips *shards*, so the
+/// bench fixes the granularity instead of letting `EnginePlan::auto`
+/// collapse a tiny forest into one shard with nothing to skip.
+const SHARD_TARGET: usize = 16;
+
+/// Query-block rows. Early exit is block-granular (every row of a block
+/// must be decided), so smaller blocks exit earlier; 16 keeps enough
+/// cache blocking to stay fair to the exact baseline.
+const QUERY_BLOCK: usize = 16;
+
+/// Committed floor for the early-exit win at default scale and above.
+const MIN_EARLY_EXIT_SPEEDUP: f64 = 1.05;
+
+/// The three policies under test, in reporting order.
+const POLICIES: [VotePolicy; 3] =
+    [VotePolicy::Exact, VotePolicy::BitSliced, VotePolicy::EarlyExit { slack: 0 }];
+
+#[derive(Serialize)]
+struct PolicyEntry {
+    name: String,
+    throughput_qps: f64,
+    /// Inclusive seconds of the `kernels.sharded` traverse span over one
+    /// fully-traced pass (0 without the `telemetry` feature).
+    traverse_seconds: f64,
+    /// Total seconds inside `kernels.sharded.tile` child spans.
+    tile_seconds: f64,
+    /// Executed (block × shard) tiles — early exit records fewer.
+    tiles: u64,
+}
+
+#[derive(Serialize)]
+struct Cell {
+    name: String,
+    depth: usize,
+    trees: usize,
+    shards: usize,
+    policies: Vec<PolicyEntry>,
+    /// Early-exit qps over exact qps (ungated: wall-clock).
+    early_exit_speedup_vs_exact: f64,
+    /// `kernels.votes.*` counters from the early-exit traced pass —
+    /// plain scalars asserted in-process, never gate-compared.
+    shards_skipped: u64,
+    blocks_exited: u64,
+    popcount_reductions: u64,
+}
+
+/// Best-of-3 throughput samples; each sample repeats whole passes until
+/// it is long enough to time ([`MIN_SAMPLE_SECONDS`]).
+fn measure_qps<P: Predictor>(engine: &P, features: &[f32], nf: usize) -> f64 {
+    let rows = features.len() / nf;
+    let mut out = vec![0u32; rows];
+    engine.predict_into(QueryView::new(features, nf).unwrap(), &mut out);
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let mut passes = 0usize;
+        let start = Instant::now();
+        loop {
+            engine.predict_into(QueryView::new(features, nf).unwrap(), &mut out);
+            passes += 1;
+            if start.elapsed().as_secs_f64() >= MIN_SAMPLE_SECONDS {
+                break;
+            }
+        }
+        let qps = (rows * passes) as f64 / start.elapsed().as_secs_f64();
+        best = best.max(qps);
+    }
+    best
+}
+
+/// Repeats the query block until it holds at least [`MIN_TIMED_ROWS`].
+fn tiled(features: &[f32], nf: usize) -> Vec<f32> {
+    let rows = features.len() / nf;
+    let reps = MIN_TIMED_ROWS.div_ceil(rows.max(1)).max(1);
+    let mut buf = Vec::with_capacity(features.len() * reps);
+    for _ in 0..reps {
+        buf.extend_from_slice(features);
+    }
+    buf
+}
+
+/// Stage accounting + vote counters from one fully-traced pass.
+#[derive(Default)]
+struct TracedPass {
+    traverse_seconds: f64,
+    tile_seconds: f64,
+    tiles: u64,
+    shards_skipped: u64,
+    blocks_exited: u64,
+    popcount_reductions: u64,
+}
+
+/// Runs one pass under a scoped, sample-everything telemetry domain and
+/// reduces the span snapshot `trace_profile`-style (per-name self/total
+/// time). The ambient scope makes the engine's `kernels.sharded` span
+/// and its per-tile children land in this domain, isolated from other
+/// policies' passes.
+#[cfg(feature = "telemetry")]
+fn traced_pass<P: Predictor>(engine: &P, features: &[f32], nf: usize) -> TracedPass {
+    use rfx_bench::tracestats::self_time_by_name;
+    use rfx_telemetry::{Telemetry, TraceConfig};
+
+    let tel = Telemetry::with_trace_config(TraceConfig { sample_every_n: 1, capacity: 1 << 17 });
+    let rows = features.len() / nf;
+    let mut out = vec![0u32; rows];
+    {
+        let root = tel.start_span("vote.pass");
+        let _scope = tel.in_context(root.context());
+        engine.predict_into(QueryView::new(features, nf).unwrap(), &mut out);
+    }
+    let mut stats = TracedPass::default();
+    for entry in self_time_by_name(&tel.trace_snapshot()) {
+        match entry.name.as_str() {
+            "kernels.sharded" => stats.traverse_seconds = entry.total_us as f64 / 1e6,
+            "kernels.sharded.tile" => {
+                stats.tile_seconds = entry.total_us as f64 / 1e6;
+                stats.tiles = entry.count;
+            }
+            _ => {}
+        }
+    }
+    let metrics = tel.metrics_snapshot();
+    stats.shards_skipped = metrics.counter("kernels.votes.shards_skipped").unwrap_or(0);
+    stats.blocks_exited = metrics.counter("kernels.votes.blocks_exited").unwrap_or(0);
+    stats.popcount_reductions = metrics.counter("kernels.votes.popcount_reductions").unwrap_or(0);
+    stats
+}
+
+#[cfg(not(feature = "telemetry"))]
+fn traced_pass<P: Predictor>(_engine: &P, _features: &[f32], _nf: usize) -> TracedPass {
+    TracedPass::default()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let trees = scale.timing_trees();
+    let shard_trees = trees.div_ceil(SHARD_TARGET).max(1);
+    let mut cells = Vec::new();
+    let mut best_speedup = 0.0f64;
+    let mut total_skipped = 0u64;
+
+    for kind in paper_datasets() {
+        let depth = kind.paper_depth_band()[1];
+        let (forest, test) = trained_forest(kind, depth, trees, scale);
+        let nf = forest.num_features();
+        let timing = test.head(scale.queries(kind.paper_samples() / 2));
+        let qv = QueryView::new(timing.raw_features(), nf).unwrap();
+        let reference = predict_reference(&forest, qv);
+
+        let fil = FilForest::build(&forest);
+        let base = EnginePlan::auto(&TreeEnsemble::footprint(&fil), trees, qv.num_rows());
+        let block = tiled(timing.raw_features(), nf);
+
+        let mut policies = Vec::new();
+        let mut qps_by_policy = Vec::new();
+        let mut exit_counters = TracedPass::default();
+        for policy in POLICIES {
+            let plan = base
+                .to_builder()
+                .shard_trees(shard_trees)
+                .query_block(QUERY_BLOCK)
+                .vote_policy(policy)
+                .build()
+                .expect("pinned bench plans are valid");
+            let engine = ShardedEngine::with_plan(&fil, plan);
+
+            // Exactness first: a faster tally that changes labels is a
+            // bug, not a result.
+            assert_eq!(
+                engine.predict(qv),
+                reference,
+                "{}: {policy} diverged from the reference labels",
+                kind.name()
+            );
+
+            let qps = measure_qps(&engine, &block, nf);
+            let traced = traced_pass(&engine, &block, nf);
+            policies.push(PolicyEntry {
+                name: policy.name().to_string(),
+                throughput_qps: qps,
+                traverse_seconds: traced.traverse_seconds,
+                tile_seconds: traced.tile_seconds,
+                tiles: traced.tiles,
+            });
+            qps_by_policy.push(qps);
+            if matches!(policy, VotePolicy::EarlyExit { .. }) {
+                exit_counters = traced;
+            }
+        }
+
+        let speedup = qps_by_policy[2] / qps_by_policy[0];
+        best_speedup = best_speedup.max(speedup);
+        total_skipped += exit_counters.shards_skipped;
+
+        let mut table = Table::new(
+            &format!(
+                "Vote policies: {} @ depth {depth}, {trees} trees / {shard_trees} per shard",
+                kind.name()
+            ),
+            &["policy", "qps", "traverse s", "tile s", "tiles"],
+        );
+        for p in &policies {
+            table.row(vec![
+                p.name.clone(),
+                format!("{:.0}", p.throughput_qps),
+                format!("{:.4}", p.traverse_seconds),
+                format!("{:.4}", p.tile_seconds),
+                p.tiles.to_string(),
+            ]);
+        }
+        table.print();
+        println!(
+            "  early-exit vs exact: {speedup:.2}x ({} shards skipped, {} blocks exited)\n",
+            exit_counters.shards_skipped, exit_counters.blocks_exited
+        );
+
+        cells.push(Cell {
+            name: kind.name().to_string(),
+            depth,
+            trees,
+            shards: trees.div_ceil(shard_trees),
+            policies,
+            early_exit_speedup_vs_exact: speedup,
+            shards_skipped: exit_counters.shards_skipped,
+            blocks_exited: exit_counters.blocks_exited,
+            popcount_reductions: exit_counters.popcount_reductions,
+        });
+        eprintln!("[vote] {} depth {depth} done", kind.name());
+    }
+
+    #[cfg(feature = "telemetry")]
+    {
+        // Coverage: the early-exit machinery must actually fire — a
+        // refactor that silently stops skipping shards fails here, not
+        // in a lower-is-better gate that would bless the zero.
+        assert!(
+            total_skipped > 0,
+            "early exit skipped no shards on any dataset — the exit test never fired"
+        );
+        let flushes: u64 = cells.iter().map(|c| c.popcount_reductions).sum();
+        assert!(flushes > 0, "bit-sliced reducer recorded no popcount flushes");
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = total_skipped;
+
+    if scale != Scale::Tiny {
+        // The whole point of early exit: once the argmax is unreachable,
+        // the remaining shards are pure waste — skipping them must show
+        // up as throughput at default scale and above.
+        assert!(
+            best_speedup >= MIN_EARLY_EXIT_SPEEDUP,
+            "best early-exit/exact ratio {best_speedup:.3}x is under the committed \
+             {MIN_EARLY_EXIT_SPEEDUP}x floor"
+        );
+        println!("best early-exit win: {best_speedup:.2}x over the exact tally");
+    }
+
+    write_json("vote", scale.label(), &cells);
+}

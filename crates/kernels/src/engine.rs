@@ -22,11 +22,13 @@
 //! `predict_into(&self, queries, out)` instead of the retired per-layout
 //! free-function zoo (see the deprecated wrappers in [`crate::cpu`]).
 
+use crate::votes::{BitSlicedVotes, VotePolicy};
 use rfx_core::footprint::LayoutFootprint;
 use rfx_core::quant::{QCsrForest, QFilForest, QuantLevel};
 use rfx_core::{CsrForest, FilForest, HierForest, Label};
 use rfx_forest::dataset::QueryView;
 use rfx_forest::{Node, RandomForest};
+use std::fmt;
 use std::sync::Arc;
 
 /// Anything that can vote with one tree on one query: the capability the
@@ -227,47 +229,188 @@ const L2_SHARD_BUDGET_BYTES: usize = 512 << 10;
 /// L1-sized, and amortizes the per-tile loop overhead.
 const DEFAULT_QUERY_BLOCK: usize = 64;
 
-/// Tiling parameters for the sharded engine. Build one explicitly, start
-/// from [`EnginePlan::default`] and override fields with the `with_*`
-/// builder methods, or let [`EnginePlan::auto`] derive one from footprint
-/// statistics. All fields are clamped to the forest/batch shape before
-/// execution, so degenerate plans (zero block, more shard trees than
-/// trees) execute correctly rather than panicking.
+/// Tiling and vote-reduction parameters for the sharded engine.
+///
+/// Construct one through the validated builder —
+/// `EnginePlan::builder().shard_trees(..).query_block(..)
+///  .vote_policy(..).build()?` — or let [`EnginePlan::auto`] derive one
+/// from footprint statistics. [`EnginePlan::default`] remains the
+/// 16-tree / 64-row starting point. The builder rejects the degenerate
+/// values `normalized()` used to silently clamp (zero shard trees, zero
+/// query block) with a typed [`PlanError`]; the shape-dependent clamps
+/// (more shard trees than the forest has, more threads than blocks)
+/// still happen in [`EnginePlan::normalized`] at execution time, when
+/// the concrete forest and batch are known.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EnginePlan {
     /// Trees per shard (the engine forms `ceil(n_trees / shard_trees)`
     /// shards, so the shard count never exceeds the tree count).
+    #[deprecated(note = "construct plans via EnginePlan::builder(); read via .shard_trees()")]
     pub shard_trees: usize,
     /// Query rows per block.
+    #[deprecated(note = "construct plans via EnginePlan::builder(); read via .query_block()")]
     pub query_block: usize,
     /// Worker-thread cap; `0` means use the machine's available
     /// parallelism.
+    #[deprecated(note = "construct plans via EnginePlan::builder(); read via .threads()")]
     pub threads: usize,
+    /// How per-tree votes reduce to labels (and whether decided query
+    /// blocks may skip remaining shards) — see [`VotePolicy`].
+    #[deprecated(note = "construct plans via EnginePlan::builder(); read via .vote_policy()")]
+    pub vote_policy: VotePolicy,
 }
 
 impl Default for EnginePlan {
+    #[allow(deprecated)]
     fn default() -> Self {
-        EnginePlan { shard_trees: 16, query_block: DEFAULT_QUERY_BLOCK, threads: 0 }
+        EnginePlan {
+            shard_trees: 16,
+            query_block: DEFAULT_QUERY_BLOCK,
+            threads: 0,
+            vote_policy: VotePolicy::Exact,
+        }
     }
 }
 
-impl EnginePlan {
-    /// Builder: override the trees-per-shard budget.
-    pub fn with_shard_trees(mut self, shard_trees: usize) -> Self {
+/// Why [`EnginePlanBuilder::build`] refused a plan. These are the
+/// degenerate inputs `EnginePlan::normalized` used to clamp silently;
+/// the builder surfaces them instead so a typo'd config fails loudly at
+/// construction rather than executing with a repaired stranger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanError {
+    /// `shard_trees` was 0 — a shard must hold at least one tree.
+    ZeroShardTrees,
+    /// `query_block` was 0 — a block must hold at least one row.
+    ZeroQueryBlock,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::ZeroShardTrees => f.write_str("shard_trees must be at least 1"),
+            PlanError::ZeroQueryBlock => f.write_str("query_block must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Validated builder for [`EnginePlan`] — the supported construction
+/// path (direct field construction is deprecated and will be removed
+/// next release). Seeded from [`EnginePlan::default`]; every knob is
+/// optional.
+#[derive(Debug, Clone, Copy)]
+pub struct EnginePlanBuilder {
+    shard_trees: usize,
+    query_block: usize,
+    threads: usize,
+    vote_policy: VotePolicy,
+}
+
+impl EnginePlanBuilder {
+    /// Sets the trees-per-shard budget (must be ≥ 1 at `build`).
+    pub fn shard_trees(mut self, shard_trees: usize) -> Self {
         self.shard_trees = shard_trees;
         self
     }
 
-    /// Builder: override the rows-per-block budget.
-    pub fn with_query_block(mut self, query_block: usize) -> Self {
+    /// Sets the rows-per-block budget (must be ≥ 1 at `build`).
+    pub fn query_block(mut self, query_block: usize) -> Self {
         self.query_block = query_block;
         self
     }
 
-    /// Builder: override the worker-thread cap (`0` = auto).
-    pub fn with_threads(mut self, threads: usize) -> Self {
+    /// Sets the worker-thread cap (`0` = use available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Sets the vote-reduction policy.
+    pub fn vote_policy(mut self, vote_policy: VotePolicy) -> Self {
+        self.vote_policy = vote_policy;
+        self
+    }
+
+    /// Validates the knobs into an [`EnginePlan`].
+    #[allow(deprecated)]
+    pub fn build(self) -> Result<EnginePlan, PlanError> {
+        if self.shard_trees == 0 {
+            return Err(PlanError::ZeroShardTrees);
+        }
+        if self.query_block == 0 {
+            return Err(PlanError::ZeroQueryBlock);
+        }
+        Ok(EnginePlan {
+            shard_trees: self.shard_trees,
+            query_block: self.query_block,
+            threads: self.threads,
+            vote_policy: self.vote_policy,
+        })
+    }
+}
+
+impl EnginePlan {
+    /// A builder seeded with the default plan.
+    pub fn builder() -> EnginePlanBuilder {
+        EnginePlan::default().to_builder()
+    }
+
+    /// A builder seeded with this plan's values — the supported way to
+    /// tweak one knob of an existing (e.g. [`EnginePlan::auto`]) plan.
+    #[allow(deprecated)]
+    pub fn to_builder(self) -> EnginePlanBuilder {
+        EnginePlanBuilder {
+            shard_trees: self.shard_trees,
+            query_block: self.query_block,
+            threads: self.threads,
+            vote_policy: self.vote_policy,
+        }
+    }
+
+    /// Trees per shard.
+    #[allow(deprecated)]
+    pub fn shard_trees(&self) -> usize {
+        self.shard_trees
+    }
+
+    /// Query rows per block.
+    #[allow(deprecated)]
+    pub fn query_block(&self) -> usize {
+        self.query_block
+    }
+
+    /// Worker-thread cap (`0` = auto).
+    #[allow(deprecated)]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The vote-reduction policy.
+    #[allow(deprecated)]
+    pub fn vote_policy(&self) -> VotePolicy {
+        self.vote_policy
+    }
+
+    /// Builder: override the trees-per-shard budget.
+    #[deprecated(note = "use EnginePlan::builder() / EnginePlan::to_builder()")]
+    pub fn with_shard_trees(self, shard_trees: usize) -> Self {
+        #[allow(deprecated)]
+        EnginePlan { shard_trees, ..self }
+    }
+
+    /// Builder: override the rows-per-block budget.
+    #[deprecated(note = "use EnginePlan::builder() / EnginePlan::to_builder()")]
+    pub fn with_query_block(self, query_block: usize) -> Self {
+        #[allow(deprecated)]
+        EnginePlan { query_block, ..self }
+    }
+
+    /// Builder: override the worker-thread cap (`0` = auto).
+    #[deprecated(note = "use EnginePlan::builder() / EnginePlan::to_builder()")]
+    pub fn with_threads(self, threads: usize) -> Self {
+        #[allow(deprecated)]
+        EnginePlan { threads, ..self }
     }
 
     /// Derives a plan from footprint statistics: shards hold as many
@@ -275,10 +418,14 @@ impl EnginePlan {
     /// blocks default to [`DEFAULT_QUERY_BLOCK`] rows but shrink when the
     /// batch is too small to occupy every thread, and both knobs are
     /// clamped so 1-tree and 1-query (even 0-query) shapes stay valid.
+    /// The vote policy defaults to [`VotePolicy::Exact`]; use
+    /// [`EnginePlan::to_builder`] (or [`ShardedEngine::with_policy`]) to
+    /// change it.
     ///
     /// When the whole forest fits one shard there is no cross-block node
     /// reuse to exploit, so the plan degenerates to one block per worker —
     /// block bookkeeping would be pure overhead.
+    #[allow(deprecated)]
     pub fn auto(footprint: &LayoutFootprint, n_trees: usize, n_queries: usize) -> EnginePlan {
         let n_trees = n_trees.max(1);
         // `LayoutFootprint::per_tree` is layout-aware: quantized layouts
@@ -290,18 +437,25 @@ impl EnginePlan {
         let per_thread = n_queries.div_ceil(threads).max(1);
         let query_block =
             if shard_trees == n_trees { per_thread } else { DEFAULT_QUERY_BLOCK.min(per_thread) };
-        EnginePlan { shard_trees, query_block, threads }
+        EnginePlan { shard_trees, query_block, threads, vote_policy: VotePolicy::Exact }
     }
 
     /// Clamps the plan to a concrete forest/batch shape: at least one
     /// tree per shard (and no more than the forest has), at least one row
-    /// per block, and a resolved positive thread count.
+    /// per block, and a resolved positive thread count. The vote policy
+    /// passes through unchanged.
+    #[allow(deprecated)]
     pub fn normalized(self, n_trees: usize, n_queries: usize) -> EnginePlan {
         let shard_trees = self.shard_trees.clamp(1, n_trees.max(1));
         let query_block = self.query_block.clamp(1, n_queries.max(1));
         let threads = if self.threads == 0 { available_threads() } else { self.threads };
         let blocks = n_queries.div_ceil(query_block).max(1);
-        EnginePlan { shard_trees, query_block, threads: threads.clamp(1, blocks) }
+        EnginePlan {
+            shard_trees,
+            query_block,
+            threads: threads.clamp(1, blocks),
+            vote_policy: self.vote_policy,
+        }
     }
 }
 
@@ -317,17 +471,34 @@ fn available_threads() -> usize {
 pub struct ShardedEngine<E: TreeEnsemble> {
     source: E,
     plan: Option<EnginePlan>,
+    policy: VotePolicy,
+    /// The source's footprint, computed once at construction so
+    /// per-batch auto-planning (and the serve layer's resident-bytes
+    /// gauges) never re-walk the forest.
+    footprint: LayoutFootprint,
 }
 
 impl<E: TreeEnsemble> ShardedEngine<E> {
-    /// Engine that re-plans each batch via [`EnginePlan::auto`].
+    /// Engine that re-plans each batch via [`EnginePlan::auto`], with
+    /// the exact vote reduction.
     pub fn new(source: E) -> Self {
-        ShardedEngine { source, plan: None }
+        ShardedEngine::with_policy(source, VotePolicy::Exact)
     }
 
-    /// Engine pinned to an explicit plan (clamped to each batch's shape).
+    /// Engine that re-plans each batch via [`EnginePlan::auto`] but
+    /// reduces votes with `policy` — how the serve backends opt a whole
+    /// deployment into bit-sliced reduction or early-exit traversal
+    /// while keeping footprint-driven tiling.
+    pub fn with_policy(source: E, policy: VotePolicy) -> Self {
+        let footprint = source.footprint();
+        ShardedEngine { source, plan: None, policy, footprint }
+    }
+
+    /// Engine pinned to an explicit plan (clamped to each batch's
+    /// shape), including the plan's vote policy.
     pub fn with_plan(source: E, plan: EnginePlan) -> Self {
-        ShardedEngine { source, plan: Some(plan) }
+        let footprint = source.footprint();
+        ShardedEngine { source, plan: Some(plan), policy: plan.vote_policy(), footprint }
     }
 
     /// The underlying ensemble.
@@ -335,13 +506,27 @@ impl<E: TreeEnsemble> ShardedEngine<E> {
         &self.source
     }
 
+    /// The source footprint cached at construction.
+    pub fn cached_footprint(&self) -> LayoutFootprint {
+        self.footprint
+    }
+
+    /// The vote-reduction policy this engine executes with.
+    pub fn vote_policy(&self) -> VotePolicy {
+        self.policy
+    }
+
     /// The normalized plan this engine would execute a batch of
     /// `n_queries` rows with.
+    #[allow(deprecated)] // normalizes legacy literal plans, then stamps the policy
     pub fn plan_for(&self, n_queries: usize) -> EnginePlan {
         let n_trees = self.source.num_trees();
-        self.plan
-            .unwrap_or_else(|| EnginePlan::auto(&self.source.footprint(), n_trees, n_queries))
-            .normalized(n_trees, n_queries)
+        let mut plan = self
+            .plan
+            .unwrap_or_else(|| EnginePlan::auto(&self.footprint, n_trees, n_queries))
+            .normalized(n_trees, n_queries);
+        plan.vote_policy = self.policy;
+        plan
     }
 }
 
@@ -362,8 +547,8 @@ impl<E: TreeEnsemble> Predictor for ShardedEngine<E> {
         let tel = rfx_telemetry::current();
         #[cfg(feature = "telemetry")]
         let _span = {
-            let shards = self.source.num_trees().div_ceil(plan.shard_trees) as u64;
-            let blocks = queries.num_rows().div_ceil(plan.query_block) as u64;
+            let shards = self.source.num_trees().div_ceil(plan.shard_trees()) as u64;
+            let blocks = queries.num_rows().div_ceil(plan.query_block()) as u64;
             tel.counter("kernels.sharded.batches").inc();
             tel.counter("kernels.sharded.shards").add(shards);
             tel.counter("kernels.sharded.blocks").add(blocks);
@@ -448,14 +633,77 @@ fn split_tasks(out: &mut [Label], rows_per_task: usize) -> Vec<(usize, &mut [Lab
     tasks
 }
 
+/// The tiling shape one worker task executes with, pre-normalized by
+/// [`run_tiled`].
+#[derive(Clone, Copy)]
+struct Tiling {
+    /// Rows per query block.
+    qb: usize,
+    /// Trees per shard.
+    st: usize,
+    /// Classes voted over (≥ 1).
+    nc: usize,
+    /// Trees in the forest.
+    n_trees: usize,
+}
+
+/// Vote-reduction telemetry handles (`kernels.votes.*`), resolved on the
+/// calling thread before the rayon fan-out (workers have no ambient
+/// domain) and updated once per task to keep the hot loop free of
+/// atomics. Registered lazily — only batches running a non-exact
+/// [`VotePolicy`] create them, so exact deployments' metric exports are
+/// unchanged.
+#[cfg(feature = "telemetry")]
+struct VoteCtx {
+    shards_skipped: Arc<rfx_telemetry::Counter>,
+    blocks_exited: Arc<rfx_telemetry::Counter>,
+    popcount_reductions: Arc<rfx_telemetry::Counter>,
+}
+
+#[cfg(feature = "telemetry")]
+impl VoteCtx {
+    fn new(tel: &rfx_telemetry::Telemetry) -> Self {
+        VoteCtx {
+            shards_skipped: tel.counter("kernels.votes.shards_skipped"),
+            blocks_exited: tel.counter("kernels.votes.blocks_exited"),
+            popcount_reductions: tel.counter("kernels.votes.popcount_reductions"),
+        }
+    }
+}
+
+#[cfg(not(feature = "telemetry"))]
+type VoteCtx = ();
+
+/// Opens a per-tile child span when the enclosing trace is sampled.
+#[cfg(feature = "telemetry")]
+fn tile_span<'a>(
+    tile_ctx: &'a TileCtx,
+    block: usize,
+    shard: usize,
+    rows: usize,
+    trees: usize,
+) -> Option<rfx_telemetry::Span<'a>> {
+    tile_ctx.as_ref().map(|(tel, ctx)| {
+        let mut tile = tel.start_span_child_of("kernels.sharded.tile", *ctx);
+        tile.set_attr("block", block.to_string());
+        tile.set_attr("shard", shard.to_string());
+        tile.set_attr("rows", rows.to_string());
+        tile.set_attr("trees", trees.to_string());
+        tile
+    })
+}
+
 /// Executes the (query block × tree shard) tiling: each worker owns a
 /// contiguous run of blocks and one reusable vote-scratch buffer; within
 /// a block, shards are walked outermost so a shard's nodes stay hot in
 /// cache across every row of the block; a final pass reduces each row's
-/// votes to its majority label. When `tile_ctx` carries a sampled trace,
-/// each (block × shard) tile records a `kernels.sharded.tile` child span
-/// with its block/shard indices — the per-tile attribution behind the
-/// flamegraph and critical-path views.
+/// votes to its majority label. The plan's [`VotePolicy`] picks the
+/// reduction: the exact scalar tally, the bit-sliced popcount tally, or
+/// bit-sliced with early-exit traversal (see [`crate::votes`]). When
+/// `tile_ctx` carries a sampled trace, each executed (block × shard)
+/// tile records a `kernels.sharded.tile` child span with its block/shard
+/// indices — the per-tile attribution behind the flamegraph and
+/// critical-path views (early-exited blocks simply record fewer tiles).
 fn run_tiled<E: TreeEnsemble>(
     source: &E,
     plan: EnginePlan,
@@ -465,65 +713,182 @@ fn run_tiled<E: TreeEnsemble>(
 ) {
     use rayon::prelude::*;
 
-    #[cfg(not(feature = "telemetry"))]
-    let _ = tile_ctx;
     let n = queries.num_rows();
     assert_eq!(out.len(), n, "output slice must match query batch");
     if n == 0 {
         return;
     }
     let plan = plan.normalized(source.num_trees(), n);
-    let (qb, st) = (plan.query_block, plan.shard_trees);
-    let n_trees = source.num_trees();
-    let nc = source.num_classes().max(1) as usize;
+    let tiling = Tiling {
+        qb: plan.query_block(),
+        st: plan.shard_trees(),
+        nc: source.num_classes().max(1) as usize,
+        n_trees: source.num_trees(),
+    };
 
     // Contiguous runs of whole blocks per worker: `threads` tasks, each
     // processing its blocks serially with one scratch buffer.
-    let blocks = n.div_ceil(qb);
-    let tasks = split_tasks(out, blocks.div_ceil(plan.threads) * qb);
+    let blocks = n.div_ceil(tiling.qb);
+    let tasks = split_tasks(out, blocks.div_ceil(plan.threads()) * tiling.qb);
 
-    tasks.into_par_iter().for_each(|(task_start, rows)| {
-        let mut votes = vec![0u32; qb * nc];
-        let mut offset = 0;
-        while offset < rows.len() {
-            let len = qb.min(rows.len() - offset);
-            let block_start = task_start + offset;
-            let votes = &mut votes[..len * nc];
-            votes.fill(0);
-            // Tile loop: shard outermost, trees inner, rows innermost —
-            // one tree's nodes stay hot across every row of the block,
-            // and a shard's trees are all reused before the next shard's
-            // bytes displace them.
-            let mut shard_lo = 0;
-            while shard_lo < n_trees {
-                let shard_hi = (shard_lo + st).min(n_trees);
-                #[cfg(feature = "telemetry")]
-                let _tile = tile_ctx.as_ref().map(|(tel, ctx)| {
-                    let mut tile = tel.start_span_child_of("kernels.sharded.tile", *ctx);
-                    tile.set_attr("block", (block_start / qb).to_string());
-                    tile.set_attr("shard", (shard_lo / st.max(1)).to_string());
-                    tile.set_attr("rows", len.to_string());
-                    tile.set_attr("trees", (shard_hi - shard_lo).to_string());
-                    tile
-                });
-                for t in shard_lo..shard_hi {
-                    for (i, row_votes) in votes.chunks_exact_mut(nc).enumerate() {
-                        let query = queries.row(block_start + i);
-                        row_votes[source.vote_tree(t, query) as usize] += 1;
+    match plan.vote_policy() {
+        VotePolicy::Exact => {
+            tasks.into_par_iter().for_each(|(start, rows)| {
+                exact_task(source, queries, tiling, start, rows, tile_ctx)
+            });
+        }
+        VotePolicy::BitSliced | VotePolicy::EarlyExit { .. } => {
+            let early_slack = match plan.vote_policy() {
+                VotePolicy::EarlyExit { slack } => Some(slack),
+                _ => None,
+            };
+            #[cfg(feature = "telemetry")]
+            let vote_ctx = VoteCtx::new(&rfx_telemetry::current());
+            #[cfg(not(feature = "telemetry"))]
+            let vote_ctx: VoteCtx = ();
+            tasks.into_par_iter().for_each(|(start, rows)| {
+                sliced_task(source, queries, tiling, start, rows, early_slack, tile_ctx, &vote_ctx)
+            });
+        }
+    }
+}
+
+/// One worker's run of blocks under [`VotePolicy::Exact`]: the scalar
+/// per-(row, class) tally, every shard traversed.
+fn exact_task<E: TreeEnsemble>(
+    source: &E,
+    queries: QueryView<'_>,
+    tiling: Tiling,
+    task_start: usize,
+    rows: &mut [Label],
+    tile_ctx: &TileCtx,
+) {
+    #[cfg(not(feature = "telemetry"))]
+    let _ = tile_ctx;
+    let Tiling { qb, st, nc, n_trees } = tiling;
+    let mut votes = vec![0u32; qb * nc];
+    let mut offset = 0;
+    while offset < rows.len() {
+        let len = qb.min(rows.len() - offset);
+        let block_start = task_start + offset;
+        let votes = &mut votes[..len * nc];
+        votes.fill(0);
+        // Tile loop: shard outermost, trees inner, rows innermost —
+        // one tree's nodes stay hot across every row of the block,
+        // and a shard's trees are all reused before the next shard's
+        // bytes displace them.
+        let mut shard_lo = 0;
+        while shard_lo < n_trees {
+            let shard_hi = (shard_lo + st).min(n_trees);
+            #[cfg(feature = "telemetry")]
+            let _tile = tile_span(
+                tile_ctx,
+                block_start / qb,
+                shard_lo / st.max(1),
+                len,
+                shard_hi - shard_lo,
+            );
+            for t in shard_lo..shard_hi {
+                for (i, row_votes) in votes.chunks_exact_mut(nc).enumerate() {
+                    let query = queries.row(block_start + i);
+                    row_votes[source.vote_tree(t, query) as usize] += 1;
+                }
+            }
+            shard_lo = shard_hi;
+        }
+        // Reduction pass: per-row majority, ties toward the lower
+        // class id (the shared convention).
+        for (slot, row_votes) in rows[offset..offset + len].iter_mut().zip(votes.chunks_exact(nc)) {
+            *slot = rfx_core::majority(row_votes);
+        }
+        offset += len;
+    }
+}
+
+/// One worker's run of blocks under [`VotePolicy::BitSliced`] or
+/// [`VotePolicy::EarlyExit`]: votes land in the class-major popcount
+/// lanes of a [`BitSlicedVotes`]; with `early_slack` set, the window is
+/// flushed at every shard boundary and the block's remaining shards are
+/// skipped once every row's leader holds an unreachable lead.
+#[allow(clippy::too_many_arguments)] // internal fan-out target, grouped by Tiling already
+fn sliced_task<E: TreeEnsemble>(
+    source: &E,
+    queries: QueryView<'_>,
+    tiling: Tiling,
+    task_start: usize,
+    rows: &mut [Label],
+    early_slack: Option<u32>,
+    tile_ctx: &TileCtx,
+    vote_ctx: &VoteCtx,
+) {
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (tile_ctx, vote_ctx);
+    let Tiling { qb, st, nc, n_trees } = tiling;
+    let shards_total = n_trees.div_ceil(st);
+    let mut acc = BitSlicedVotes::new(qb, nc);
+    let (mut skipped, mut exited) = (0u64, 0u64);
+    let mut offset = 0;
+    while offset < rows.len() {
+        let len = qb.min(rows.len() - offset);
+        let block_start = task_start + offset;
+        acc.reset(len);
+        let mut probe = 0usize;
+        let mut shard_lo = 0;
+        let mut shards_run = 0usize;
+        while shard_lo < n_trees {
+            let shard_hi = (shard_lo + st).min(n_trees);
+            #[cfg(feature = "telemetry")]
+            let _tile = tile_span(
+                tile_ctx,
+                block_start / qb,
+                shard_lo / st.max(1),
+                len,
+                shard_hi - shard_lo,
+            );
+            for t in shard_lo..shard_hi {
+                for i in 0..len {
+                    acc.vote(i, source.vote_tree(t, queries.row(block_start + i)));
+                }
+                acc.next_tree();
+            }
+            shard_lo = shard_hi;
+            shards_run += 1;
+            if let Some(slack) = early_slack {
+                if shard_lo < n_trees {
+                    // Exact counts at the boundary, then the
+                    // unreachable-lead test: sound because the leader
+                    // can only gain votes while every rival gains at
+                    // most `remaining` (see `BitSlicedVotes`).
+                    acc.close_window();
+                    let remaining = (n_trees - shard_lo) as u32;
+                    if acc.all_decided(remaining, slack, &mut probe) {
+                        skipped += (shards_total - shards_run) as u64;
+                        exited += 1;
+                        break;
                     }
                 }
-                shard_lo = shard_hi;
             }
-            // Reduction pass: per-row majority, ties toward the lower
-            // class id (the shared convention).
-            for (slot, row_votes) in
-                rows[offset..offset + len].iter_mut().zip(votes.chunks_exact(nc))
-            {
-                *slot = rfx_core::majority(row_votes);
-            }
-            offset += len;
         }
-    });
+        acc.close_window();
+        for (slot, row_counts) in
+            rows[offset..offset + len].iter_mut().zip(acc.counts().chunks_exact(nc))
+        {
+            *slot = rfx_core::majority(row_counts);
+        }
+        offset += len;
+    }
+    #[cfg(feature = "telemetry")]
+    {
+        if skipped > 0 {
+            vote_ctx.shards_skipped.add(skipped);
+        }
+        if exited > 0 {
+            vote_ctx.blocks_exited.add(exited);
+        }
+        vote_ctx.popcount_reductions.add(acc.flushes());
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (skipped, exited);
 }
 
 #[cfg(test)]
@@ -596,10 +961,10 @@ mod tests {
         let f32_plan = EnginePlan::auto(&TreeEnsemble::footprint(&fil), 64, 1024);
         let q_plan = EnginePlan::auto(&TreeEnsemble::footprint(&qfil), 64, 1024);
         assert!(
-            q_plan.shard_trees > f32_plan.shard_trees,
+            q_plan.shard_trees() > f32_plan.shard_trees(),
             "compressed shards hold more trees: {} vs {}",
-            q_plan.shard_trees,
-            f32_plan.shard_trees
+            q_plan.shard_trees(),
+            f32_plan.shard_trees()
         );
     }
 
@@ -608,11 +973,82 @@ mod tests {
         let (forest, queries) = fixture(9, 7);
         let qv = QueryView::new(&queries, 6).unwrap();
         let reference = forest.predict_batch(qv);
+        let policies = [
+            VotePolicy::Exact,
+            VotePolicy::BitSliced,
+            VotePolicy::EarlyExit { slack: 0 },
+            VotePolicy::EarlyExit { slack: 3 },
+        ];
         for (st, qb, threads) in [(1, 1, 1), (2, 7, 2), (9, 300, 1), (100, 1000, 64), (3, 17, 5)] {
-            let plan = EnginePlan { shard_trees: st, query_block: qb, threads };
-            let engine = ShardedEngine::with_plan(&forest, plan);
-            assert_eq!(engine.predict(qv), reference, "plan {plan:?}");
+            for policy in policies {
+                let plan = EnginePlan::builder()
+                    .shard_trees(st)
+                    .query_block(qb)
+                    .threads(threads)
+                    .vote_policy(policy)
+                    .build()
+                    .unwrap();
+                let engine = ShardedEngine::with_plan(&forest, plan);
+                assert_eq!(engine.predict(qv), reference, "plan {plan:?}");
+            }
         }
+    }
+
+    #[test]
+    fn every_vote_policy_matches_reference_on_every_layout() {
+        let (forest, queries) = fixture(13, 17);
+        let qv = QueryView::new(&queries, 6).unwrap();
+        let reference = forest.predict_batch(qv);
+        let csr = CsrForest::build(&forest);
+        let fil = FilForest::build(&forest);
+        let hier = build_forest(&forest, HierConfig::uniform(3)).unwrap();
+        for policy in [VotePolicy::BitSliced, VotePolicy::EarlyExit { slack: 1 }] {
+            assert_eq!(ShardedEngine::with_policy(&forest, policy).predict(qv), reference);
+            assert_eq!(ShardedEngine::with_policy(&csr, policy).predict(qv), reference);
+            assert_eq!(ShardedEngine::with_policy(&fil, policy).predict(qv), reference);
+            assert_eq!(ShardedEngine::with_policy(&hier, policy).predict(qv), reference);
+        }
+        // Quantized layouts vote on snapped thresholds — their own oracle.
+        let qfil8 = QFilForest::<u8>::build(&forest).unwrap();
+        let snapped = qfil8.quantizer().snap_forest(&forest).predict_batch(qv);
+        for policy in [VotePolicy::BitSliced, VotePolicy::EarlyExit { slack: 0 }] {
+            assert_eq!(ShardedEngine::with_policy(&qfil8, policy).predict(qv), snapped);
+        }
+    }
+
+    #[test]
+    fn builder_validates_and_round_trips() {
+        let plan = EnginePlan::builder()
+            .shard_trees(3)
+            .query_block(9)
+            .threads(2)
+            .vote_policy(VotePolicy::EarlyExit { slack: 2 })
+            .build()
+            .unwrap();
+        assert_eq!(plan.shard_trees(), 3);
+        assert_eq!(plan.query_block(), 9);
+        assert_eq!(plan.threads(), 2);
+        assert_eq!(plan.vote_policy(), VotePolicy::EarlyExit { slack: 2 });
+        // to_builder() preserves every field.
+        assert_eq!(plan.to_builder().build().unwrap(), plan);
+
+        assert_eq!(EnginePlan::builder().shard_trees(0).build(), Err(PlanError::ZeroShardTrees));
+        assert_eq!(EnginePlan::builder().query_block(0).build(), Err(PlanError::ZeroQueryBlock));
+        // threads == 0 stays legal: it means "auto-detect".
+        assert!(EnginePlan::builder().threads(0).build().is_ok());
+        assert!(PlanError::ZeroShardTrees.to_string().contains("shard_trees"));
+    }
+
+    #[test]
+    fn with_policy_stamps_the_policy_onto_auto_plans() {
+        let (forest, _) = fixture(9, 23);
+        let engine = ShardedEngine::with_policy(&forest, VotePolicy::EarlyExit { slack: 1 });
+        assert_eq!(engine.vote_policy(), VotePolicy::EarlyExit { slack: 1 });
+        assert_eq!(engine.plan_for(100).vote_policy(), VotePolicy::EarlyExit { slack: 1 });
+        // A pinned plan's own policy wins.
+        let pinned = EnginePlan::builder().vote_policy(VotePolicy::BitSliced).build().unwrap();
+        let engine = ShardedEngine::with_plan(&forest, pinned);
+        assert_eq!(engine.plan_for(100).vote_policy(), VotePolicy::BitSliced);
     }
 
     #[test]
@@ -637,17 +1073,17 @@ mod tests {
         // 1-tree forest: the shard budget must not exceed the tree count.
         let (one_tree, _) = fixture(1, 5);
         let plan = EnginePlan::auto(&TreeEnsemble::footprint(&one_tree), 1, 1);
-        assert_eq!(plan.shard_trees, 1);
-        assert!(plan.query_block >= 1);
-        assert!(plan.threads >= 1);
+        assert_eq!(plan.shard_trees(), 1);
+        assert!(plan.query_block() >= 1);
+        assert!(plan.threads() >= 1);
 
         // 0-query batch: the block stays positive.
         let plan = EnginePlan::auto(&TreeEnsemble::footprint(&one_tree), 1, 0);
-        assert!(plan.query_block >= 1);
+        assert!(plan.query_block() >= 1);
 
         // Tiny footprints divide to zero per-tree bytes without panicking.
         let plan = EnginePlan::auto(&LayoutFootprint::default(), 1000, 4);
-        assert!(plan.shard_trees >= 1 && plan.shard_trees <= 1000);
+        assert!(plan.shard_trees() >= 1 && plan.shard_trees() <= 1000);
     }
 
     #[test]
@@ -663,18 +1099,30 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // legacy literal construction stays repairable for one release
     fn normalized_repairs_zero_and_oversized_fields() {
-        let plan = EnginePlan { shard_trees: 0, query_block: 0, threads: 0 };
+        let plan = EnginePlan {
+            shard_trees: 0,
+            query_block: 0,
+            threads: 0,
+            vote_policy: VotePolicy::Exact,
+        };
         let fixed = plan.normalized(10, 100);
-        assert!(fixed.shard_trees >= 1 && fixed.shard_trees <= 10);
-        assert!(fixed.query_block >= 1);
-        assert!(fixed.threads >= 1);
+        assert!(fixed.shard_trees() >= 1 && fixed.shard_trees() <= 10);
+        assert!(fixed.query_block() >= 1);
+        assert!(fixed.threads() >= 1);
 
-        let fixed =
-            EnginePlan { shard_trees: 99, query_block: 1_000_000, threads: 500 }.normalized(4, 8);
-        assert_eq!(fixed.shard_trees, 4);
-        assert_eq!(fixed.query_block, 8);
-        assert_eq!(fixed.threads, 1, "one block caps the useful thread count");
+        let fixed = EnginePlan {
+            shard_trees: 99,
+            query_block: 1_000_000,
+            threads: 500,
+            vote_policy: VotePolicy::BitSliced,
+        }
+        .normalized(4, 8);
+        assert_eq!(fixed.shard_trees(), 4);
+        assert_eq!(fixed.query_block(), 8);
+        assert_eq!(fixed.threads(), 1, "one block caps the useful thread count");
+        assert_eq!(fixed.vote_policy(), VotePolicy::BitSliced, "policy passes through");
     }
 
     #[test]
@@ -685,14 +1133,17 @@ mod tests {
         let large = LayoutFootprint { attribute_bytes: 100 << 20, ..Default::default() };
         let a = EnginePlan::auto(&small, 100, 1000);
         let b = EnginePlan::auto(&large, 100, 1000);
-        assert!(a.shard_trees > b.shard_trees, "{} > {}", a.shard_trees, b.shard_trees);
-        assert_eq!(b.shard_trees, 1, "1 MiB trees never share a shard");
+        assert!(a.shard_trees() > b.shard_trees(), "{} > {}", a.shard_trees(), b.shard_trees());
+        assert_eq!(b.shard_trees(), 1, "1 MiB trees never share a shard");
     }
 
     #[test]
-    fn plan_builder_overrides_fields() {
-        let plan = EnginePlan::default().with_shard_trees(3).with_query_block(9).with_threads(2);
-        assert_eq!(plan, EnginePlan { shard_trees: 3, query_block: 9, threads: 2 });
+    #[allow(deprecated)] // the with_* setters stay for one release — keep them honest
+    fn deprecated_with_setters_still_agree_with_the_builder() {
+        let legacy = EnginePlan::default().with_shard_trees(3).with_query_block(9).with_threads(2);
+        let built = EnginePlan::builder().shard_trees(3).query_block(9).threads(2).build().unwrap();
+        assert_eq!(legacy, built);
+        assert_eq!(legacy.vote_policy(), VotePolicy::Exact);
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! * [`engine`] — the practical CPU path: the tree-sharded,
 //!   cache-blocked execution engine behind the unified
 //!   [`Predictor`](engine::Predictor) API.
+//! * [`votes`] — the vote-reduction subsystem: bit-sliced popcount
+//!   tallies and the early-exit decision rule, selected per plan via
+//!   [`VotePolicy`].
 //!
 //! Every kernel returns its real predictions alongside the simulator's
 //! statistics, and the test suite asserts bit-identical agreement with
@@ -26,8 +29,12 @@ pub mod engine;
 pub mod fpga;
 pub mod gpu;
 pub mod trace;
+pub mod votes;
 
-pub use engine::{EnginePlan, Predictor, RowParallel, ShardedEngine, TreeEnsemble};
+pub use engine::{
+    EnginePlan, EnginePlanBuilder, PlanError, Predictor, RowParallel, ShardedEngine, TreeEnsemble,
+};
+pub use votes::VotePolicy;
 
 /// Threads per block used by all GPU kernels (four warps — a common
 /// choice for latency-bound traversal kernels).

@@ -38,8 +38,8 @@ proptest! {
         depth in 1usize..9,
         classes in 1u32..5,
         n_queries in 1usize..120,
-        shard_trees in 0usize..20,
-        query_block in 0usize..160,
+        shard_trees in 1usize..20,
+        query_block in 1usize..160,
         threads in 0usize..9,
     ) {
         let forest = forest_from_seed(seed, n_trees, depth, classes);
@@ -47,8 +47,15 @@ proptest! {
         let queries: Vec<f32> = (0..n_queries * NF).map(|_| rng.gen()).collect();
         let qv = QueryView::new(&queries, NF).unwrap();
 
-        // Zero fields exercise the normalization clamps on purpose.
-        let plan = EnginePlan { shard_trees, query_block, threads };
+        // Oversized fields exercise the normalization clamps on purpose
+        // (shard_trees/query_block may exceed the forest and batch);
+        // threads == 0 means auto-detect.
+        let plan = EnginePlan::builder()
+            .shard_trees(shard_trees)
+            .query_block(query_block)
+            .threads(threads)
+            .build()
+            .unwrap();
 
         let qfil8 = QFilForest::<u8>::build(&forest).unwrap();
         let qcsr8 = QCsrForest::<u8>::build(&forest).unwrap();

@@ -21,6 +21,7 @@ use rfx_forest::RandomForest;
 use rfx_kernels::engine::{Predictor, RowParallel, ShardedEngine, TreeEnsemble};
 use rfx_kernels::fpga::independent::run_independent;
 use rfx_kernels::gpu::hybrid::run_hybrid;
+use rfx_kernels::VotePolicy;
 use std::fmt;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -161,27 +162,37 @@ pub(crate) trait Backend: Send + Sync {
     fn resident_footprint(&self) -> LayoutFootprint;
 }
 
-pub(crate) fn make_backend(kind: BackendKind, model: &ServeModel) -> Box<dyn Backend + Sync> {
+/// Builds one executor of `kind` over `model`. Every sharded CPU engine
+/// in the backend — primary or device-refusal fallback — is constructed
+/// with `policy`, so a registry-wide [`VotePolicy`] choice reaches every
+/// path that tallies votes.
+pub(crate) fn make_backend(
+    kind: BackendKind,
+    model: &ServeModel,
+    policy: VotePolicy,
+) -> Box<dyn Backend + Sync> {
     match kind {
         BackendKind::CpuParallel => {
             Box::new(CpuParallel { engine: RowParallel::new(Arc::clone(model.forest())) })
         }
-        BackendKind::CpuSharded => {
-            Box::new(CpuSharded { engine: ShardedEngine::new(Arc::clone(model.forest())) })
-        }
+        BackendKind::CpuSharded => Box::new(CpuSharded {
+            engine: ShardedEngine::with_policy(Arc::clone(model.forest()), policy),
+        }),
         BackendKind::GpuSimHybrid => Box::new(GpuSimHybrid {
             model: model.clone(),
-            fallback: ShardedEngine::new(Arc::clone(model.hier())),
+            fallback: ShardedEngine::with_policy(Arc::clone(model.hier()), policy),
             fallbacks: AtomicU64::new(0),
         }),
         BackendKind::FpgaSimIndependent => Box::new(FpgaSimIndependent {
             model: model.clone(),
-            fallback: ShardedEngine::new(Arc::clone(model.hier())),
+            fallback: ShardedEngine::with_policy(Arc::clone(model.hier()), policy),
             fallbacks: AtomicU64::new(0),
         }),
         BackendKind::CpuShardedQ8 => Box::new(CpuShardedQ8 {
-            engine: QFilForest::<u8>::build(model.forest()).ok().map(ShardedEngine::new),
-            fallback: ShardedEngine::new(Arc::clone(model.forest())),
+            engine: QFilForest::<u8>::build(model.forest())
+                .ok()
+                .map(|q| ShardedEngine::with_policy(q, policy)),
+            fallback: ShardedEngine::with_policy(Arc::clone(model.forest()), policy),
             fallbacks: AtomicU64::new(0),
         }),
     }
@@ -229,15 +240,16 @@ impl Backend for CpuSharded {
     fn tile_attrs(&self, rows: usize) -> Vec<(&'static str, String)> {
         let plan = self.engine.plan_for(rows);
         let n_trees = self.engine.source().num_trees();
-        let shards = n_trees.div_ceil(plan.shard_trees);
-        let blocks = rows.div_ceil(plan.query_block).max(1);
+        let shards = n_trees.div_ceil(plan.shard_trees());
+        let blocks = rows.div_ceil(plan.query_block()).max(1);
         vec![
-            ("shard_trees", plan.shard_trees.to_string()),
-            ("query_block", plan.query_block.to_string()),
+            ("shard_trees", plan.shard_trees().to_string()),
+            ("query_block", plan.query_block().to_string()),
             ("shards", shards.to_string()),
             ("blocks", blocks.to_string()),
             ("tiles", (shards * blocks).to_string()),
-            ("threads", plan.threads.to_string()),
+            ("threads", plan.threads().to_string()),
+            ("vote_policy", plan.vote_policy().to_string()),
         ]
     }
 
@@ -364,14 +376,15 @@ impl Backend for CpuShardedQ8 {
                 ("f32-fallback", self.fallback.plan_for(rows), self.fallback.source().num_trees())
             }
         };
-        let shards = n_trees.div_ceil(plan.shard_trees);
-        let blocks = rows.div_ceil(plan.query_block).max(1);
+        let shards = n_trees.div_ceil(plan.shard_trees());
+        let blocks = rows.div_ceil(plan.query_block()).max(1);
         vec![
             ("layout", layout.to_string()),
-            ("shard_trees", plan.shard_trees.to_string()),
+            ("shard_trees", plan.shard_trees().to_string()),
             ("shards", shards.to_string()),
             ("blocks", blocks.to_string()),
-            ("threads", plan.threads.to_string()),
+            ("threads", plan.threads().to_string()),
+            ("vote_policy", plan.vote_policy().to_string()),
         ]
     }
 

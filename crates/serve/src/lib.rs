@@ -95,3 +95,6 @@ pub use router::{Arm, RouteMode, ShadowStats};
 pub use scheduler::SchedulePolicy;
 pub use service::{RfxServe, ServeConfig};
 pub use ticket::Ticket;
+// The engine's vote-reduction policy, re-exported so deployments can set
+// `ServeConfig::vote_policy` without depending on rfx-kernels directly.
+pub use rfx_kernels::VotePolicy;

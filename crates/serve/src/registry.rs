@@ -26,6 +26,8 @@ use crate::backend::{make_backend, Backend, BackendKind};
 use crate::error::ServeError;
 use crate::metrics::LatencySummary;
 use crate::model::ServeModel;
+use rfx_core::footprint::LayoutFootprint;
+use rfx_kernels::VotePolicy;
 use rfx_telemetry::{Counter, Gauge, Histogram, Telemetry, TraceId};
 use serde::Serialize;
 use std::fmt;
@@ -106,7 +108,35 @@ pub(crate) struct VersionEntry {
     pub(crate) model: ServeModel,
     /// One backend per pool slot, same order as `ServeConfig::backends`.
     pub(crate) backends: Vec<Box<dyn Backend + Sync>>,
+    /// Per-slot resident footprints, computed **once** at publish.
+    /// Activation re-exports gauges from this cache instead of re-walking
+    /// every backend's forest layout on each swap.
+    pub(crate) resident: Vec<LayoutFootprint>,
     pub(crate) recorder: VersionRecorder,
+}
+
+impl VersionEntry {
+    /// Builds one version's executor set (and its footprint cache) —
+    /// the single construction path shared by `v1` and every later
+    /// publish, so the policy and the cache cannot diverge between them.
+    fn build(
+        version: ModelVersion,
+        model: ServeModel,
+        kinds: &[BackendKind],
+        vote_policy: VotePolicy,
+        telemetry: &Telemetry,
+    ) -> Arc<VersionEntry> {
+        let backends: Vec<Box<dyn Backend + Sync>> =
+            kinds.iter().map(|&k| make_backend(k, &model, vote_policy)).collect();
+        let resident = backends.iter().map(|b| b.resident_footprint()).collect();
+        Arc::new(VersionEntry {
+            version,
+            backends,
+            resident,
+            recorder: VersionRecorder::new(telemetry, version),
+            model,
+        })
+    }
 }
 
 impl fmt::Debug for VersionEntry {
@@ -135,6 +165,7 @@ struct Inner {
 pub(crate) struct ModelRegistry {
     inner: Mutex<Inner>,
     kinds: Vec<BackendKind>,
+    vote_policy: VotePolicy,
     telemetry: Telemetry,
     active_version_gauge: Arc<Gauge>,
     epoch_gauge: Arc<Gauge>,
@@ -142,15 +173,17 @@ pub(crate) struct ModelRegistry {
 }
 
 impl ModelRegistry {
-    /// Registers `model` as `v1` and activates it.
-    pub(crate) fn new(model: ServeModel, kinds: &[BackendKind], telemetry: &Telemetry) -> Self {
+    /// Registers `model` as `v1` and activates it. `vote_policy` is the
+    /// registry-wide engine policy: every version published later builds
+    /// its executors with the same policy.
+    pub(crate) fn new(
+        model: ServeModel,
+        kinds: &[BackendKind],
+        vote_policy: VotePolicy,
+        telemetry: &Telemetry,
+    ) -> Self {
         let version = ModelVersion::from_raw(1).unwrap();
-        let entry = Arc::new(VersionEntry {
-            version,
-            backends: kinds.iter().map(|&k| make_backend(k, &model)).collect(),
-            recorder: VersionRecorder::new(telemetry, version),
-            model,
-        });
+        let entry = VersionEntry::build(version, model, kinds, vote_policy, telemetry);
         let active_version_gauge = telemetry.gauge("serve.model.active_version");
         let epoch_gauge = telemetry.gauge("serve.model.epoch");
         active_version_gauge.set(1.0);
@@ -163,6 +196,7 @@ impl ModelRegistry {
                 epoch: 0,
             }),
             kinds: kinds.to_vec(),
+            vote_policy,
             telemetry: telemetry.clone(),
             active_version_gauge,
             epoch_gauge,
@@ -196,12 +230,8 @@ impl ModelRegistry {
             });
         }
         let version = ModelVersion::from_raw(inner.versions.len() as u64 + 1).unwrap();
-        let entry = Arc::new(VersionEntry {
-            version,
-            backends: self.kinds.iter().map(|&k| make_backend(k, &model)).collect(),
-            recorder: VersionRecorder::new(&self.telemetry, version),
-            model,
-        });
+        let entry =
+            VersionEntry::build(version, model, &self.kinds, self.vote_policy, &self.telemetry);
         inner.versions.push(entry);
         Ok(version)
     }
@@ -229,11 +259,13 @@ impl ModelRegistry {
     /// reports the footprint of the layout it **actually traverses** —
     /// quantized backends report compressed bytes — so these gauges agree
     /// with the per-tree cost `EnginePlan::auto` bin-packs shards from.
+    /// Reads the footprints cached on the entry at publish time: a swap
+    /// is a pointer store plus gauge writes, never a forest re-walk.
     fn export_resident_bytes(telemetry: &Telemetry, entry: &VersionEntry) {
-        for backend in &entry.backends {
+        for (backend, footprint) in entry.backends.iter().zip(&entry.resident) {
             telemetry
                 .gauge(&format!("serve.backend.{}.resident_bytes", backend.kind().name()))
-                .set(backend.resident_footprint().total() as f64);
+                .set(footprint.total() as f64);
         }
     }
 
@@ -349,7 +381,12 @@ mod tests {
     }
 
     fn registry() -> ModelRegistry {
-        ModelRegistry::new(model(0), &[BackendKind::CpuSharded], &Telemetry::new())
+        ModelRegistry::new(
+            model(0),
+            &[BackendKind::CpuSharded],
+            VotePolicy::Exact,
+            &Telemetry::new(),
+        )
     }
 
     #[test]
@@ -358,6 +395,7 @@ mod tests {
         let reg = ModelRegistry::new(
             model(0),
             &[BackendKind::CpuSharded, BackendKind::CpuShardedQ8],
+            VotePolicy::Exact,
             &tel,
         );
         let f32_bytes = tel.gauge("serve.backend.cpu-sharded.resident_bytes").get();
@@ -368,6 +406,44 @@ mod tests {
         let v2 = reg.publish(model(1)).unwrap();
         reg.activate(v2).unwrap();
         assert!(tel.gauge("serve.backend.cpu-sharded-q8.resident_bytes").get() > 0.0);
+    }
+
+    #[test]
+    fn cached_resident_footprints_match_the_live_backends() {
+        let reg = ModelRegistry::new(
+            model(0),
+            &[BackendKind::CpuSharded, BackendKind::CpuShardedQ8],
+            VotePolicy::Exact,
+            &Telemetry::new(),
+        );
+        let v2 = reg.publish(model(1)).unwrap();
+        for entry in [reg.active(), reg.get(v2).unwrap()] {
+            assert_eq!(entry.resident.len(), entry.backends.len());
+            for (backend, cached) in entry.backends.iter().zip(&entry.resident) {
+                assert_eq!(
+                    cached.total(),
+                    backend.resident_footprint().total(),
+                    "cache diverged for {}",
+                    backend.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn registry_policy_reaches_published_backends() {
+        let reg = ModelRegistry::new(
+            model(0),
+            &[BackendKind::CpuSharded],
+            VotePolicy::EarlyExit { slack: 2 },
+            &Telemetry::new(),
+        );
+        let v2 = reg.publish(model(1)).unwrap();
+        for entry in [reg.active(), reg.get(v2).unwrap()] {
+            let attrs = entry.backends[0].tile_attrs(64);
+            let policy = attrs.iter().find(|(k, _)| *k == "vote_policy");
+            assert_eq!(policy.map(|(_, v)| v.as_str()), Some("early-exit(slack=2)"));
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@ use rand::{RngCore, SeedableRng};
 use rfx_core::splitmix64;
 use rfx_forest::dataset::QueryView;
 use rfx_forest::RandomForest;
+use rfx_kernels::VotePolicy;
 use rfx_telemetry::{OwnedSpan, Telemetry, TraceId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -58,6 +59,12 @@ pub struct ServeConfig {
     pub backends: Vec<BackendKind>,
     /// Batch-to-backend assignment policy.
     pub policy: SchedulePolicy,
+    /// Vote-reduction policy for every sharded CPU engine the pool
+    /// builds (primary and device-refusal fallbacks), on this and every
+    /// later published version. [`VotePolicy::Exact`] is the default;
+    /// the bit-sliced and early-exit policies are label-identical
+    /// opt-ins (see `rfx_kernels::votes`).
+    pub vote_policy: VotePolicy,
     /// Rows in the startup probe batch used to seed each backend's
     /// latency estimate (0 disables probing; `Auto` then warms up on the
     /// first live batches instead). Probes call the backends directly
@@ -87,6 +94,7 @@ impl Default for ServeConfig {
             // their own grid and must be opted into per deployment.
             backends: BackendKind::DEFAULT_POOL.to_vec(),
             policy: SchedulePolicy::Auto,
+            vote_policy: VotePolicy::Exact,
             seed_probe_rows: 32,
             resilience: ResilienceConfig::default(),
             fault_plan: None,
@@ -174,7 +182,7 @@ impl RfxServe {
 
         let num_features = model.num_features();
         let num_classes = model.num_classes();
-        let registry = ModelRegistry::new(model, &config.backends, &telemetry);
+        let registry = ModelRegistry::new(model, &config.backends, config.vote_policy, &telemetry);
         let faults: Vec<Option<FaultState>> = config
             .backends
             .iter()
