@@ -87,25 +87,6 @@ struct ChaosReport {
     gates: Vec<(String, f64)>,
 }
 
-fn seed_from_args(default: u64) -> u64 {
-    let args: Vec<String> = std::env::args().collect();
-    let mut value = None;
-    for (i, a) in args.iter().enumerate() {
-        if let Some(v) = a.strip_prefix("--seed=") {
-            value = Some(v.to_string());
-        } else if a == "--seed" {
-            value = args.get(i + 1).cloned();
-        }
-    }
-    match value {
-        None => default,
-        Some(s) => s.parse().unwrap_or_else(|_| {
-            eprintln!("chaos_bench: --seed expects an unsigned integer, got {s:?}");
-            std::process::exit(2);
-        }),
-    }
-}
-
 /// The scenario's fault plan, targeting the gpu-sim backend only (the
 /// cpu-sharded last resort stays fault-free, as in the real deployment
 /// story: plain memory does not wedge).
@@ -242,7 +223,7 @@ fn run_once(seed: u64, requests: usize) -> ChaosOutcome {
 
 fn main() {
     let scale = Scale::from_args();
-    let seed = seed_from_args(0xC0FFEE);
+    let seed = rfx_bench::args::u64_or("seed", 0xC0FFEE);
     let requests = match scale {
         Scale::Tiny => 120,
         Scale::Default => 400,

@@ -38,7 +38,6 @@ use rfx_serve::{
 };
 use rfx_telemetry::{export, Snapshot, Telemetry, TraceConfig};
 use serde::Serialize;
-use std::path::PathBuf;
 use std::time::Duration;
 
 #[derive(Serialize)]
@@ -51,39 +50,11 @@ struct Scenario {
     stats: ServeStats,
 }
 
-/// Parses `--<flag> <path>` (also `--<flag>=<path>`). A bare flag with
-/// no value is a usage error and exits with the same style of message as
-/// an unknown `--backend`.
-fn path_from_args(flag: &str) -> Option<PathBuf> {
-    let args: Vec<String> = std::env::args().collect();
-    let mut value = None;
-    for (i, a) in args.iter().enumerate() {
-        if let Some(v) = a.strip_prefix(&format!("--{flag}=")) {
-            value = Some(PathBuf::from(v));
-        } else if *a == format!("--{flag}") {
-            value = Some(args.get(i + 1).map(PathBuf::from).unwrap_or_else(|| {
-                eprintln!("serve_bench: --{flag} requires a path argument");
-                std::process::exit(2);
-            }));
-        }
-    }
-    value
-}
-
 /// Parses `--backend <kind>` (also `--backend=<kind>`): the backend to
 /// pit against `cpu-parallel` in the large-batch comparison. Defaults to
 /// `cpu-sharded`; an unknown name exits with the full variant list.
 fn backend_from_args() -> BackendKind {
-    let args: Vec<String> = std::env::args().collect();
-    let mut value = None;
-    for (i, a) in args.iter().enumerate() {
-        if let Some(v) = a.strip_prefix("--backend=") {
-            value = Some(v.to_string());
-        } else if a == "--backend" {
-            value = args.get(i + 1).cloned();
-        }
-    }
-    match value {
+    match rfx_bench::args::value("backend") {
         None => BackendKind::CpuSharded,
         Some(s) => s.parse().unwrap_or_else(|err| {
             eprintln!("serve_bench: {err}");
@@ -164,8 +135,8 @@ fn table_row(table: &mut Table, s: &Scenario) {
 
 fn main() {
     let scale = Scale::from_args();
-    let telemetry_out = path_from_args("telemetry-out");
-    let trace_out = path_from_args("trace-out");
+    let telemetry_out = rfx_bench::args::path("telemetry-out");
+    let trace_out = rfx_bench::args::path("trace-out");
     let focus = backend_from_args();
     let (requests_per_client, depth, trees) = match scale {
         Scale::Tiny => (40, 8, 10),

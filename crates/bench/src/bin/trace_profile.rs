@@ -37,26 +37,7 @@ use rfx_serve::{
 };
 use rfx_telemetry::{export, Snapshot, Telemetry, TraceConfig};
 use serde::Serialize;
-use std::path::PathBuf;
 use std::time::Duration;
-
-/// Parses `--<flag> <value>` (also `--<flag>=<value>`); a bare flag with
-/// no value exits with a usage error.
-fn value_from_args(flag: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    let mut value = None;
-    for (i, a) in args.iter().enumerate() {
-        if let Some(v) = a.strip_prefix(&format!("--{flag}=")) {
-            value = Some(v.to_string());
-        } else if *a == format!("--{flag}") {
-            value = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
-                eprintln!("trace_profile: --{flag} requires a value");
-                std::process::exit(2);
-            }));
-        }
-    }
-    value
-}
 
 #[derive(Serialize)]
 struct SlowTrace {
@@ -103,9 +84,9 @@ struct Report {
 
 fn main() {
     let scale = Scale::from_args();
-    let chrome_out = value_from_args("chrome-out").map(PathBuf::from);
-    let flame_out = value_from_args("flame-out").map(PathBuf::from);
-    let top_k: usize = value_from_args("top").map_or(5, |v| {
+    let chrome_out = rfx_bench::args::path("chrome-out");
+    let flame_out = rfx_bench::args::path("flame-out");
+    let top_k: usize = rfx_bench::args::value("top").map_or(5, |v| {
         v.parse().unwrap_or_else(|e| {
             eprintln!("trace_profile: --top: {e}");
             std::process::exit(2);

@@ -27,6 +27,7 @@
 
 use rfx_bench::harness::{write_json, Table};
 use rfx_bench::scale::Scale;
+use rfx_bench::timing::{measure_qps, tiled};
 use rfx_bench::workloads::trained_forest;
 use rfx_core::FilForest;
 use rfx_data::specs::paper_datasets;
@@ -34,14 +35,6 @@ use rfx_forest::dataset::QueryView;
 use rfx_kernels::cpu::predict_reference;
 use rfx_kernels::{EnginePlan, Predictor, ShardedEngine, TreeEnsemble, VotePolicy};
 use serde::Serialize;
-use std::time::Instant;
-
-/// Minimum rows in a timed batch: tiny-scale query sets are tiled up to
-/// this so a single pass is long enough to time.
-const MIN_TIMED_ROWS: usize = 4_096;
-
-/// Minimum seconds per timing sample (passes repeat until reached).
-const MIN_SAMPLE_SECONDS: f64 = 0.05;
 
 /// Shard count the plan is pinned to: early exit skips *shards*, so the
 /// bench fixes the granularity instead of letting `EnginePlan::auto`
@@ -87,40 +80,6 @@ struct Cell {
     shards_skipped: u64,
     blocks_exited: u64,
     popcount_reductions: u64,
-}
-
-/// Best-of-3 throughput samples; each sample repeats whole passes until
-/// it is long enough to time ([`MIN_SAMPLE_SECONDS`]).
-fn measure_qps<P: Predictor>(engine: &P, features: &[f32], nf: usize) -> f64 {
-    let rows = features.len() / nf;
-    let mut out = vec![0u32; rows];
-    engine.predict_into(QueryView::new(features, nf).unwrap(), &mut out);
-    let mut best = 0.0f64;
-    for _ in 0..3 {
-        let mut passes = 0usize;
-        let start = Instant::now();
-        loop {
-            engine.predict_into(QueryView::new(features, nf).unwrap(), &mut out);
-            passes += 1;
-            if start.elapsed().as_secs_f64() >= MIN_SAMPLE_SECONDS {
-                break;
-            }
-        }
-        let qps = (rows * passes) as f64 / start.elapsed().as_secs_f64();
-        best = best.max(qps);
-    }
-    best
-}
-
-/// Repeats the query block until it holds at least [`MIN_TIMED_ROWS`].
-fn tiled(features: &[f32], nf: usize) -> Vec<f32> {
-    let rows = features.len() / nf;
-    let reps = MIN_TIMED_ROWS.div_ceil(rows.max(1)).max(1);
-    let mut buf = Vec::with_capacity(features.len() * reps);
-    for _ in 0..reps {
-        buf.extend_from_slice(features);
-    }
-    buf
 }
 
 /// Stage accounting + vote counters from one fully-traced pass.

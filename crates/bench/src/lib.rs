@@ -24,8 +24,10 @@
 //! scale-stable because every variant sees the identical workload — and
 //! `--scale full` reproduces the paper's sample counts verbatim.
 
+pub mod args;
 pub mod harness;
 pub mod runner;
 pub mod scale;
+pub mod timing;
 pub mod tracestats;
 pub mod workloads;

@@ -59,16 +59,7 @@ impl Scale {
     /// defaulting to [`Scale::Default`]. Exits with a usage message on an
     /// unknown value.
     pub fn from_args() -> Scale {
-        let args: Vec<String> = std::env::args().collect();
-        let mut value: Option<&str> = None;
-        for (i, a) in args.iter().enumerate() {
-            if let Some(v) = a.strip_prefix("--scale=") {
-                value = Some(v);
-            } else if a == "--scale" {
-                value = args.get(i + 1).map(|s| s.as_str());
-            }
-        }
-        match value {
+        match crate::args::value("scale").as_deref() {
             None => Scale::Default,
             Some("tiny") => Scale::Tiny,
             Some("default") => Scale::Default,

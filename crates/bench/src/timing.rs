@@ -1,0 +1,49 @@
+//! Shared wall-clock timing helpers for the engine-throughput benches
+//! (`vote_bench`, `quant_bench`, `perf_report`): one definition of "a
+//! batch big enough to time" and "best-of-N queries/second".
+
+use rfx_forest::dataset::QueryView;
+use rfx_kernels::Predictor;
+use std::time::Instant;
+
+/// Minimum rows in a timed batch: tiny-scale query sets are tiled up to
+/// this so a single pass is long enough to time.
+pub const MIN_TIMED_ROWS: usize = 4_096;
+
+/// Minimum seconds per timing sample (passes repeat until reached).
+pub const MIN_SAMPLE_SECONDS: f64 = 0.05;
+
+/// Best-of-3 throughput samples; each sample repeats whole passes until
+/// it is long enough to time ([`MIN_SAMPLE_SECONDS`]). The first
+/// (untimed) pass warms caches and the engine's lazy state.
+pub fn measure_qps<P: Predictor>(engine: &P, features: &[f32], nf: usize) -> f64 {
+    let rows = features.len() / nf;
+    let mut out = vec![0u32; rows];
+    engine.predict_into(QueryView::new(features, nf).unwrap(), &mut out);
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let mut passes = 0usize;
+        let start = Instant::now();
+        loop {
+            engine.predict_into(QueryView::new(features, nf).unwrap(), &mut out);
+            passes += 1;
+            if start.elapsed().as_secs_f64() >= MIN_SAMPLE_SECONDS {
+                break;
+            }
+        }
+        let qps = (rows * passes) as f64 / start.elapsed().as_secs_f64();
+        best = best.max(qps);
+    }
+    best
+}
+
+/// Repeats the query block until it holds at least [`MIN_TIMED_ROWS`].
+pub fn tiled(features: &[f32], nf: usize) -> Vec<f32> {
+    let rows = features.len() / nf;
+    let reps = MIN_TIMED_ROWS.div_ceil(rows.max(1)).max(1);
+    let mut buf = Vec::with_capacity(features.len() * reps);
+    for _ in 0..reps {
+        buf.extend_from_slice(features);
+    }
+    buf
+}

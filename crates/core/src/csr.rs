@@ -167,6 +167,42 @@ impl CsrForest {
         crate::majority(&votes)
     }
 
+    /// Classifies like [`CsrForest::predict_tree`] while reporting each
+    /// simulated memory fetch to `sink` — the four scattered reads per
+    /// level the module docs describe. The attribute region lays
+    /// `feature_id` (2 B/node) then `value` (4 B/node) back to back;
+    /// the topology region lays `children_arr_idx` then `children_arr`
+    /// (4 B each).
+    pub fn predict_tree_traced(
+        &self,
+        t: usize,
+        query: &[f32],
+        sink: &mut dyn crate::memprobe::FetchSink,
+    ) -> Label {
+        let node_base = self.tree_node_offset[t] as usize;
+        let child_base = self.tree_child_offset[t] as usize;
+        let value_base = (self.feature_id.len() * 2) as u64;
+        let children_base = (self.children_arr_idx.len() * 4) as u64;
+        let mut n = 0usize;
+        loop {
+            let g = node_base + n;
+            sink.attribute((g * 2) as u64, 2);
+            sink.attribute(value_base + (g * 4) as u64, 4);
+            let f = self.feature_id[g];
+            let v = self.value[g];
+            if f == LEAF_FEATURE {
+                return v as Label;
+            }
+            sink.topology((g * 4) as u64, 4);
+            let idx = self.children_arr_idx[g] as usize;
+            sink.query(f as u32);
+            let go_left = query[f as usize] < v;
+            let slot = child_base + idx + usize::from(!go_left);
+            sink.topology(children_base + (slot * 4) as u64, 4);
+            n = self.children_arr[slot] as usize;
+        }
+    }
+
     /// Memory footprint in bytes of each CSR array (the Fig. 6 baseline).
     pub fn footprint(&self) -> crate::footprint::LayoutFootprint {
         crate::footprint::LayoutFootprint {
@@ -250,6 +286,31 @@ mod tests {
         let csr = CsrForest::build(&forest_of(vec![DecisionTree::leaf(1)], 3));
         assert_eq!(csr.predict_tree(0, &[0.0; 3]), 1);
         assert!(csr.children_arr().is_empty());
+    }
+
+    #[test]
+    fn traced_traversal_matches_untraced_and_reports_four_reads_per_level() {
+        use crate::memprobe::CountingSink;
+        let mut rng = StdRng::seed_from_u64(31);
+        let trees: Vec<DecisionTree> =
+            (0..5).map(|_| DecisionTree::random(&mut rng, 7, 8, 3, 0.3)).collect();
+        let csr = CsrForest::build(&RandomForest::from_trees(trees, 8, 3).unwrap());
+        let mut sink = CountingSink::default();
+        let traversals = 200 * csr.num_trees() as u64;
+        for _ in 0..200 {
+            let q: Vec<f32> = (0..8).map(|_| rng.gen()).collect();
+            for t in 0..csr.num_trees() {
+                assert_eq!(csr.predict_tree_traced(t, &q, &mut sink), csr.predict_tree(t, &q));
+            }
+        }
+        // Every visit reads feature_id (2 B) + value (4 B); inner visits
+        // add two topology reads (children_arr_idx + children_arr).
+        let visits = sink.attribute_fetches / 2;
+        let inner_visits = visits - traversals;
+        assert_eq!(sink.attribute_bytes, visits * 6);
+        assert_eq!(sink.topology_fetches, inner_visits * 2);
+        assert_eq!(sink.topology_bytes, inner_visits * 8);
+        assert_eq!(sink.query_fetches, inner_visits);
     }
 
     #[test]

@@ -106,6 +106,31 @@ impl FilForest {
         crate::majority(&votes)
     }
 
+    /// Classifies like [`FilForest::predict_tree`] while reporting each
+    /// simulated memory fetch to `sink`: one colocated 12 B node record
+    /// per level within the packed `nodes` array (FIL's defining
+    /// property — no topology indirection), plus the query feature read
+    /// at every inner node.
+    pub fn predict_tree_traced(
+        &self,
+        t: usize,
+        query: &[f32],
+        sink: &mut dyn crate::memprobe::FetchSink,
+    ) -> Label {
+        let base = self.tree_offset[t] as usize;
+        let mut n = 0usize;
+        loop {
+            sink.attribute(((base + n) * FIL_NODE_BYTES) as u64, FIL_NODE_BYTES as u32);
+            let node = self.nodes[base + n];
+            if node.feature < 0 {
+                return node.value as Label;
+            }
+            sink.query(node.feature as u32);
+            let go_right = query[node.feature as usize] >= node.value;
+            n = node.left_child as usize + usize::from(go_right);
+        }
+    }
+
     /// Byte footprint of the layout.
     pub fn footprint(&self) -> crate::footprint::LayoutFootprint {
         crate::footprint::LayoutFootprint {
@@ -206,6 +231,28 @@ mod tests {
         let forest = RandomForest::from_trees(vec![DecisionTree::leaf(2)], 4, 3).unwrap();
         let fil = FilForest::build(&forest);
         assert_eq!(fil.predict(&[0.0; 4]), 2);
+    }
+
+    #[test]
+    fn traced_traversal_matches_untraced_and_reports_node_records() {
+        use crate::memprobe::CountingSink;
+        let forest = random_forest(5, 11);
+        let fil = FilForest::build(&forest);
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut sink = CountingSink::default();
+        let traversals = 100 * fil.num_trees() as u64;
+        for _ in 0..100 {
+            let q: Vec<f32> = (0..7).map(|_| rng.gen()).collect();
+            for t in 0..fil.num_trees() {
+                assert_eq!(fil.predict_tree_traced(t, &q, &mut sink), fil.predict_tree(t, &q));
+            }
+        }
+        // One colocated 12 B record per visited node, no indirection.
+        assert!(sink.attribute_fetches > traversals);
+        assert_eq!(sink.attribute_bytes, sink.attribute_fetches * FIL_NODE_BYTES as u64);
+        assert_eq!(sink.topology_fetches, 0);
+        // Exactly one leaf per traversal; every inner visit reads the query.
+        assert_eq!(sink.query_fetches, sink.attribute_fetches - traversals);
     }
 
     #[test]

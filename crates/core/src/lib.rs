@@ -31,6 +31,7 @@ pub mod csr;
 pub mod fil;
 pub mod footprint;
 pub mod hier;
+pub mod memprobe;
 pub mod quant;
 pub mod validate;
 

@@ -1,0 +1,83 @@
+//! Fetch-level observation of layout traversals.
+//!
+//! The layouts in this crate are *address-exact* models of how a forest
+//! sits in memory — that is the whole point of FIL vs CSR vs quantized
+//! packing. [`FetchSink`] exposes that address stream: each layout's
+//! `predict_tree_traced` walks exactly like its `predict_tree` while
+//! reporting every simulated memory fetch (byte offset and width within
+//! the layout's arrays) to the sink. The CPU engine's software memory
+//! tracer (`rfx-kernels`, `mem-tracer` feature) drives a cache-line
+//! model over this stream to give the sharded engine the same
+//! `*.perf.*` counter schema the GPU/FPGA simulators export.
+//!
+//! Offsets are region-local: attribute fetches index one contiguous
+//! byte space holding the layout's node-attribute arrays (laid out
+//! back-to-back in declaration order), topology fetches another for the
+//! child-indirection arrays, and query fetches name the feature index
+//! read from the caller's row. Consumers place the regions at disjoint
+//! bases of a modeled address space.
+
+/// Observer of the simulated memory fetches one tree traversal performs.
+///
+/// Implementations must be cheap: traced traversal sits inside the
+/// engine's per-tile loops.
+pub trait FetchSink {
+    /// A fetch of `bytes` at byte `offset` within the layout's node
+    /// *attribute* arrays (features, thresholds, packed node records).
+    fn attribute(&mut self, offset: u64, bytes: u32);
+
+    /// A fetch of `bytes` at byte `offset` within the layout's
+    /// *topology* arrays (child-indirection tables). Layouts that embed
+    /// topology in the node record (FIL) never call this.
+    fn topology(&mut self, offset: u64, bytes: u32);
+
+    /// A read of query feature `feature` from the row being classified.
+    fn query(&mut self, feature: u32);
+}
+
+/// Discards every fetch — traced traversal with a `NoopSink` takes the
+/// same branches as the untraced walk and reports nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl FetchSink for NoopSink {
+    #[inline]
+    fn attribute(&mut self, _offset: u64, _bytes: u32) {}
+    #[inline]
+    fn topology(&mut self, _offset: u64, _bytes: u32) {}
+    #[inline]
+    fn query(&mut self, _feature: u32) {}
+}
+
+/// Tallies fetches and bytes per region — enough for exactness tests
+/// and quick footprint probes without a cache model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingSink {
+    /// Attribute fetches observed.
+    pub attribute_fetches: u64,
+    /// Attribute bytes observed.
+    pub attribute_bytes: u64,
+    /// Topology fetches observed.
+    pub topology_fetches: u64,
+    /// Topology bytes observed.
+    pub topology_bytes: u64,
+    /// Query-feature reads observed.
+    pub query_fetches: u64,
+}
+
+impl FetchSink for CountingSink {
+    #[inline]
+    fn attribute(&mut self, _offset: u64, bytes: u32) {
+        self.attribute_fetches += 1;
+        self.attribute_bytes += bytes as u64;
+    }
+    #[inline]
+    fn topology(&mut self, _offset: u64, bytes: u32) {
+        self.topology_fetches += 1;
+        self.topology_bytes += bytes as u64;
+    }
+    #[inline]
+    fn query(&mut self, _feature: u32) {
+        self.query_fetches += 1;
+    }
+}

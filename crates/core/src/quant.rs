@@ -416,6 +416,37 @@ impl<T: QuantLevel> QFilForest<T> {
         crate::majority(&votes)
     }
 
+    /// Classifies like [`QFilForest::predict_tree`] while reporting each
+    /// simulated memory fetch to `sink`. The attribute region lays the
+    /// packed `meta` words (4 B/node) then the quantized levels
+    /// (`T::BYTES`/node) back to back — `4 + T::BYTES` attribute bytes
+    /// per inner node, the compression the footprint matrix reports.
+    /// Leaves read only their meta word, exactly like the untraced walk.
+    pub fn predict_tree_traced(
+        &self,
+        t: usize,
+        query: &[f32],
+        sink: &mut dyn crate::memprobe::FetchSink,
+    ) -> Label {
+        let base = self.tree_offset[t] as usize;
+        let qvalue_base = (self.meta.len() * 4) as u64;
+        let mut n = 0usize;
+        loop {
+            let g = base + n;
+            sink.attribute((g * 4) as u64, 4);
+            let m = self.meta[g];
+            if m & 1 == 1 {
+                return m >> 1;
+            }
+            sink.attribute(qvalue_base + (g * T::BYTES) as u64, T::BYTES as u32);
+            let f = ((m >> 1) & QFIL_FEATURE_MASK) as usize;
+            let thr = self.quantizer.dequantize(f, self.qvalue[g].level());
+            sink.query(f as u32);
+            let go_right = query[f] >= thr;
+            n = (m >> (QFIL_FEATURE_BITS + 1)) as usize + usize::from(go_right);
+        }
+    }
+
     /// Bytes actually resident: packed meta + levels as attributes, tree
     /// offsets plus the quantizer's parameter table as index overhead.
     pub fn footprint(&self) -> LayoutFootprint {
@@ -633,6 +664,42 @@ impl<T: QuantLevel> QCsrForest<T> {
         crate::majority(&votes)
     }
 
+    /// Classifies like [`QCsrForest::predict_tree`] while reporting each
+    /// simulated memory fetch to `sink`. Attribute region: `meta`
+    /// (2 B/node) then quantized levels (`T::BYTES`/node); topology
+    /// region: `children_arr_idx` then `children_arr` (4 B each), as in
+    /// [`crate::CsrForest::predict_tree_traced`].
+    pub fn predict_tree_traced(
+        &self,
+        t: usize,
+        query: &[f32],
+        sink: &mut dyn crate::memprobe::FetchSink,
+    ) -> Label {
+        let node_base = self.tree_node_offset[t] as usize;
+        let child_base = self.tree_child_offset[t] as usize;
+        let qvalue_base = (self.meta.len() * 2) as u64;
+        let children_base = (self.children_arr_idx.len() * 4) as u64;
+        let mut n = 0usize;
+        loop {
+            let g = node_base + n;
+            sink.attribute((g * 2) as u64, 2);
+            let m = self.meta[g];
+            if m & QCSR_LEAF_BIT != 0 {
+                return u32::from(m & !QCSR_LEAF_BIT);
+            }
+            sink.attribute(qvalue_base + (g * T::BYTES) as u64, T::BYTES as u32);
+            let f = m as usize;
+            let thr = self.quantizer.dequantize(f, self.qvalue[g].level());
+            sink.topology((g * 4) as u64, 4);
+            let idx = self.children_arr_idx[g] as usize;
+            sink.query(f as u32);
+            let go_left = query[f] < thr;
+            let slot = child_base + idx + usize::from(!go_left);
+            sink.topology(children_base + (slot * 4) as u64, 4);
+            n = self.children_arr[slot] as usize;
+        }
+    }
+
     /// Bytes actually resident (see [`QFilForest::footprint`]).
     pub fn footprint(&self) -> LayoutFootprint {
         LayoutFootprint {
@@ -741,6 +808,48 @@ mod tests {
                 assert_eq!(qcsr.predict_tree(t, &qv), tw);
             }
         }
+    }
+
+    #[test]
+    fn traced_traversals_match_untraced_and_report_packed_widths() {
+        use crate::memprobe::CountingSink;
+        let forest = random_forest(6, 8, 7, 3, 13);
+        let qfil = QFilForest::<u8>::build(&forest).unwrap();
+        let qcsr = QCsrForest::<u8>::build(&forest).unwrap();
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut fil_sink = CountingSink::default();
+        let mut csr_sink = CountingSink::default();
+        let traversals = 150 * forest.num_trees() as u64;
+        for _ in 0..150 {
+            let qv: Vec<f32> = (0..7).map(|_| rng.gen::<f32>() * 1.5 - 0.25).collect();
+            for t in 0..forest.num_trees() {
+                assert_eq!(
+                    qfil.predict_tree_traced(t, &qv, &mut fil_sink),
+                    qfil.predict_tree(t, &qv)
+                );
+                assert_eq!(
+                    qcsr.predict_tree_traced(t, &qv, &mut csr_sink),
+                    qcsr.predict_tree(t, &qv)
+                );
+            }
+        }
+        // QFil: every visit reads the 4 B meta word; inner visits add a
+        // 1 B quantized level. Topology is embedded in meta.
+        let fil_inner = fil_sink.query_fetches;
+        let fil_visits = fil_inner + traversals;
+        assert_eq!(fil_sink.attribute_fetches, fil_visits + fil_inner);
+        assert_eq!(fil_sink.attribute_bytes, fil_visits * 4 + fil_inner);
+        assert_eq!(fil_sink.topology_fetches, 0);
+        // QCsr: 2 B meta per visit + 1 B level per inner visit, plus
+        // CSR's two 4 B topology reads per inner visit.
+        let csr_inner = csr_sink.query_fetches;
+        let csr_visits = csr_inner + traversals;
+        assert_eq!(csr_sink.attribute_fetches, csr_visits + csr_inner);
+        assert_eq!(csr_sink.attribute_bytes, csr_visits * 2 + csr_inner);
+        assert_eq!(csr_sink.topology_fetches, csr_inner * 2);
+        assert_eq!(csr_sink.topology_bytes, csr_inner * 8);
+        // Both layouts walk the same snapped forest: identical visit counts.
+        assert_eq!(fil_visits, csr_visits);
     }
 
     #[test]

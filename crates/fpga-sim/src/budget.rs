@@ -69,6 +69,28 @@ impl OnChipBudget {
     pub fn capacity(&self) -> u64 {
         self.capacity
     }
+
+    /// Fraction of the SLR's BRAM/URAM currently reserved (0.0 when the
+    /// capacity itself is zero).
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.used as f64 / self.capacity as f64
+        }
+    }
+
+    /// Publishes the budget's occupancy into the ambient telemetry
+    /// domain as `fpgasim.bram.used_bytes` / `fpgasim.bram.utilization`
+    /// gauges — the on-chip-residency complement to the CU-level
+    /// `fpgasim.perf.occupancy` the pipeline model exports. Kernels call
+    /// this once their buffers are placed.
+    #[cfg(feature = "telemetry")]
+    pub fn export_telemetry(&self) {
+        let tel = rfx_telemetry::current();
+        tel.gauge("fpgasim.bram.used_bytes").set(self.used as f64);
+        tel.gauge("fpgasim.bram.utilization").set(self.utilization());
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +115,15 @@ mod tests {
         let mut b = OnChipBudget::new(10);
         b.free(99);
         assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn utilization_tracks_used_fraction() {
+        let mut b = OnChipBudget::new(200);
+        assert_eq!(b.utilization(), 0.0);
+        b.alloc(50).unwrap();
+        assert_eq!(b.utilization(), 0.25);
+        assert_eq!(OnChipBudget::new(0).utilization(), 0.0);
     }
 
     #[test]

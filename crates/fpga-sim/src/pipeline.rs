@@ -26,6 +26,14 @@ pub struct CuExecution {
     /// Iterations that did no useful work (e.g. non-present queries pushed
     /// through a subtree in the collaborative variant).
     pub wasted_iterations: u64,
+    /// Stall decomposition, by cause: cycles lost waiting on the DDR
+    /// channel — II inflation from co-resident CUs, streaming feed
+    /// limits, and burst-share slowdown. Purely additive bookkeeping on
+    /// top of `cycles`/`useful_cycles`, which keep their meaning.
+    pub contention_stall_cycles: u64,
+    /// Stall decomposition, by cause: pipeline fill cycles before each
+    /// loop's first result.
+    pub fill_stall_cycles: u64,
 }
 
 impl CuExecution {
@@ -36,6 +44,19 @@ impl CuExecution {
         } else {
             1.0 - self.useful_cycles as f64 / self.cycles as f64
         }
+    }
+
+    /// All stalled cycles (total minus useful).
+    pub fn stall_cycles(&self) -> u64 {
+        self.cycles.saturating_sub(self.useful_cycles)
+    }
+
+    /// Stall decomposition, by cause: cycles issued to iterations that
+    /// produced no useful result (wasted iterations at the base II) —
+    /// the residual once contention and fill are accounted for, so the
+    /// three causes always partition [`CuExecution::stall_cycles`].
+    pub fn wasted_cycles(&self) -> u64 {
+        self.stall_cycles().saturating_sub(self.contention_stall_cycles + self.fill_stall_cycles)
     }
 }
 
@@ -88,6 +109,8 @@ impl<'a> CuPipeline<'a> {
         self.exec.iterations += iterations;
         self.exec.wasted_iterations += iterations - useful;
         self.exec.ext_read_bytes += iterations * ext_bytes_per_iter;
+        self.exec.contention_stall_cycles += iterations * (eff - base);
+        self.exec.fill_stall_cycles += self.cfg.pipeline_fill as u64;
     }
 
     /// Runs a pipelined loop that **streams** `reqs_per_iter` random
@@ -126,6 +149,10 @@ impl<'a> CuPipeline<'a> {
         self.exec.iterations += iterations;
         self.exec.wasted_iterations += iterations - useful;
         self.exec.ext_read_bytes += iterations * ext_bytes_per_iter;
+        // Feed-limit inflation is channel contention too: everything the
+        // effective II adds over the uncontended chain is DDR waiting.
+        self.exec.contention_stall_cycles += iterations * (eff - base);
+        self.exec.fill_stall_cycles += self.cfg.pipeline_fill as u64;
     }
 
     /// Burst-reads `bytes` from external memory. Burst throughput is one
@@ -146,6 +173,8 @@ impl<'a> CuPipeline<'a> {
         self.exec.cycles += cycles;
         self.exec.useful_cycles += useful.min(cycles);
         self.exec.ext_read_bytes += bytes;
+        // The slowdown from sharing the SLR channel is pure contention.
+        self.exec.contention_stall_cycles += cycles - useful.min(cycles);
     }
 
     /// Adds fixed sequential (non-pipelined) cycles, all useful — e.g.
@@ -266,6 +295,39 @@ mod tests {
         assert_eq!(p.cycles, 100 + 1000 * feed(12).max(3));
         assert!(p.cycles > 10 * s.cycles, "replication must be counter-productive");
         assert!(p.stall_fraction() > 0.9);
+    }
+
+    #[test]
+    fn stall_causes_partition_total_stall() {
+        let c = cfg();
+        let mut cu = CuPipeline::new(&c, 12);
+        let base = cu.ii(chains::COLLABORATIVE) as u64;
+        cu.run_loop(chains::COLLABORATIVE, 10_000, 1_000, 4);
+        cu.burst_read(8000);
+        cu.sequential(50);
+        let e = cu.finish();
+        // The three causes always partition the total stall exactly.
+        assert_eq!(
+            e.contention_stall_cycles + e.fill_stall_cycles + e.wasted_cycles(),
+            e.stall_cycles()
+        );
+        assert!(e.contention_stall_cycles > 0, "12 packed CUs must contend");
+        assert_eq!(e.fill_stall_cycles, c.pipeline_fill as u64);
+        // 9000 wasted iterations at the uncontended II.
+        assert_eq!(e.wasted_cycles(), 9_000 * base);
+        // And the legacy totals are untouched by the decomposition.
+        assert_eq!(e.stall_cycles(), e.cycles - e.useful_cycles);
+    }
+
+    #[test]
+    fn uncontended_full_loops_have_only_fill_stall() {
+        let c = cfg();
+        let mut cu = CuPipeline::new(&c, 1);
+        cu.run_loop(chains::INDEPENDENT, 1000, 1000, 6);
+        let e = cu.finish();
+        assert_eq!(e.contention_stall_cycles, 0);
+        assert_eq!(e.wasted_cycles(), 0);
+        assert_eq!(e.fill_stall_cycles, e.stall_cycles());
     }
 
     #[test]

@@ -98,21 +98,60 @@ pub fn combine_cus(cus: &[CuExecution], replication: Replication) -> FpgaStats {
     stats
 }
 
+/// External-memory burst beat size assumed when converting byte traffic
+/// into DRAM transactions for the unified perf schema (one DDR4 burst
+/// moves 64 B).
+#[cfg(feature = "telemetry")]
+const DDR_BEAT_BYTES: u64 = 64;
+
+/// One device execution's counters in the unified cross-path perf
+/// schema (DESIGN.md §17). BRAM scratchpads are explicitly managed, not
+/// a cache hierarchy, so the l1/l2 keys are exported as zero; stall
+/// cycles split by cause (DDR contention, pipeline fill, wasted
+/// iterations); occupancy is CU load balance — how evenly work spread
+/// over the replicated CUs (1.0 = every CU busy until the end).
+#[cfg(feature = "telemetry")]
+fn perf_from_cus(cus: &[CuExecution], stats: &FpgaStats) -> rfx_telemetry::PerfCounters {
+    let total_cycles: u64 = cus.iter().map(|c| c.cycles).sum();
+    let useful: u64 = cus.iter().map(|c| c.useful_cycles).sum();
+    let occupancy = if stats.cycles == 0 {
+        0.0
+    } else {
+        total_cycles as f64 / (stats.cycles as f64 * cus.len() as f64)
+    };
+    rfx_telemetry::PerfCounters {
+        l1_accesses: 0,
+        l1_hits: 0,
+        l1_misses: 0,
+        l2_accesses: 0,
+        l2_hits: 0,
+        l2_misses: 0,
+        dram_transactions: stats.ext_read_bytes.div_ceil(DDR_BEAT_BYTES),
+        dram_bytes: stats.ext_read_bytes,
+        busy_cycles: useful,
+        stall_memory_cycles: cus.iter().map(|c| c.contention_stall_cycles).sum(),
+        stall_fill_cycles: cus.iter().map(|c| c.fill_stall_cycles).sum(),
+        stall_wasted_cycles: cus.iter().map(|c| c.wasted_cycles()).sum(),
+        occupancy,
+    }
+}
+
 /// Records one device execution's pipeline counters into the ambient
-/// telemetry domain (`fpgasim.*`) — the process-global domain unless the
-/// caller installed a scoped one. Compiled only under the `telemetry`
-/// feature.
+/// telemetry domain — the process-global domain unless the caller
+/// installed a scoped one. Memory traffic and the stall decomposition
+/// go through the unified `fpgasim.perf.*` schema
+/// ([`rfx_telemetry::perf`], shared with gpu-sim and the CPU engine's
+/// memory tracer); FPGA-specific pipeline counters (iterations, the
+/// slowest-CU cycle count Table 3 reports) stay in the `fpgasim.*`
+/// namespace. Compiled only under the `telemetry` feature.
 #[cfg(feature = "telemetry")]
 fn emit_execution_telemetry(cus: &[CuExecution], stats: &FpgaStats) {
     let tel = rfx_telemetry::current();
+    perf_from_cus(cus, stats).export(&tel, "fpgasim");
     tel.counter("fpgasim.executions").inc();
     tel.counter("fpgasim.pipeline.cycles").add(stats.cycles);
-    let total_cycles: u64 = cus.iter().map(|c| c.cycles).sum();
-    let useful: u64 = cus.iter().map(|c| c.useful_cycles).sum();
-    tel.counter("fpgasim.pipeline.stall_cycles").add(total_cycles - useful);
     tel.counter("fpgasim.pipeline.iterations").add(stats.iterations);
     tel.counter("fpgasim.pipeline.wasted_iterations").add(stats.wasted_iterations);
-    tel.counter("fpgasim.ext.read_bytes").add(stats.ext_read_bytes);
     tel.gauge("fpgasim.stall_fraction").set(stats.stall_fraction);
 }
 

@@ -305,7 +305,7 @@ impl GpuSim {
         #[cfg(feature = "telemetry")]
         let _launch_tel = rfx_telemetry::current();
         #[cfg(feature = "telemetry")]
-        let _launch_span =
+        let mut launch_span =
             rfx_telemetry::span!(_launch_tel, "gpusim.launch", blocks = grid.num_blocks);
         let warps_per_block = grid.threads_per_block.div_ceil(cfg.warp_size as usize);
         // Occupancy: blocks resident on one SM at a time.
@@ -365,6 +365,11 @@ impl GpuSim {
                 }
                 let overlap = resident_blocks.min(blocks_on_sm).max(1) as u64;
                 let sm_cycles = issue_sum.max(latency_sum / overlap).max(latency_max);
+                // Unified perf-schema cycle split: issue slots are useful
+                // work; whatever the SM clock covers beyond them is
+                // memory latency the resident warps could not hide.
+                stats.issue_cycles = issue_sum;
+                stats.mem_stall_cycles = sm_cycles.saturating_sub(issue_sum);
                 (stats, sm_cycles)
             })
             .collect();
@@ -388,27 +393,43 @@ impl GpuSim {
         total.device_seconds = compute_seconds.max(dram_seconds);
         total.bound = if latency_bound_hit { TimeBound::DramBandwidth } else { TimeBound::Latency };
         #[cfg(feature = "telemetry")]
-        emit_launch_telemetry(&total);
+        {
+            // Resident-warp fraction of the SM's warp slots — the
+            // occupancy number `nvcc --ptxas-options=-v` style tuning
+            // reasons about.
+            let occupancy =
+                ((resident_blocks * warps_per_block) as f64 / cfg.max_warps_per_sm as f64).min(1.0);
+            // Extra wall time the DRAM roofline added beyond compute,
+            // charged as memory stall at the core clock.
+            let dram_stall_cycles =
+                ((total.device_seconds - compute_seconds).max(0.0) * cfg.clock_ghz * 1e9) as u64;
+            let perf = total.perf_counters(occupancy, dram_stall_cycles);
+            for (key, value) in perf.span_attrs() {
+                launch_span.set_attr(key, value);
+            }
+            emit_launch_telemetry(&total, &perf);
+        }
         Ok(total)
     }
 }
 
 /// Records one launch's hardware counters into the ambient telemetry
-/// domain (`gpusim.*`, mirroring the `nvprof` metric names the paper's
-/// Fig. 8 analysis uses) — the process-global domain unless the caller
-/// installed a scoped one. Compiled only under the `telemetry` feature
-/// so the default simulator build carries no instrumentation.
+/// domain — the process-global domain unless the caller installed a
+/// scoped one. Memory-hierarchy and stall counters go through the
+/// unified `gpusim.perf.*` schema ([`rfx_telemetry::perf`], shared with
+/// fpga-sim and the CPU engine's memory tracer); counters with no
+/// cross-path meaning (branch divergence, shared-memory traffic, launch
+/// geometry — the remaining `nvprof` metrics of the paper's Fig. 8)
+/// stay in the `gpusim.*` namespace. Compiled only under the
+/// `telemetry` feature so the default simulator build carries no
+/// instrumentation.
 #[cfg(feature = "telemetry")]
-fn emit_launch_telemetry(stats: &GpuStats) {
+fn emit_launch_telemetry(stats: &GpuStats, perf: &rfx_telemetry::PerfCounters) {
     let tel = rfx_telemetry::current();
+    perf.export(&tel, "gpusim");
     tel.counter("gpusim.launches").inc();
     tel.counter("gpusim.global.load_transactions").add(stats.global_load_transactions);
     tel.counter("gpusim.global.store_transactions").add(stats.global_store_transactions);
-    tel.counter("gpusim.l1.hits").add(stats.l1_hits);
-    tel.counter("gpusim.l1.misses").add(stats.l1_misses);
-    tel.counter("gpusim.l2.hits").add(stats.l2_hits);
-    tel.counter("gpusim.dram.transactions").add(stats.l2_misses);
-    tel.counter("gpusim.dram.bytes").add(stats.dram_bytes());
     tel.counter("gpusim.shared.accesses").add(stats.shared_accesses);
     tel.counter("gpusim.branch.total").add(stats.branch_total);
     tel.counter("gpusim.branch.uniform").add(stats.branch_uniform);

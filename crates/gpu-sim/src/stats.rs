@@ -30,6 +30,12 @@ pub struct GpuStats {
     pub warps_launched: u64,
     /// Blocks launched.
     pub blocks_launched: u64,
+    /// Cycles SMs spent usefully issuing warp instructions (Σ per-warp
+    /// issue slots).
+    pub issue_cycles: u64,
+    /// SM cycles not covered by issue — stalled on dependent-load
+    /// latency the resident warps could not hide (Σ over SMs).
+    pub mem_stall_cycles: u64,
     /// Modeled kernel duration in core-clock cycles.
     pub device_cycles: u64,
     /// Modeled kernel duration in seconds (`device_cycles / clock`), after
@@ -80,19 +86,79 @@ impl GpuStats {
     /// Merges counters of another launch segment into this one (used by
     /// the per-SM parallel simulation; timing fields are combined by the
     /// engine, not here).
+    ///
+    /// The exhaustive destructuring forces every future field through
+    /// this function: a new counter that is not added here (or a new
+    /// timing field not explicitly listed as engine-combined) is a
+    /// compile error, not silent data loss in multi-CTA runs.
     pub fn merge_counters(&mut self, other: &GpuStats) {
-        self.global_load_transactions += other.global_load_transactions;
-        self.global_store_transactions += other.global_store_transactions;
-        self.l1_hits += other.l1_hits;
-        self.l1_misses += other.l1_misses;
-        self.l2_hits += other.l2_hits;
-        self.l2_misses += other.l2_misses;
-        self.shared_accesses += other.shared_accesses;
-        self.branch_total += other.branch_total;
-        self.branch_uniform += other.branch_uniform;
-        self.alu_ops += other.alu_ops;
-        self.warps_launched += other.warps_launched;
-        self.blocks_launched += other.blocks_launched;
+        let GpuStats {
+            global_load_transactions,
+            global_store_transactions,
+            l1_hits,
+            l1_misses,
+            l2_hits,
+            l2_misses,
+            shared_accesses,
+            branch_total,
+            branch_uniform,
+            alu_ops,
+            warps_launched,
+            blocks_launched,
+            issue_cycles,
+            mem_stall_cycles,
+            // Timing is combined by the engine (slowest SM + roofline),
+            // not summed here.
+            device_cycles: _,
+            device_seconds: _,
+            bound: _,
+        } = *other;
+        self.global_load_transactions += global_load_transactions;
+        self.global_store_transactions += global_store_transactions;
+        self.l1_hits += l1_hits;
+        self.l1_misses += l1_misses;
+        self.l2_hits += l2_hits;
+        self.l2_misses += l2_misses;
+        self.shared_accesses += shared_accesses;
+        self.branch_total += branch_total;
+        self.branch_uniform += branch_uniform;
+        self.alu_ops += alu_ops;
+        self.warps_launched += warps_launched;
+        self.blocks_launched += blocks_launched;
+        self.issue_cycles += issue_cycles;
+        self.mem_stall_cycles += mem_stall_cycles;
+    }
+
+    /// This launch's counters in the unified cross-path perf schema
+    /// (DESIGN.md §17). `occupancy` is the resident-warp fraction the
+    /// engine computed for the launch; `dram_stall_cycles` is the extra
+    /// device time the DRAM-bandwidth roofline added beyond the compute
+    /// time, in core-clock cycles. Busy/stall cycles are summed over
+    /// SMs (like CPU cycles over cores), so they exceed `device_cycles`
+    /// on multi-SM launches.
+    #[cfg(feature = "telemetry")]
+    pub fn perf_counters(
+        &self,
+        occupancy: f64,
+        dram_stall_cycles: u64,
+    ) -> rfx_telemetry::PerfCounters {
+        rfx_telemetry::PerfCounters {
+            l1_accesses: self.l1_hits + self.l1_misses,
+            l1_hits: self.l1_hits,
+            l1_misses: self.l1_misses,
+            l2_accesses: self.l2_hits + self.l2_misses,
+            l2_hits: self.l2_hits,
+            l2_misses: self.l2_misses,
+            dram_transactions: self.l2_misses,
+            dram_bytes: self.dram_bytes(),
+            busy_cycles: self.issue_cycles,
+            stall_memory_cycles: self.mem_stall_cycles + dram_stall_cycles,
+            // The issue model has no separate pipeline-fill phase, and
+            // divergent-branch re-execution is already charged to issue.
+            stall_fill_cycles: 0,
+            stall_wasted_cycles: 0,
+            occupancy,
+        }
     }
 }
 
@@ -123,5 +189,78 @@ mod tests {
     fn hit_rate() {
         let s = GpuStats { l1_hits: 3, l1_misses: 1, ..Default::default() };
         assert!((s.l1_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    /// Every counter field must survive a merge; the destructuring (no
+    /// `..`) makes this test — like `merge_counters` itself — fail to
+    /// compile when a field is added, so it cannot silently go stale.
+    #[test]
+    fn merge_counters_is_exhaustive_over_counter_fields() {
+        let mut acc = GpuStats::default();
+        let seg = GpuStats {
+            global_load_transactions: 1,
+            global_store_transactions: 2,
+            l1_hits: 3,
+            l1_misses: 4,
+            l2_hits: 5,
+            l2_misses: 6,
+            shared_accesses: 7,
+            branch_total: 8,
+            branch_uniform: 9,
+            alu_ops: 10,
+            warps_launched: 11,
+            blocks_launched: 12,
+            issue_cycles: 13,
+            mem_stall_cycles: 14,
+            device_cycles: 1000,
+            device_seconds: 1.0,
+            bound: TimeBound::Latency,
+        };
+        acc.merge_counters(&seg);
+        acc.merge_counters(&seg);
+        let GpuStats {
+            global_load_transactions,
+            global_store_transactions,
+            l1_hits,
+            l1_misses,
+            l2_hits,
+            l2_misses,
+            shared_accesses,
+            branch_total,
+            branch_uniform,
+            alu_ops,
+            warps_launched,
+            blocks_launched,
+            issue_cycles,
+            mem_stall_cycles,
+            device_cycles,
+            device_seconds,
+            bound,
+        } = acc;
+        for (i, (got, per_seg)) in [
+            (global_load_transactions, 1),
+            (global_store_transactions, 2),
+            (l1_hits, 3),
+            (l1_misses, 4),
+            (l2_hits, 5),
+            (l2_misses, 6),
+            (shared_accesses, 7),
+            (branch_total, 8),
+            (branch_uniform, 9),
+            (alu_ops, 10),
+            (warps_launched, 11),
+            (blocks_launched, 12),
+            (issue_cycles, 13),
+            (mem_stall_cycles, 14),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            assert_eq!(got, 2 * per_seg, "counter field index {i} dropped by merge");
+        }
+        // Timing fields are the engine's to combine: merge leaves them.
+        assert_eq!(device_cycles, 0);
+        assert_eq!(device_seconds, 0.0);
+        assert_eq!(bound, TimeBound::Issue);
     }
 }

@@ -45,6 +45,21 @@ pub trait TreeEnsemble: Send + Sync {
     fn footprint(&self) -> LayoutFootprint;
     /// Classifies `query` with tree `t`.
     fn vote_tree(&self, t: usize, query: &[f32]) -> Label;
+    /// Classifies like [`TreeEnsemble::vote_tree`] while reporting each
+    /// simulated memory fetch to `sink` (see [`rfx_core::memprobe`]) —
+    /// what the engine's software memory tracer (`mem-tracer` feature)
+    /// drives its cache model from. The default ignores the sink:
+    /// layouts without an address-exact memory model still vote
+    /// correctly, they just contribute nothing to the trace.
+    fn vote_tree_traced(
+        &self,
+        t: usize,
+        query: &[f32],
+        sink: &mut dyn rfx_core::memprobe::FetchSink,
+    ) -> Label {
+        let _ = sink;
+        self.vote_tree(t, query)
+    }
 }
 
 impl TreeEnsemble for RandomForest {
@@ -106,6 +121,15 @@ impl TreeEnsemble for CsrForest {
     fn vote_tree(&self, t: usize, query: &[f32]) -> Label {
         self.predict_tree(t, query)
     }
+
+    fn vote_tree_traced(
+        &self,
+        t: usize,
+        query: &[f32],
+        sink: &mut dyn rfx_core::memprobe::FetchSink,
+    ) -> Label {
+        self.predict_tree_traced(t, query, sink)
+    }
 }
 
 impl TreeEnsemble for FilForest {
@@ -123,6 +147,15 @@ impl TreeEnsemble for FilForest {
 
     fn vote_tree(&self, t: usize, query: &[f32]) -> Label {
         self.predict_tree(t, query)
+    }
+
+    fn vote_tree_traced(
+        &self,
+        t: usize,
+        query: &[f32],
+        sink: &mut dyn rfx_core::memprobe::FetchSink,
+    ) -> Label {
+        self.predict_tree_traced(t, query, sink)
     }
 }
 
@@ -147,6 +180,15 @@ impl<T: QuantLevel> TreeEnsemble for QFilForest<T> {
     fn vote_tree(&self, t: usize, query: &[f32]) -> Label {
         self.predict_tree(t, query)
     }
+
+    fn vote_tree_traced(
+        &self,
+        t: usize,
+        query: &[f32],
+        sink: &mut dyn rfx_core::memprobe::FetchSink,
+    ) -> Label {
+        self.predict_tree_traced(t, query, sink)
+    }
 }
 
 impl<T: QuantLevel> TreeEnsemble for QCsrForest<T> {
@@ -164,6 +206,15 @@ impl<T: QuantLevel> TreeEnsemble for QCsrForest<T> {
 
     fn vote_tree(&self, t: usize, query: &[f32]) -> Label {
         self.predict_tree(t, query)
+    }
+
+    fn vote_tree_traced(
+        &self,
+        t: usize,
+        query: &[f32],
+        sink: &mut dyn rfx_core::memprobe::FetchSink,
+    ) -> Label {
+        self.predict_tree_traced(t, query, sink)
     }
 }
 
@@ -183,6 +234,15 @@ impl<E: TreeEnsemble + ?Sized> TreeEnsemble for &E {
     fn vote_tree(&self, t: usize, query: &[f32]) -> Label {
         (**self).vote_tree(t, query)
     }
+
+    fn vote_tree_traced(
+        &self,
+        t: usize,
+        query: &[f32],
+        sink: &mut dyn rfx_core::memprobe::FetchSink,
+    ) -> Label {
+        (**self).vote_tree_traced(t, query, sink)
+    }
 }
 
 impl<E: TreeEnsemble + ?Sized> TreeEnsemble for Arc<E> {
@@ -200,6 +260,15 @@ impl<E: TreeEnsemble + ?Sized> TreeEnsemble for Arc<E> {
 
     fn vote_tree(&self, t: usize, query: &[f32]) -> Label {
         (**self).vote_tree(t, query)
+    }
+
+    fn vote_tree_traced(
+        &self,
+        t: usize,
+        query: &[f32],
+        sink: &mut dyn rfx_core::memprobe::FetchSink,
+    ) -> Label {
+        (**self).vote_tree_traced(t, query, sink)
     }
 }
 
@@ -245,23 +314,18 @@ const DEFAULT_QUERY_BLOCK: usize = 64;
 pub struct EnginePlan {
     /// Trees per shard (the engine forms `ceil(n_trees / shard_trees)`
     /// shards, so the shard count never exceeds the tree count).
-    #[deprecated(note = "construct plans via EnginePlan::builder(); read via .shard_trees()")]
-    pub shard_trees: usize,
+    shard_trees: usize,
     /// Query rows per block.
-    #[deprecated(note = "construct plans via EnginePlan::builder(); read via .query_block()")]
-    pub query_block: usize,
+    query_block: usize,
     /// Worker-thread cap; `0` means use the machine's available
     /// parallelism.
-    #[deprecated(note = "construct plans via EnginePlan::builder(); read via .threads()")]
-    pub threads: usize,
+    threads: usize,
     /// How per-tree votes reduce to labels (and whether decided query
     /// blocks may skip remaining shards) — see [`VotePolicy`].
-    #[deprecated(note = "construct plans via EnginePlan::builder(); read via .vote_policy()")]
-    pub vote_policy: VotePolicy,
+    vote_policy: VotePolicy,
 }
 
 impl Default for EnginePlan {
-    #[allow(deprecated)]
     fn default() -> Self {
         EnginePlan {
             shard_trees: 16,
@@ -295,9 +359,10 @@ impl fmt::Display for PlanError {
 
 impl std::error::Error for PlanError {}
 
-/// Validated builder for [`EnginePlan`] — the supported construction
-/// path (direct field construction is deprecated and will be removed
-/// next release). Seeded from [`EnginePlan::default`]; every knob is
+/// Validated builder for [`EnginePlan`] — the only construction path
+/// besides [`EnginePlan::auto`] and [`EnginePlan::default`] (the
+/// deprecated public fields and `with_*` setters completed their
+/// removal cycle). Seeded from [`EnginePlan::default`]; every knob is
 /// optional.
 #[derive(Debug, Clone, Copy)]
 pub struct EnginePlanBuilder {
@@ -333,7 +398,6 @@ impl EnginePlanBuilder {
     }
 
     /// Validates the knobs into an [`EnginePlan`].
-    #[allow(deprecated)]
     pub fn build(self) -> Result<EnginePlan, PlanError> {
         if self.shard_trees == 0 {
             return Err(PlanError::ZeroShardTrees);
@@ -358,7 +422,6 @@ impl EnginePlan {
 
     /// A builder seeded with this plan's values — the supported way to
     /// tweak one knob of an existing (e.g. [`EnginePlan::auto`]) plan.
-    #[allow(deprecated)]
     pub fn to_builder(self) -> EnginePlanBuilder {
         EnginePlanBuilder {
             shard_trees: self.shard_trees,
@@ -369,48 +432,23 @@ impl EnginePlan {
     }
 
     /// Trees per shard.
-    #[allow(deprecated)]
     pub fn shard_trees(&self) -> usize {
         self.shard_trees
     }
 
     /// Query rows per block.
-    #[allow(deprecated)]
     pub fn query_block(&self) -> usize {
         self.query_block
     }
 
     /// Worker-thread cap (`0` = auto).
-    #[allow(deprecated)]
     pub fn threads(&self) -> usize {
         self.threads
     }
 
     /// The vote-reduction policy.
-    #[allow(deprecated)]
     pub fn vote_policy(&self) -> VotePolicy {
         self.vote_policy
-    }
-
-    /// Builder: override the trees-per-shard budget.
-    #[deprecated(note = "use EnginePlan::builder() / EnginePlan::to_builder()")]
-    pub fn with_shard_trees(self, shard_trees: usize) -> Self {
-        #[allow(deprecated)]
-        EnginePlan { shard_trees, ..self }
-    }
-
-    /// Builder: override the rows-per-block budget.
-    #[deprecated(note = "use EnginePlan::builder() / EnginePlan::to_builder()")]
-    pub fn with_query_block(self, query_block: usize) -> Self {
-        #[allow(deprecated)]
-        EnginePlan { query_block, ..self }
-    }
-
-    /// Builder: override the worker-thread cap (`0` = auto).
-    #[deprecated(note = "use EnginePlan::builder() / EnginePlan::to_builder()")]
-    pub fn with_threads(self, threads: usize) -> Self {
-        #[allow(deprecated)]
-        EnginePlan { threads, ..self }
     }
 
     /// Derives a plan from footprint statistics: shards hold as many
@@ -425,7 +463,6 @@ impl EnginePlan {
     /// When the whole forest fits one shard there is no cross-block node
     /// reuse to exploit, so the plan degenerates to one block per worker —
     /// block bookkeeping would be pure overhead.
-    #[allow(deprecated)]
     pub fn auto(footprint: &LayoutFootprint, n_trees: usize, n_queries: usize) -> EnginePlan {
         let n_trees = n_trees.max(1);
         // `LayoutFootprint::per_tree` is layout-aware: quantized layouts
@@ -444,7 +481,6 @@ impl EnginePlan {
     /// tree per shard (and no more than the forest has), at least one row
     /// per block, and a resolved positive thread count. The vote policy
     /// passes through unchanged.
-    #[allow(deprecated)]
     pub fn normalized(self, n_trees: usize, n_queries: usize) -> EnginePlan {
         let shard_trees = self.shard_trees.clamp(1, n_trees.max(1));
         let query_block = self.query_block.clamp(1, n_queries.max(1));
@@ -518,7 +554,6 @@ impl<E: TreeEnsemble> ShardedEngine<E> {
 
     /// The normalized plan this engine would execute a batch of
     /// `n_queries` rows with.
-    #[allow(deprecated)] // normalizes legacy literal plans, then stamps the policy
     pub fn plan_for(&self, n_queries: usize) -> EnginePlan {
         let n_trees = self.source.num_trees();
         let mut plan = self
@@ -540,13 +575,22 @@ type TileCtx = Option<(rfx_telemetry::Telemetry, rfx_telemetry::SpanContext)>;
 #[cfg(not(feature = "telemetry"))]
 type TileCtx = ();
 
+/// The batch-wide memory-trace accumulator the tile loop samples into
+/// (see [`crate::memtrace`]). Compiled to `()` without the `mem-tracer`
+/// feature so the untraced engine carries no tracer state at all.
+#[cfg(feature = "mem-tracer")]
+type MemCtx = Arc<crate::memtrace::TraceAgg>;
+#[cfg(not(feature = "mem-tracer"))]
+type MemCtx = ();
+
 impl<E: TreeEnsemble> Predictor for ShardedEngine<E> {
     fn predict_into(&self, queries: QueryView<'_>, out: &mut [Label]) {
         let plan = self.plan_for(queries.num_rows());
         #[cfg(feature = "telemetry")]
         let tel = rfx_telemetry::current();
         #[cfg(feature = "telemetry")]
-        let _span = {
+        #[cfg_attr(not(feature = "mem-tracer"), allow(unused_mut))]
+        let mut _span = {
             let shards = self.source.num_trees().div_ceil(plan.shard_trees()) as u64;
             let blocks = queries.num_rows().div_ceil(plan.query_block()) as u64;
             tel.counter("kernels.sharded.batches").inc();
@@ -559,7 +603,24 @@ impl<E: TreeEnsemble> Predictor for ShardedEngine<E> {
         let tile_ctx: TileCtx = _span.is_recorded().then(|| (tel.clone(), _span.context()));
         #[cfg(not(feature = "telemetry"))]
         let tile_ctx: TileCtx = ();
-        run_tiled(&self.source, plan, queries, out, &tile_ctx);
+        #[cfg(feature = "mem-tracer")]
+        let mem_ctx: MemCtx = Arc::new(crate::memtrace::TraceAgg::new(queries.num_features()));
+        #[cfg(not(feature = "mem-tracer"))]
+        let mem_ctx: MemCtx = ();
+        run_tiled(&self.source, plan, queries, out, &tile_ctx, &mem_ctx);
+        #[cfg(feature = "mem-tracer")]
+        {
+            let (mut perf, sampled_tiles) = mem_ctx.finish();
+            // The plan's thread budget as a fraction of the machine —
+            // the CPU analogue of the simulators' occupancy gauges.
+            perf.occupancy = (plan.threads() as f64 / available_threads().max(1) as f64).min(1.0);
+            perf.export(&tel, "kernels");
+            tel.counter("kernels.memtrace.sampled_tiles").add(sampled_tiles);
+            for (key, value) in perf.span_attrs() {
+                _span.set_attr(key, value);
+            }
+            _span.set_attr("memtrace.sampled_tiles", sampled_tiles.to_string());
+        }
     }
 }
 
@@ -704,12 +765,16 @@ fn tile_span<'a>(
 /// tile records a `kernels.sharded.tile` child span with its block/shard
 /// indices — the per-tile attribution behind the flamegraph and
 /// critical-path views (early-exited blocks simply record fewer tiles).
+/// With the `mem-tracer` feature, each worker additionally samples every
+/// Nth of its tiles through the layouts' traced traversals into
+/// `mem_ctx`'s cache model (see [`crate::memtrace`]).
 fn run_tiled<E: TreeEnsemble>(
     source: &E,
     plan: EnginePlan,
     queries: QueryView<'_>,
     out: &mut [Label],
     tile_ctx: &TileCtx,
+    mem_ctx: &MemCtx,
 ) {
     use rayon::prelude::*;
 
@@ -734,7 +799,7 @@ fn run_tiled<E: TreeEnsemble>(
     match plan.vote_policy() {
         VotePolicy::Exact => {
             tasks.into_par_iter().for_each(|(start, rows)| {
-                exact_task(source, queries, tiling, start, rows, tile_ctx)
+                exact_task(source, queries, tiling, start, rows, tile_ctx, mem_ctx)
             });
         }
         VotePolicy::BitSliced | VotePolicy::EarlyExit { .. } => {
@@ -747,7 +812,17 @@ fn run_tiled<E: TreeEnsemble>(
             #[cfg(not(feature = "telemetry"))]
             let vote_ctx: VoteCtx = ();
             tasks.into_par_iter().for_each(|(start, rows)| {
-                sliced_task(source, queries, tiling, start, rows, early_slack, tile_ctx, &vote_ctx)
+                sliced_task(
+                    source,
+                    queries,
+                    tiling,
+                    start,
+                    rows,
+                    early_slack,
+                    tile_ctx,
+                    &vote_ctx,
+                    mem_ctx,
+                )
             });
         }
     }
@@ -755,6 +830,7 @@ fn run_tiled<E: TreeEnsemble>(
 
 /// One worker's run of blocks under [`VotePolicy::Exact`]: the scalar
 /// per-(row, class) tally, every shard traversed.
+#[allow(clippy::too_many_arguments)] // internal fan-out target, grouped by Tiling already
 fn exact_task<E: TreeEnsemble>(
     source: &E,
     queries: QueryView<'_>,
@@ -762,9 +838,16 @@ fn exact_task<E: TreeEnsemble>(
     task_start: usize,
     rows: &mut [Label],
     tile_ctx: &TileCtx,
+    mem_ctx: &MemCtx,
 ) {
     #[cfg(not(feature = "telemetry"))]
     let _ = tile_ctx;
+    #[cfg(not(feature = "mem-tracer"))]
+    let _ = mem_ctx;
+    #[cfg(feature = "mem-tracer")]
+    let mut tracer = mem_ctx.tracer();
+    #[cfg(feature = "mem-tracer")]
+    let mut tile_idx = 0u64;
     let Tiling { qb, st, nc, n_trees } = tiling;
     let mut votes = vec![0u32; qb * nc];
     let mut offset = 0;
@@ -788,10 +871,32 @@ fn exact_task<E: TreeEnsemble>(
                 len,
                 shard_hi - shard_lo,
             );
-            for t in shard_lo..shard_hi {
-                for (i, row_votes) in votes.chunks_exact_mut(nc).enumerate() {
-                    let query = queries.row(block_start + i);
-                    row_votes[source.vote_tree(t, query) as usize] += 1;
+            #[cfg(feature = "mem-tracer")]
+            let traced = {
+                let sampled = tile_idx.is_multiple_of(mem_ctx.sample_every());
+                tile_idx += 1;
+                if sampled {
+                    tracer.begin_tile();
+                    for t in shard_lo..shard_hi {
+                        for (i, row_votes) in votes.chunks_exact_mut(nc).enumerate() {
+                            let row = block_start + i;
+                            tracer.begin_row(row);
+                            let vote = source.vote_tree_traced(t, queries.row(row), &mut tracer);
+                            row_votes[vote as usize] += 1;
+                        }
+                    }
+                    tracer.end_tile();
+                }
+                sampled
+            };
+            #[cfg(not(feature = "mem-tracer"))]
+            let traced = false;
+            if !traced {
+                for t in shard_lo..shard_hi {
+                    for (i, row_votes) in votes.chunks_exact_mut(nc).enumerate() {
+                        let query = queries.row(block_start + i);
+                        row_votes[source.vote_tree(t, query) as usize] += 1;
+                    }
                 }
             }
             shard_lo = shard_hi;
@@ -803,6 +908,8 @@ fn exact_task<E: TreeEnsemble>(
         }
         offset += len;
     }
+    #[cfg(feature = "mem-tracer")]
+    mem_ctx.merge(&tracer);
 }
 
 /// One worker's run of blocks under [`VotePolicy::BitSliced`] or
@@ -820,9 +927,16 @@ fn sliced_task<E: TreeEnsemble>(
     early_slack: Option<u32>,
     tile_ctx: &TileCtx,
     vote_ctx: &VoteCtx,
+    mem_ctx: &MemCtx,
 ) {
     #[cfg(not(feature = "telemetry"))]
     let _ = (tile_ctx, vote_ctx);
+    #[cfg(not(feature = "mem-tracer"))]
+    let _ = mem_ctx;
+    #[cfg(feature = "mem-tracer")]
+    let mut tracer = mem_ctx.tracer();
+    #[cfg(feature = "mem-tracer")]
+    let mut tile_idx = 0u64;
     let Tiling { qb, st, nc, n_trees } = tiling;
     let shards_total = n_trees.div_ceil(st);
     let mut acc = BitSlicedVotes::new(qb, nc);
@@ -845,11 +959,33 @@ fn sliced_task<E: TreeEnsemble>(
                 len,
                 shard_hi - shard_lo,
             );
-            for t in shard_lo..shard_hi {
-                for i in 0..len {
-                    acc.vote(i, source.vote_tree(t, queries.row(block_start + i)));
+            #[cfg(feature = "mem-tracer")]
+            let traced = {
+                let sampled = tile_idx.is_multiple_of(mem_ctx.sample_every());
+                tile_idx += 1;
+                if sampled {
+                    tracer.begin_tile();
+                    for t in shard_lo..shard_hi {
+                        for i in 0..len {
+                            let row = block_start + i;
+                            tracer.begin_row(row);
+                            acc.vote(i, source.vote_tree_traced(t, queries.row(row), &mut tracer));
+                        }
+                        acc.next_tree();
+                    }
+                    tracer.end_tile();
                 }
-                acc.next_tree();
+                sampled
+            };
+            #[cfg(not(feature = "mem-tracer"))]
+            let traced = false;
+            if !traced {
+                for t in shard_lo..shard_hi {
+                    for i in 0..len {
+                        acc.vote(i, source.vote_tree(t, queries.row(block_start + i)));
+                    }
+                    acc.next_tree();
+                }
             }
             shard_lo = shard_hi;
             shards_run += 1;
@@ -889,6 +1025,8 @@ fn sliced_task<E: TreeEnsemble>(
     }
     #[cfg(not(feature = "telemetry"))]
     let _ = (skipped, exited);
+    #[cfg(feature = "mem-tracer")]
+    mem_ctx.merge(&tracer);
 }
 
 #[cfg(test)]
@@ -1099,8 +1237,10 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // legacy literal construction stays repairable for one release
     fn normalized_repairs_zero_and_oversized_fields() {
+        // Zero knobs can no longer enter through the public API (the
+        // builder rejects them), but `normalized` still guards them as
+        // defense in depth — exercised via module-internal construction.
         let plan = EnginePlan {
             shard_trees: 0,
             query_block: 0,
@@ -1112,13 +1252,16 @@ mod tests {
         assert!(fixed.query_block() >= 1);
         assert!(fixed.threads() >= 1);
 
-        let fixed = EnginePlan {
-            shard_trees: 99,
-            query_block: 1_000_000,
-            threads: 500,
-            vote_policy: VotePolicy::BitSliced,
-        }
-        .normalized(4, 8);
+        // Oversized knobs are valid builder inputs and clamp at
+        // execution time, when the forest/batch shape is known.
+        let fixed = EnginePlan::builder()
+            .shard_trees(99)
+            .query_block(1_000_000)
+            .threads(500)
+            .vote_policy(VotePolicy::BitSliced)
+            .build()
+            .unwrap()
+            .normalized(4, 8);
         assert_eq!(fixed.shard_trees(), 4);
         assert_eq!(fixed.query_block(), 8);
         assert_eq!(fixed.threads(), 1, "one block caps the useful thread count");
@@ -1138,20 +1281,97 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the with_* setters stay for one release — keep them honest
-    fn deprecated_with_setters_still_agree_with_the_builder() {
-        let legacy = EnginePlan::default().with_shard_trees(3).with_query_block(9).with_threads(2);
-        let built = EnginePlan::builder().shard_trees(3).query_block(9).threads(2).build().unwrap();
-        assert_eq!(legacy, built);
-        assert_eq!(legacy.vote_policy(), VotePolicy::Exact);
-    }
-
-    #[test]
     #[should_panic(expected = "output slice must match")]
     fn predict_into_checks_output_length() {
         let (forest, queries) = fixture(3, 2);
         let qv = QueryView::new(&queries, 6).unwrap();
         let mut out = vec![0; 7];
         ShardedEngine::new(&forest).predict_into(qv, &mut out);
+    }
+
+    /// Runs `engine` in a fresh scoped telemetry domain and returns the
+    /// domain's metrics snapshot.
+    #[cfg(feature = "telemetry")]
+    fn scoped_snapshot<P: Predictor>(
+        engine: &P,
+        qv: QueryView<'_>,
+    ) -> rfx_telemetry::MetricsSnapshot {
+        let tel = rfx_telemetry::Telemetry::new();
+        let mut out = vec![0; qv.num_rows()];
+        {
+            let root = tel.start_span("test.pass");
+            let _scope = tel.in_context(root.context());
+            engine.predict_into(qv, &mut out);
+        }
+        tel.metrics_snapshot()
+    }
+
+    /// The zero-overhead contract: without `mem-tracer`, the sharded
+    /// engine must export no `kernels.perf.*` series at all — counter
+    /// registration, tracer allocation, and the traced traversal path
+    /// are compiled out, not merely skipped.
+    #[cfg(all(feature = "telemetry", not(feature = "mem-tracer")))]
+    #[test]
+    fn no_perf_series_without_the_mem_tracer_feature() {
+        let (forest, queries) = fixture(9, 41);
+        let qv = QueryView::new(&queries, 6).unwrap();
+        let fil = FilForest::build(&forest);
+        let metrics = scoped_snapshot(&ShardedEngine::new(&fil), qv);
+        assert!(
+            metrics.counters.iter().all(|(name, _)| !name.starts_with("kernels.perf.")),
+            "mem-tracer disabled must export no kernels.perf.* series"
+        );
+        assert!(metrics.counter("kernels.memtrace.sampled_tiles").is_none());
+    }
+
+    /// With the tracer on, the engine exports the complete shared perf
+    /// schema under the `kernels` domain and actually samples tiles.
+    #[cfg(feature = "mem-tracer")]
+    #[test]
+    fn mem_tracer_exports_the_full_perf_schema() {
+        let (forest, queries) = fixture(9, 41);
+        let qv = QueryView::new(&queries, 6).unwrap();
+        let fil = FilForest::build(&forest);
+        let metrics = scoped_snapshot(&ShardedEngine::new(&fil), qv);
+        rfx_telemetry::perf::assert_schema(&metrics, "kernels");
+        let perf = rfx_telemetry::perf::read(&metrics, "kernels").unwrap();
+        assert!(perf.l1_accesses > 0, "sampled tiles must observe fetches");
+        assert_eq!(perf.l1_accesses, perf.l1_hits + perf.l1_misses);
+        assert_eq!(perf.l2_accesses, perf.l1_misses, "L2 sees exactly the L1 misses");
+        assert_eq!(perf.dram_transactions, perf.l2_misses);
+        assert!(metrics.counter("kernels.memtrace.sampled_tiles").unwrap() > 0);
+        assert!(metrics.gauge("kernels.perf.occupancy").unwrap() > 0.0);
+    }
+
+    /// The cache win the quantized layouts exist for, observed by the
+    /// tracer: on a forest far larger than the modeled L2, the u8 QFil
+    /// pack must take strictly fewer simulated L2 misses (and DRAM
+    /// transactions) than the f32 FIL layout under an identical plan.
+    #[cfg(feature = "mem-tracer")]
+    #[test]
+    fn qfil_u8_misses_less_than_fil_f32() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let trees: Vec<DecisionTree> =
+            (0..48).map(|_| DecisionTree::random(&mut rng, 14, 6, 4, 0.1)).collect();
+        let forest = RandomForest::from_trees(trees, 6, 4).unwrap();
+        let queries: Vec<f32> = (0..256 * 6).map(|_| rng.gen()).collect();
+        let qv = QueryView::new(&queries, 6).unwrap();
+        // One whole-forest shard: every sampled tile streams all trees,
+        // so the layouts' resident-byte difference is what the caches see.
+        let plan =
+            EnginePlan::builder().shard_trees(48).query_block(64).threads(2).build().unwrap();
+        let fil = FilForest::build(&forest);
+        let qfil = QFilForest::<u8>::build(&forest).unwrap();
+        let fil_metrics = scoped_snapshot(&ShardedEngine::with_plan(&fil, plan), qv);
+        let q_metrics = scoped_snapshot(&ShardedEngine::with_plan(&qfil, plan), qv);
+        let fil_perf = rfx_telemetry::perf::read(&fil_metrics, "kernels").unwrap();
+        let q_perf = rfx_telemetry::perf::read(&q_metrics, "kernels").unwrap();
+        assert!(
+            q_perf.l2_misses < fil_perf.l2_misses,
+            "qfil-u8 L2 misses {} must undercut fil-f32's {}",
+            q_perf.l2_misses,
+            fil_perf.l2_misses
+        );
+        assert!(q_perf.dram_transactions < fil_perf.dram_transactions);
     }
 }

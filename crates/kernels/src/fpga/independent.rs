@@ -43,6 +43,8 @@ pub fn run_independent(
     // Per-CU BRAM: one staged query row.
     let mut budget = OnChipBudget::new(cfg.onchip_bytes_per_slr);
     budget.alloc(queries.num_features() as u64 * 4)?;
+    #[cfg(feature = "telemetry")]
+    budget.export_telemetry();
 
     let ranges = split_ranges(queries.num_rows(), rep.total_cus() as usize);
     let per_cu: Vec<(Vec<Label>, rfx_fpga_sim::CuExecution)> = ranges

@@ -250,6 +250,10 @@ impl Backend for CpuSharded {
             ("tiles", (shards * blocks).to_string()),
             ("threads", plan.threads().to_string()),
             ("vote_policy", plan.vote_policy().to_string()),
+            // Provenance for anyone reading kernels.perf.* counters off
+            // this deployment: were they populated by the software
+            // memory tracer, or absent because it was compiled out?
+            ("mem_tracer", cfg!(feature = "mem-tracer").to_string()),
         ]
     }
 

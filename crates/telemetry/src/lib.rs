@@ -27,8 +27,10 @@
 //!
 //! Metric names are dotted paths, lowest-level component last:
 //! `serve.queue.depth`, `serve.backend.cpu-parallel.batch_latency_us`,
-//! `gpusim.dram.transactions`, `fpgasim.pipeline.stall_cycles`. Unit
-//! suffixes (`_us`, `_bytes`, `_rows`, `_cycles`) are part of the name.
+//! `gpusim.perf.dram.transactions`, `fpgasim.perf.stall.memory_cycles`.
+//! Unit suffixes (`_us`, `_bytes`, `_rows`, `_cycles`) are part of the
+//! name. Memory-hierarchy and stall counters shared by every execution
+//! path use the schema-stable `<domain>.perf.*` vocabulary of [`perf`].
 //!
 //! ```
 //! use rfx_telemetry::Telemetry;
@@ -47,10 +49,12 @@
 
 pub mod export;
 pub mod metrics;
+pub mod perf;
 pub mod registry;
 pub mod trace;
 
 pub use metrics::{Counter, Exemplar, Gauge, Histogram, HistogramBucket, HistogramSnapshot};
+pub use perf::PerfCounters;
 pub use registry::{MetricsSnapshot, Registry};
 pub use trace::{
     OwnedSpan, Span, SpanContext, SpanId, SpanRecord, TraceConfig, TraceId, TraceRecorder,

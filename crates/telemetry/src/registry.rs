@@ -4,7 +4,7 @@
 //! expected to register once at setup and keep the returned `Arc` handle
 //! for the hot path; recording through a handle never touches the
 //! registry again. Names are dotted paths (`serve.queue.depth`,
-//! `gpusim.dram.transactions`) — see DESIGN.md §10 for the scheme.
+//! `gpusim.perf.dram.transactions`) — see DESIGN.md §10 for the scheme.
 
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 use std::collections::BTreeMap;
