@@ -16,6 +16,10 @@
 //!   per-feature monotone grid plus packed narrow-node encodings of the
 //!   FIL and CSR layouts, with an integer-only comparator path (the
 //!   FPGA's BRAM-resident design point).
+//! * [`pack`] — profile-guided packed FIL layouts (ROADMAP item 2, after
+//!   Browne et al.'s *Forest Packing*): hot-first node order from a
+//!   calibration frequency profile, shard-interleaved tree roots, and
+//!   byte-budgeted tree bin-packing, at f32 and quantized widths.
 //! * [`footprint`] — byte accounting for the Fig. 6 memory study.
 //! * [`cluster`] — K-means tree clustering (the §3.2.1 ablation's
 //!   "Optimization 1").
@@ -32,12 +36,14 @@ pub mod fil;
 pub mod footprint;
 pub mod hier;
 pub mod memprobe;
+pub mod pack;
 pub mod quant;
 pub mod validate;
 
 pub use csr::CsrForest;
 pub use fil::FilForest;
 pub use hier::{HierConfig, HierForest};
+pub use pack::{FrequencyProfile, PackError, PackPlan, PackedFilForest, PackedQFilForest};
 pub use quant::{QCsrForest, QFilForest, QuantLevel, ThresholdQuantizer};
 /// SplitMix64, the workspace's single stateless 64-bit hash.
 ///

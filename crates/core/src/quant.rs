@@ -257,7 +257,7 @@ pub const QFIL_MAX_TREE_NODES: usize = 1 << (31 - QFIL_FEATURE_BITS);
 /// Maximum class label (31-bit leaf payload).
 pub const QFIL_MAX_LABEL: u32 = (1 << 31) - 1;
 
-const QFIL_FEATURE_MASK: u32 = (QFIL_MAX_FEATURES as u32) - 1;
+pub(crate) const QFIL_FEATURE_MASK: u32 = (QFIL_MAX_FEATURES as u32) - 1;
 
 /// One packed QFil meta word.
 ///
@@ -266,12 +266,12 @@ const QFIL_FEATURE_MASK: u32 = (QFIL_MAX_FEATURES as u32) - 1;
 ///   right child is `left_child + 1` (FIL sibling adjacency), and the
 ///   threshold level lives in the parallel `qvalue` array.
 #[inline]
-fn qfil_pack_inner(feature: u32, left_child: u32) -> u32 {
+pub(crate) fn qfil_pack_inner(feature: u32, left_child: u32) -> u32 {
     (left_child << (QFIL_FEATURE_BITS + 1)) | (feature << 1)
 }
 
 #[inline]
-fn qfil_pack_leaf(label: u32) -> u32 {
+pub(crate) fn qfil_pack_leaf(label: u32) -> u32 {
     (label << 1) | 1
 }
 

@@ -24,6 +24,7 @@
 
 use crate::votes::{BitSlicedVotes, VotePolicy};
 use rfx_core::footprint::LayoutFootprint;
+use rfx_core::pack::{PackError, PackPlan, PackedFilForest, PackedQFilForest};
 use rfx_core::quant::{QCsrForest, QFilForest, QuantLevel};
 use rfx_core::{CsrForest, FilForest, HierForest, Label};
 use rfx_forest::dataset::QueryView;
@@ -59,6 +60,15 @@ pub trait TreeEnsemble: Send + Sync {
     ) -> Label {
         let _ = sink;
         self.vote_tree(t, query)
+    }
+    /// Cumulative tree-count shard boundaries (`[0, ..., num_trees]`)
+    /// when the layout was built with byte-aware shards of its own — the
+    /// packed layouts ([`rfx_core::pack`]) return their bin-packed
+    /// bounds so the engine tiles along the same seams the node stream
+    /// was interleaved for. `None` (the default) keeps the plan's
+    /// uniform `shard_trees` stride.
+    fn shard_bounds(&self) -> Option<Vec<usize>> {
+        None
     }
 }
 
@@ -218,6 +228,71 @@ impl<T: QuantLevel> TreeEnsemble for QCsrForest<T> {
     }
 }
 
+// The profile-packed layouts additionally publish their byte-bin-packed
+// shard seams, so the tile loop walks exactly the tree groups whose
+// leading levels were interleaved together.
+impl TreeEnsemble for PackedFilForest {
+    fn num_trees(&self) -> usize {
+        PackedFilForest::num_trees(self)
+    }
+
+    fn num_classes(&self) -> u32 {
+        PackedFilForest::num_classes(self)
+    }
+
+    fn footprint(&self) -> LayoutFootprint {
+        PackedFilForest::footprint(self)
+    }
+
+    fn vote_tree(&self, t: usize, query: &[f32]) -> Label {
+        self.predict_tree(t, query)
+    }
+
+    fn vote_tree_traced(
+        &self,
+        t: usize,
+        query: &[f32],
+        sink: &mut dyn rfx_core::memprobe::FetchSink,
+    ) -> Label {
+        self.predict_tree_traced(t, query, sink)
+    }
+
+    fn shard_bounds(&self) -> Option<Vec<usize>> {
+        Some(self.shard_tree_bounds())
+    }
+}
+
+impl<T: QuantLevel> TreeEnsemble for PackedQFilForest<T> {
+    fn num_trees(&self) -> usize {
+        PackedQFilForest::num_trees(self)
+    }
+
+    fn num_classes(&self) -> u32 {
+        PackedQFilForest::num_classes(self)
+    }
+
+    fn footprint(&self) -> LayoutFootprint {
+        PackedQFilForest::footprint(self)
+    }
+
+    fn vote_tree(&self, t: usize, query: &[f32]) -> Label {
+        self.predict_tree(t, query)
+    }
+
+    fn vote_tree_traced(
+        &self,
+        t: usize,
+        query: &[f32],
+        sink: &mut dyn rfx_core::memprobe::FetchSink,
+    ) -> Label {
+        self.predict_tree_traced(t, query, sink)
+    }
+
+    fn shard_bounds(&self) -> Option<Vec<usize>> {
+        Some(self.shard_tree_bounds())
+    }
+}
+
 impl<E: TreeEnsemble + ?Sized> TreeEnsemble for &E {
     fn num_trees(&self) -> usize {
         (**self).num_trees()
@@ -242,6 +317,10 @@ impl<E: TreeEnsemble + ?Sized> TreeEnsemble for &E {
         sink: &mut dyn rfx_core::memprobe::FetchSink,
     ) -> Label {
         (**self).vote_tree_traced(t, query, sink)
+    }
+
+    fn shard_bounds(&self) -> Option<Vec<usize>> {
+        (**self).shard_bounds()
     }
 }
 
@@ -269,6 +348,10 @@ impl<E: TreeEnsemble + ?Sized> TreeEnsemble for Arc<E> {
         sink: &mut dyn rfx_core::memprobe::FetchSink,
     ) -> Label {
         (**self).vote_tree_traced(t, query, sink)
+    }
+
+    fn shard_bounds(&self) -> Option<Vec<usize>> {
+        (**self).shard_bounds()
     }
 }
 
@@ -323,6 +406,11 @@ pub struct EnginePlan {
     /// How per-tree votes reduce to labels (and whether decided query
     /// blocks may skip remaining shards) — see [`VotePolicy`].
     vote_policy: VotePolicy,
+    /// When set, opts the plan into the packed layouts' byte-aware
+    /// shard boundaries ([`TreeEnsemble::shard_bounds`]) instead of the
+    /// uniform `shard_trees` stride, and records the packing parameters
+    /// the layout should be built with.
+    pack: Option<PackPlan>,
 }
 
 impl Default for EnginePlan {
@@ -332,6 +420,7 @@ impl Default for EnginePlan {
             query_block: DEFAULT_QUERY_BLOCK,
             threads: 0,
             vote_policy: VotePolicy::Exact,
+            pack: None,
         }
     }
 }
@@ -346,6 +435,8 @@ pub enum PlanError {
     ZeroShardTrees,
     /// `query_block` was 0 — a block must hold at least one row.
     ZeroQueryBlock,
+    /// The attached [`PackPlan`] failed its own validation.
+    Pack(PackError),
 }
 
 impl fmt::Display for PlanError {
@@ -353,6 +444,7 @@ impl fmt::Display for PlanError {
         match self {
             PlanError::ZeroShardTrees => f.write_str("shard_trees must be at least 1"),
             PlanError::ZeroQueryBlock => f.write_str("query_block must be at least 1"),
+            PlanError::Pack(e) => write!(f, "{e}"),
         }
     }
 }
@@ -370,6 +462,7 @@ pub struct EnginePlanBuilder {
     query_block: usize,
     threads: usize,
     vote_policy: VotePolicy,
+    pack: Option<PackPlan>,
 }
 
 impl EnginePlanBuilder {
@@ -397,6 +490,14 @@ impl EnginePlanBuilder {
         self
     }
 
+    /// Attaches packing parameters: the plan then tiles along the packed
+    /// layout's byte-aware [`TreeEnsemble::shard_bounds`] (validated at
+    /// `build`, like every other knob).
+    pub fn pack(mut self, pack: PackPlan) -> Self {
+        self.pack = Some(pack);
+        self
+    }
+
     /// Validates the knobs into an [`EnginePlan`].
     pub fn build(self) -> Result<EnginePlan, PlanError> {
         if self.shard_trees == 0 {
@@ -405,11 +506,15 @@ impl EnginePlanBuilder {
         if self.query_block == 0 {
             return Err(PlanError::ZeroQueryBlock);
         }
+        if let Some(pack) = self.pack {
+            pack.validated().map_err(PlanError::Pack)?;
+        }
         Ok(EnginePlan {
             shard_trees: self.shard_trees,
             query_block: self.query_block,
             threads: self.threads,
             vote_policy: self.vote_policy,
+            pack: self.pack,
         })
     }
 }
@@ -428,6 +533,7 @@ impl EnginePlan {
             query_block: self.query_block,
             threads: self.threads,
             vote_policy: self.vote_policy,
+            pack: self.pack,
         }
     }
 
@@ -449,6 +555,12 @@ impl EnginePlan {
     /// The vote-reduction policy.
     pub fn vote_policy(&self) -> VotePolicy {
         self.vote_policy
+    }
+
+    /// The packing parameters, when the plan opted into byte-aware
+    /// shard boundaries.
+    pub fn pack(&self) -> Option<PackPlan> {
+        self.pack
     }
 
     /// Derives a plan from footprint statistics: shards hold as many
@@ -474,7 +586,7 @@ impl EnginePlan {
         let per_thread = n_queries.div_ceil(threads).max(1);
         let query_block =
             if shard_trees == n_trees { per_thread } else { DEFAULT_QUERY_BLOCK.min(per_thread) };
-        EnginePlan { shard_trees, query_block, threads, vote_policy: VotePolicy::Exact }
+        EnginePlan { shard_trees, query_block, threads, vote_policy: VotePolicy::Exact, pack: None }
     }
 
     /// Clamps the plan to a concrete forest/batch shape: at least one
@@ -491,6 +603,7 @@ impl EnginePlan {
             query_block,
             threads: threads.clamp(1, blocks),
             vote_policy: self.vote_policy,
+            pack: self.pack,
         }
     }
 }
@@ -563,6 +676,26 @@ impl<E: TreeEnsemble> ShardedEngine<E> {
         plan.vote_policy = self.policy;
         plan
     }
+
+    /// The byte-aware shard boundaries this engine tiles with, when any:
+    /// an auto-planned engine always adopts the layout's own
+    /// [`TreeEnsemble::shard_bounds`] (the layout knows where its
+    /// interleaved groups sit better than a uniform stride does); an
+    /// explicitly planned engine opts in by carrying a
+    /// [`PackPlan`] — a pinned uniform plan stays uniform, which is what
+    /// lets the equivalence proptests drive arbitrary tilings over the
+    /// packed layouts.
+    fn shard_bounds_for_run(&self) -> Option<Vec<usize>> {
+        let adopt = match self.plan {
+            None => true,
+            Some(p) => p.pack().is_some(),
+        };
+        if adopt {
+            self.source.shard_bounds()
+        } else {
+            None
+        }
+    }
 }
 
 /// What the tile loop needs to open per-tile child spans: the ambient
@@ -586,12 +719,16 @@ type MemCtx = ();
 impl<E: TreeEnsemble> Predictor for ShardedEngine<E> {
     fn predict_into(&self, queries: QueryView<'_>, out: &mut [Label]) {
         let plan = self.plan_for(queries.num_rows());
+        let bounds = self.shard_bounds_for_run();
         #[cfg(feature = "telemetry")]
         let tel = rfx_telemetry::current();
         #[cfg(feature = "telemetry")]
         #[cfg_attr(not(feature = "mem-tracer"), allow(unused_mut))]
         let mut _span = {
-            let shards = self.source.num_trees().div_ceil(plan.shard_trees()) as u64;
+            let shards = bounds.as_ref().map_or_else(
+                || self.source.num_trees().div_ceil(plan.shard_trees()) as u64,
+                |b| (b.len().max(1) - 1) as u64,
+            );
             let blocks = queries.num_rows().div_ceil(plan.query_block()) as u64;
             tel.counter("kernels.sharded.batches").inc();
             tel.counter("kernels.sharded.shards").add(shards);
@@ -607,7 +744,7 @@ impl<E: TreeEnsemble> Predictor for ShardedEngine<E> {
         let mem_ctx: MemCtx = Arc::new(crate::memtrace::TraceAgg::new(queries.num_features()));
         #[cfg(not(feature = "mem-tracer"))]
         let mem_ctx: MemCtx = ();
-        run_tiled(&self.source, plan, queries, out, &tile_ctx, &mem_ctx);
+        run_tiled(&self.source, plan, bounds, queries, out, &tile_ctx, &mem_ctx);
         #[cfg(feature = "mem-tracer")]
         {
             let (mut perf, sampled_tiles) = mem_ctx.finish();
@@ -700,8 +837,6 @@ fn split_tasks(out: &mut [Label], rows_per_task: usize) -> Vec<(usize, &mut [Lab
 struct Tiling {
     /// Rows per query block.
     qb: usize,
-    /// Trees per shard.
-    st: usize,
     /// Classes voted over (≥ 1).
     nc: usize,
     /// Trees in the forest.
@@ -768,9 +903,15 @@ fn tile_span<'a>(
 /// With the `mem-tracer` feature, each worker additionally samples every
 /// Nth of its tiles through the layouts' traced traversals into
 /// `mem_ctx`'s cache model (see [`crate::memtrace`]).
+///
+/// `bounds`, when present, replaces the plan's uniform `shard_trees`
+/// stride with explicit cumulative shard boundaries (a packed layout's
+/// byte-bin-packed seams); a malformed boundary list falls back to the
+/// uniform stride rather than mis-tiling.
 fn run_tiled<E: TreeEnsemble>(
     source: &E,
     plan: EnginePlan,
+    bounds: Option<Vec<usize>>,
     queries: QueryView<'_>,
     out: &mut [Label],
     tile_ctx: &TileCtx,
@@ -786,10 +927,30 @@ fn run_tiled<E: TreeEnsemble>(
     let plan = plan.normalized(source.num_trees(), n);
     let tiling = Tiling {
         qb: plan.query_block(),
-        st: plan.shard_trees(),
         nc: source.num_classes().max(1) as usize,
         n_trees: source.num_trees(),
     };
+    let shard_ranges: Vec<(usize, usize)> = match bounds {
+        Some(b)
+            if b.first() == Some(&0)
+                && b.last() == Some(&tiling.n_trees)
+                && b.windows(2).all(|w| w[0] < w[1]) =>
+        {
+            b.windows(2).map(|w| (w[0], w[1])).collect()
+        }
+        _ => {
+            let st = plan.shard_trees();
+            let mut ranges = Vec::with_capacity(tiling.n_trees.div_ceil(st.max(1)));
+            let mut lo = 0;
+            while lo < tiling.n_trees {
+                let hi = (lo + st).min(tiling.n_trees);
+                ranges.push((lo, hi));
+                lo = hi;
+            }
+            ranges
+        }
+    };
+    let shard_ranges = &shard_ranges[..];
 
     // Contiguous runs of whole blocks per worker: `threads` tasks, each
     // processing its blocks serially with one scratch buffer.
@@ -799,7 +960,7 @@ fn run_tiled<E: TreeEnsemble>(
     match plan.vote_policy() {
         VotePolicy::Exact => {
             tasks.into_par_iter().for_each(|(start, rows)| {
-                exact_task(source, queries, tiling, start, rows, tile_ctx, mem_ctx)
+                exact_task(source, queries, tiling, shard_ranges, start, rows, tile_ctx, mem_ctx)
             });
         }
         VotePolicy::BitSliced | VotePolicy::EarlyExit { .. } => {
@@ -816,6 +977,7 @@ fn run_tiled<E: TreeEnsemble>(
                     source,
                     queries,
                     tiling,
+                    shard_ranges,
                     start,
                     rows,
                     early_slack,
@@ -835,6 +997,7 @@ fn exact_task<E: TreeEnsemble>(
     source: &E,
     queries: QueryView<'_>,
     tiling: Tiling,
+    shard_ranges: &[(usize, usize)],
     task_start: usize,
     rows: &mut [Label],
     tile_ctx: &TileCtx,
@@ -848,7 +1011,7 @@ fn exact_task<E: TreeEnsemble>(
     let mut tracer = mem_ctx.tracer();
     #[cfg(feature = "mem-tracer")]
     let mut tile_idx = 0u64;
-    let Tiling { qb, st, nc, n_trees } = tiling;
+    let Tiling { qb, nc, .. } = tiling;
     let mut votes = vec![0u32; qb * nc];
     let mut offset = 0;
     while offset < rows.len() {
@@ -860,17 +1023,11 @@ fn exact_task<E: TreeEnsemble>(
         // one tree's nodes stay hot across every row of the block,
         // and a shard's trees are all reused before the next shard's
         // bytes displace them.
-        let mut shard_lo = 0;
-        while shard_lo < n_trees {
-            let shard_hi = (shard_lo + st).min(n_trees);
+        for (shard, &(shard_lo, shard_hi)) in shard_ranges.iter().enumerate() {
+            #[cfg(not(feature = "telemetry"))]
+            let _ = shard;
             #[cfg(feature = "telemetry")]
-            let _tile = tile_span(
-                tile_ctx,
-                block_start / qb,
-                shard_lo / st.max(1),
-                len,
-                shard_hi - shard_lo,
-            );
+            let _tile = tile_span(tile_ctx, block_start / qb, shard, len, shard_hi - shard_lo);
             #[cfg(feature = "mem-tracer")]
             let traced = {
                 let sampled = tile_idx.is_multiple_of(mem_ctx.sample_every());
@@ -899,7 +1056,6 @@ fn exact_task<E: TreeEnsemble>(
                     }
                 }
             }
-            shard_lo = shard_hi;
         }
         // Reduction pass: per-row majority, ties toward the lower
         // class id (the shared convention).
@@ -922,6 +1078,7 @@ fn sliced_task<E: TreeEnsemble>(
     source: &E,
     queries: QueryView<'_>,
     tiling: Tiling,
+    shard_ranges: &[(usize, usize)],
     task_start: usize,
     rows: &mut [Label],
     early_slack: Option<u32>,
@@ -937,8 +1094,8 @@ fn sliced_task<E: TreeEnsemble>(
     let mut tracer = mem_ctx.tracer();
     #[cfg(feature = "mem-tracer")]
     let mut tile_idx = 0u64;
-    let Tiling { qb, st, nc, n_trees } = tiling;
-    let shards_total = n_trees.div_ceil(st);
+    let Tiling { qb, nc, n_trees } = tiling;
+    let shards_total = shard_ranges.len();
     let mut acc = BitSlicedVotes::new(qb, nc);
     let (mut skipped, mut exited) = (0u64, 0u64);
     let mut offset = 0;
@@ -947,18 +1104,12 @@ fn sliced_task<E: TreeEnsemble>(
         let block_start = task_start + offset;
         acc.reset(len);
         let mut probe = 0usize;
-        let mut shard_lo = 0;
         let mut shards_run = 0usize;
-        while shard_lo < n_trees {
-            let shard_hi = (shard_lo + st).min(n_trees);
+        for (shard, &(shard_lo, shard_hi)) in shard_ranges.iter().enumerate() {
+            #[cfg(not(feature = "telemetry"))]
+            let _ = shard;
             #[cfg(feature = "telemetry")]
-            let _tile = tile_span(
-                tile_ctx,
-                block_start / qb,
-                shard_lo / st.max(1),
-                len,
-                shard_hi - shard_lo,
-            );
+            let _tile = tile_span(tile_ctx, block_start / qb, shard, len, shard_hi - shard_lo);
             #[cfg(feature = "mem-tracer")]
             let traced = {
                 let sampled = tile_idx.is_multiple_of(mem_ctx.sample_every());
@@ -987,16 +1138,15 @@ fn sliced_task<E: TreeEnsemble>(
                     acc.next_tree();
                 }
             }
-            shard_lo = shard_hi;
             shards_run += 1;
             if let Some(slack) = early_slack {
-                if shard_lo < n_trees {
+                if shard_hi < n_trees {
                     // Exact counts at the boundary, then the
                     // unreachable-lead test: sound because the leader
                     // can only gain votes while every rival gains at
                     // most `remaining` (see `BitSlicedVotes`).
                     acc.close_window();
-                    let remaining = (n_trees - shard_lo) as u32;
+                    let remaining = (n_trees - shard_hi) as u32;
                     if acc.all_decided(remaining, slack, &mut probe) {
                         skipped += (shards_total - shards_run) as u64;
                         exited += 1;
@@ -1177,6 +1327,77 @@ mod tests {
         assert!(PlanError::ZeroShardTrees.to_string().contains("shard_trees"));
     }
 
+    /// `PackPlan` rides the same validated construction path as the
+    /// native knobs: a bad packing parameter surfaces as a typed
+    /// `PlanError::Pack` from `build()`, a good one round-trips through
+    /// `to_builder()` (mirroring the `PlanError` coverage above).
+    #[test]
+    fn builder_validates_pack_plans() {
+        assert_eq!(
+            EnginePlan::builder().pack(PackPlan::default().budget(0)).build(),
+            Err(PlanError::Pack(PackError::ZeroShardBudget))
+        );
+        assert_eq!(
+            EnginePlan::builder().pack(PackPlan::default().interleave(17)).build(),
+            Err(PlanError::Pack(PackError::InterleaveTooDeep))
+        );
+        assert!(PlanError::Pack(PackError::ZeroShardBudget).to_string().contains("shard_budget"));
+
+        let pack = PackPlan::new(3, 64 << 10).unwrap();
+        let plan = EnginePlan::builder().shard_trees(4).pack(pack).build().unwrap();
+        assert_eq!(plan.pack(), Some(pack));
+        assert_eq!(plan.to_builder().build().unwrap(), plan);
+        // Plans without packing report none, and normalization keeps it.
+        assert_eq!(EnginePlan::default().pack(), None);
+        assert_eq!(plan.normalized(10, 100).pack(), Some(pack));
+    }
+
+    /// The packed layouts slot into the engine unchanged: every vote
+    /// policy, auto and pinned plans, and the byte-aware shard bounds
+    /// all reproduce the reference labels (f32) / snapped-oracle labels
+    /// (quantized) exactly.
+    #[test]
+    fn packed_layouts_match_reference_through_the_engine() {
+        use rfx_core::pack::FrequencyProfile;
+        let (forest, queries) = fixture(11, 7);
+        let qv = QueryView::new(&queries, 6).unwrap();
+        let reference = forest.predict_batch(qv);
+        // Profile from a different query distribution than the batch.
+        let calib: Vec<f32> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..64 * 6).map(|_| rng.gen::<f32>() * 0.5).collect()
+        };
+        let profile = FrequencyProfile::collect(&forest, QueryView::new(&calib, 6).unwrap());
+        let pack = PackPlan::new(2, 4 << 10).unwrap();
+        let packed = PackedFilForest::build(&forest, &profile, pack).unwrap();
+        assert!(packed.num_shards() > 1, "budget forces multiple shards");
+        // Auto-planned engine adopts the layout's bounds.
+        let engine = ShardedEngine::new(&packed);
+        assert_eq!(engine.shard_bounds_for_run(), Some(packed.shard_tree_bounds()));
+        assert_eq!(engine.predict(qv), reference);
+        // A pinned uniform plan stays uniform but predicts identically.
+        let uniform = EnginePlan::builder().shard_trees(3).query_block(32).build().unwrap();
+        let engine = ShardedEngine::with_plan(&packed, uniform);
+        assert_eq!(engine.shard_bounds_for_run(), None);
+        assert_eq!(engine.predict(qv), reference);
+        // Opting in via the plan's PackPlan adopts the bounds again.
+        let opted = uniform.to_builder().pack(pack).build().unwrap();
+        let engine = ShardedEngine::with_plan(&packed, opted);
+        assert_eq!(engine.shard_bounds_for_run(), Some(packed.shard_tree_bounds()));
+        assert_eq!(engine.predict(qv), reference);
+        for policy in [VotePolicy::Exact, VotePolicy::BitSliced, VotePolicy::EarlyExit { slack: 1 }]
+        {
+            assert_eq!(ShardedEngine::with_policy(&packed, policy).predict(qv), reference);
+        }
+        // Quantized packed layouts vote on their snapped oracle.
+        let packed_q8 = PackedQFilForest::<u8>::build(&forest, &profile, pack).unwrap();
+        let snapped = packed_q8.quantizer().snap_forest(&forest).predict_batch(qv);
+        for policy in [VotePolicy::Exact, VotePolicy::BitSliced, VotePolicy::EarlyExit { slack: 0 }]
+        {
+            assert_eq!(ShardedEngine::with_policy(&packed_q8, policy).predict(qv), snapped);
+        }
+    }
+
     #[test]
     fn with_policy_stamps_the_policy_onto_auto_plans() {
         let (forest, _) = fixture(9, 23);
@@ -1246,6 +1467,7 @@ mod tests {
             query_block: 0,
             threads: 0,
             vote_policy: VotePolicy::Exact,
+            pack: None,
         };
         let fixed = plan.normalized(10, 100);
         assert!(fixed.shard_trees() >= 1 && fixed.shard_trees() <= 10);
@@ -1373,5 +1595,39 @@ mod tests {
             fil_perf.l2_misses
         );
         assert!(q_perf.dram_transactions < fil_perf.dram_transactions);
+    }
+
+    /// The cache win packing exists for, observed by the tracer: same
+    /// 12 B nodes, same visited set, same uniform plan — only the node
+    /// *order* differs — yet the hot-first, root-interleaved stream
+    /// touches fewer distinct lines per tile, so strictly fewer
+    /// simulated L2 misses and DRAM transactions.
+    #[cfg(feature = "mem-tracer")]
+    #[test]
+    fn packed_fil_misses_less_than_unpacked_fil() {
+        use rfx_core::pack::FrequencyProfile;
+        let mut rng = StdRng::seed_from_u64(53);
+        let trees: Vec<DecisionTree> =
+            (0..48).map(|_| DecisionTree::random(&mut rng, 14, 6, 4, 0.1)).collect();
+        let forest = RandomForest::from_trees(trees, 6, 4).unwrap();
+        let queries: Vec<f32> = (0..256 * 6).map(|_| rng.gen()).collect();
+        let calib: Vec<f32> = (0..128 * 6).map(|_| rng.gen()).collect();
+        let qv = QueryView::new(&queries, 6).unwrap();
+        let profile = FrequencyProfile::collect(&forest, QueryView::new(&calib, 6).unwrap());
+        let plan =
+            EnginePlan::builder().shard_trees(48).query_block(64).threads(2).build().unwrap();
+        let fil = FilForest::build(&forest);
+        let packed = PackedFilForest::build(&forest, &profile, PackPlan::default()).unwrap();
+        let fil_metrics = scoped_snapshot(&ShardedEngine::with_plan(&fil, plan), qv);
+        let p_metrics = scoped_snapshot(&ShardedEngine::with_plan(&packed, plan), qv);
+        let fil_perf = rfx_telemetry::perf::read(&fil_metrics, "kernels").unwrap();
+        let p_perf = rfx_telemetry::perf::read(&p_metrics, "kernels").unwrap();
+        assert!(
+            p_perf.l2_misses < fil_perf.l2_misses,
+            "packed-fil L2 misses {} must undercut unpacked fil's {}",
+            p_perf.l2_misses,
+            fil_perf.l2_misses
+        );
+        assert!(p_perf.dram_transactions < fil_perf.dram_transactions);
     }
 }

@@ -1,0 +1,76 @@
+//! Determinism guard for the memtrace sampler (`mem-tracer` feature):
+//! with `RFX_MEMTRACE_SAMPLE=1` (trace every tile) and a pinned thread
+//! count, two runs of the same workload must export bit-identical
+//! `kernels.perf.*` snapshots. The pack-smoke CI gate diffs committed
+//! counter baselines against fresh runs — this test is what makes those
+//! baselines trustworthy rather than flaky.
+//!
+//! Lives in its own integration-test binary because `RFX_MEMTRACE_SAMPLE`
+//! is process-global: a separate process keeps the pinned sampling period
+//! from leaking into other tests.
+
+#![cfg(feature = "mem-tracer")]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rfx_core::pack::{FrequencyProfile, PackPlan, PackedFilForest};
+use rfx_core::FilForest;
+use rfx_forest::dataset::QueryView;
+use rfx_forest::{DecisionTree, RandomForest};
+use rfx_kernels::{EnginePlan, Predictor, ShardedEngine, TreeEnsemble};
+use rfx_telemetry::perf;
+
+const NF: usize = 6;
+
+fn fixture(seed: u64) -> (RandomForest, Vec<f32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trees: Vec<DecisionTree> =
+        (0..24).map(|_| DecisionTree::random(&mut rng, 10, NF as u16, 4, 0.2)).collect();
+    let forest = RandomForest::from_trees(trees, NF, 4).unwrap();
+    let queries: Vec<f32> = (0..200 * NF).map(|_| rng.gen()).collect();
+    (forest, queries)
+}
+
+/// Runs `engine` once in a fresh scoped telemetry domain and returns its
+/// exported `kernels.perf.*` counter values in schema order.
+fn perf_snapshot<E: TreeEnsemble>(engine: &ShardedEngine<E>, queries: &[f32]) -> Vec<u64> {
+    let tel = rfx_telemetry::Telemetry::new();
+    let qv = QueryView::new(queries, NF).unwrap();
+    let mut out = vec![0; qv.num_rows()];
+    {
+        let root = tel.start_span("determinism.pass");
+        let _scope = tel.in_context(root.context());
+        engine.predict_into(qv, &mut out);
+    }
+    let metrics = tel.metrics_snapshot();
+    perf::assert_schema(&metrics, "kernels");
+    perf::read(&metrics, "kernels").unwrap().counter_values().to_vec()
+}
+
+#[test]
+fn same_seed_runs_export_identical_perf_snapshots() {
+    // Trace every tile: sampling must not depend on scheduling, and the
+    // merged counters are sums, so thread interleaving cannot reorder
+    // them — but only a pinned thread count makes the task split (and
+    // hence tile population) identical across runs.
+    std::env::set_var("RFX_MEMTRACE_SAMPLE", "1");
+    let (forest, queries) = fixture(71);
+    let plan = EnginePlan::builder().shard_trees(8).query_block(32).threads(2).build().unwrap();
+
+    let fil = FilForest::build(&forest);
+    let engine = ShardedEngine::with_plan(&fil, plan);
+    let first = perf_snapshot(&engine, &queries);
+    let second = perf_snapshot(&engine, &queries);
+    assert_eq!(first, second, "unpacked FIL counters must be run-invariant");
+
+    // Same guarantee on the packed layout (what pack-smoke actually
+    // gates), including the byte-aware shard bounds path.
+    let profile = FrequencyProfile::collect(&forest, QueryView::new(&queries, NF).unwrap());
+    let packed = PackedFilForest::build(&forest, &profile, PackPlan::default()).unwrap();
+    let bounded = plan.to_builder().pack(PackPlan::default()).build().unwrap();
+    let engine = ShardedEngine::with_plan(&packed, bounded);
+    let first = perf_snapshot(&engine, &queries);
+    let second = perf_snapshot(&engine, &queries);
+    assert_eq!(first, second, "packed FIL counters must be run-invariant");
+    assert!(first.iter().any(|&v| v > 0), "the tracer must have observed fetches");
+}

@@ -13,7 +13,10 @@
 //! counts the fallback rather than failing the request.
 
 use crate::model::ServeModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rfx_core::footprint::LayoutFootprint;
+use rfx_core::pack::{FrequencyProfile, PackPlan, PackedFilForest, PackedQFilForest};
 use rfx_core::quant::QFilForest;
 use rfx_core::{HierForest, Label};
 use rfx_forest::dataset::QueryView;
@@ -162,22 +165,60 @@ pub(crate) trait Backend: Send + Sync {
     fn resident_footprint(&self) -> LayoutFootprint;
 }
 
+/// Rows in the deterministic calibration sweep that seeds a packed
+/// layout's frequency profile when a deployment opts into packing.
+const PACK_CALIBRATION_ROWS: usize = 256;
+
+/// Fixed calibration seed: every replica of a deployment packs the same
+/// model into a byte-identical layout, so resident-bytes gauges and
+/// perf-counter baselines are comparable across the fleet.
+const PACK_CALIBRATION_SEED: u64 = 0x7061_636b; // "pack"
+
+/// Access-frequency profile a packed serve layout is calibrated on: a
+/// seeded uniform-[0,1) sweep of the feature space. Packing is
+/// oracle-invariant (the equivalence proptests pin this), so a generic
+/// calibration set only costs locality — never correctness — when the
+/// live traffic is distributed differently.
+fn calibration_profile(forest: &RandomForest) -> FrequencyProfile {
+    let nf = forest.num_features();
+    let mut rng = StdRng::seed_from_u64(PACK_CALIBRATION_SEED);
+    let rows: Vec<f32> = (0..PACK_CALIBRATION_ROWS * nf).map(|_| rng.gen()).collect();
+    match QueryView::new(&rows, nf) {
+        Ok(queries) => FrequencyProfile::collect(forest, queries),
+        Err(_) => FrequencyProfile::uniform(forest),
+    }
+}
+
 /// Builds one executor of `kind` over `model`. Every sharded CPU engine
 /// in the backend — primary or device-refusal fallback — is constructed
 /// with `policy`, so a registry-wide [`VotePolicy`] choice reaches every
-/// path that tallies votes.
+/// path that tallies votes. When `pack` is set, the sharded CPU backends
+/// traverse profile-packed layouts ([`PackedFilForest`] /
+/// [`PackedQFilForest`]) instead of their default layouts; a packed
+/// build that exceeds a bitfield budget degrades to the unpacked layout
+/// of the same precision.
 pub(crate) fn make_backend(
     kind: BackendKind,
     model: &ServeModel,
     policy: VotePolicy,
+    pack: Option<PackPlan>,
 ) -> Box<dyn Backend + Sync> {
     match kind {
         BackendKind::CpuParallel => {
             Box::new(CpuParallel { engine: RowParallel::new(Arc::clone(model.forest())) })
         }
-        BackendKind::CpuSharded => Box::new(CpuSharded {
-            engine: ShardedEngine::with_policy(Arc::clone(model.forest()), policy),
-        }),
+        BackendKind::CpuSharded => {
+            let packed = pack.and_then(|plan| {
+                let profile = calibration_profile(model.forest());
+                PackedFilForest::build(model.forest(), &profile, plan)
+                    .ok()
+                    .map(|f| ShardedEngine::with_policy(f, policy))
+            });
+            Box::new(CpuSharded {
+                packed,
+                engine: ShardedEngine::with_policy(Arc::clone(model.forest()), policy),
+            })
+        }
         BackendKind::GpuSimHybrid => Box::new(GpuSimHybrid {
             model: model.clone(),
             fallback: ShardedEngine::with_policy(Arc::clone(model.hier()), policy),
@@ -188,13 +229,30 @@ pub(crate) fn make_backend(
             fallback: ShardedEngine::with_policy(Arc::clone(model.hier()), policy),
             fallbacks: AtomicU64::new(0),
         }),
-        BackendKind::CpuShardedQ8 => Box::new(CpuShardedQ8 {
-            engine: QFilForest::<u8>::build(model.forest())
-                .ok()
-                .map(|q| ShardedEngine::with_policy(q, policy)),
-            fallback: ShardedEngine::with_policy(Arc::clone(model.forest()), policy),
-            fallbacks: AtomicU64::new(0),
-        }),
+        BackendKind::CpuShardedQ8 => {
+            let packed = pack.and_then(|plan| {
+                let profile = calibration_profile(model.forest());
+                PackedQFilForest::<u8>::build(model.forest(), &profile, plan)
+                    .ok()
+                    .map(|q| ShardedEngine::with_policy(q, policy))
+            });
+            // Only build the flat quantized layout when the packed one
+            // is absent — they answer on the same quantizer grid, so one
+            // resident copy suffices.
+            let engine = if packed.is_some() {
+                None
+            } else {
+                QFilForest::<u8>::build(model.forest())
+                    .ok()
+                    .map(|q| ShardedEngine::with_policy(q, policy))
+            };
+            Box::new(CpuShardedQ8 {
+                engine,
+                packed,
+                fallback: ShardedEngine::with_policy(Arc::clone(model.forest()), policy),
+                fallbacks: AtomicU64::new(0),
+            })
+        }
     }
 }
 
@@ -225,6 +283,10 @@ impl Backend for CpuParallel {
 
 struct CpuSharded {
     engine: ShardedEngine<Arc<RandomForest>>,
+    /// Profile-packed FIL layout, present iff the deployment configured
+    /// a [`PackPlan`]; its auto-planned engine adopts the layout's
+    /// byte-aware shard bounds.
+    packed: Option<ShardedEngine<PackedFilForest>>,
 }
 
 impl Backend for CpuSharded {
@@ -233,16 +295,25 @@ impl Backend for CpuSharded {
     }
 
     fn predict(&self, queries: QueryView, out: &mut [Label]) -> Result<Exec, BackendError> {
-        self.engine.predict_into(queries, out);
+        match &self.packed {
+            Some(engine) => engine.predict_into(queries, out),
+            None => self.engine.predict_into(queries, out),
+        }
         Ok(Exec::default())
     }
 
     fn tile_attrs(&self, rows: usize) -> Vec<(&'static str, String)> {
-        let plan = self.engine.plan_for(rows);
-        let n_trees = self.engine.source().num_trees();
-        let shards = n_trees.div_ceil(plan.shard_trees());
+        let (layout, plan, shards) = match &self.packed {
+            Some(e) => ("packed-fil", e.plan_for(rows), e.source().num_shards()),
+            None => {
+                let plan = self.engine.plan_for(rows);
+                let shards = self.engine.source().num_trees().div_ceil(plan.shard_trees());
+                ("forest", plan, shards)
+            }
+        };
         let blocks = rows.div_ceil(plan.query_block()).max(1);
         vec![
+            ("layout", layout.to_string()),
             ("shard_trees", plan.shard_trees().to_string()),
             ("query_block", plan.query_block().to_string()),
             ("shards", shards.to_string()),
@@ -258,7 +329,10 @@ impl Backend for CpuSharded {
     }
 
     fn resident_footprint(&self) -> LayoutFootprint {
-        self.engine.source().footprint()
+        match &self.packed {
+            Some(e) => e.source().footprint(),
+            None => self.engine.source().footprint(),
+        }
     }
 }
 
@@ -343,12 +417,15 @@ impl Backend for FpgaSimIndependent {
 }
 
 /// The quantized CPU backend: tree-sharded engine over the u8 packed FIL
-/// layout. When the forest exceeds the packed bitfield budgets (feature
-/// index or tree width), the build falls back to the f32 sharded engine
-/// and every batch served that way is counted as a fallback — the same
-/// degrade-and-count contract the device backends use for refusals.
+/// layout (profile-packed when the deployment configured a [`PackPlan`],
+/// flat otherwise). When the forest exceeds the packed bitfield budgets
+/// (feature index or tree width), the build falls back to the f32
+/// sharded engine and every batch served that way is counted as a
+/// fallback — the same degrade-and-count contract the device backends
+/// use for refusals.
 struct CpuShardedQ8 {
     engine: Option<ShardedEngine<QFilForest<u8>>>,
+    packed: Option<ShardedEngine<PackedQFilForest<u8>>>,
     fallback: ShardedEngine<Arc<RandomForest>>,
     fallbacks: AtomicU64,
 }
@@ -359,9 +436,10 @@ impl Backend for CpuShardedQ8 {
     }
 
     fn predict(&self, queries: QueryView, out: &mut [Label]) -> Result<Exec, BackendError> {
-        match &self.engine {
-            Some(engine) => engine.predict_into(queries, out),
-            None => {
+        match (&self.packed, &self.engine) {
+            (Some(engine), _) => engine.predict_into(queries, out),
+            (None, Some(engine)) => engine.predict_into(queries, out),
+            (None, None) => {
                 self.fallbacks.fetch_add(1, Ordering::Relaxed);
                 self.fallback.predict_into(queries, out);
             }
@@ -374,13 +452,19 @@ impl Backend for CpuShardedQ8 {
     }
 
     fn tile_attrs(&self, rows: usize) -> Vec<(&'static str, String)> {
-        let (layout, plan, n_trees) = match &self.engine {
-            Some(e) => ("qfil-u8", e.plan_for(rows), e.source().num_trees()),
-            None => {
-                ("f32-fallback", self.fallback.plan_for(rows), self.fallback.source().num_trees())
+        let (layout, plan, shards) = match (&self.packed, &self.engine) {
+            (Some(e), _) => ("packed-qfil-u8", e.plan_for(rows), e.source().num_shards()),
+            (None, Some(e)) => {
+                let plan = e.plan_for(rows);
+                let shards = e.source().num_trees().div_ceil(plan.shard_trees());
+                ("qfil-u8", plan, shards)
+            }
+            (None, None) => {
+                let plan = self.fallback.plan_for(rows);
+                let shards = self.fallback.source().num_trees().div_ceil(plan.shard_trees());
+                ("f32-fallback", plan, shards)
             }
         };
-        let shards = n_trees.div_ceil(plan.shard_trees());
         let blocks = rows.div_ceil(plan.query_block()).max(1);
         vec![
             ("layout", layout.to_string()),
@@ -393,9 +477,10 @@ impl Backend for CpuShardedQ8 {
     }
 
     fn resident_footprint(&self) -> LayoutFootprint {
-        match &self.engine {
-            Some(e) => e.source().footprint(),
-            None => self.fallback.source().footprint(),
+        match (&self.packed, &self.engine) {
+            (Some(e), _) => e.source().footprint(),
+            (None, Some(e)) => e.source().footprint(),
+            (None, None) => self.fallback.source().footprint(),
         }
     }
 }

@@ -95,6 +95,8 @@ pub use router::{Arm, RouteMode, ShadowStats};
 pub use scheduler::SchedulePolicy;
 pub use service::{RfxServe, ServeConfig};
 pub use ticket::Ticket;
-// The engine's vote-reduction policy, re-exported so deployments can set
-// `ServeConfig::vote_policy` without depending on rfx-kernels directly.
+// The engine's vote-reduction policy and the packing plan, re-exported
+// so deployments can set `ServeConfig::vote_policy` / `ServeConfig::pack`
+// without depending on rfx-kernels or rfx-core directly.
+pub use rfx_core::pack::PackPlan;
 pub use rfx_kernels::VotePolicy;

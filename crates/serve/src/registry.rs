@@ -27,6 +27,7 @@ use crate::error::ServeError;
 use crate::metrics::LatencySummary;
 use crate::model::ServeModel;
 use rfx_core::footprint::LayoutFootprint;
+use rfx_core::pack::PackPlan;
 use rfx_kernels::VotePolicy;
 use rfx_telemetry::{Counter, Gauge, Histogram, Telemetry, TraceId};
 use serde::Serialize;
@@ -124,10 +125,11 @@ impl VersionEntry {
         model: ServeModel,
         kinds: &[BackendKind],
         vote_policy: VotePolicy,
+        pack: Option<PackPlan>,
         telemetry: &Telemetry,
     ) -> Arc<VersionEntry> {
         let backends: Vec<Box<dyn Backend + Sync>> =
-            kinds.iter().map(|&k| make_backend(k, &model, vote_policy)).collect();
+            kinds.iter().map(|&k| make_backend(k, &model, vote_policy, pack)).collect();
         let resident = backends.iter().map(|b| b.resident_footprint()).collect();
         Arc::new(VersionEntry {
             version,
@@ -166,6 +168,10 @@ pub(crate) struct ModelRegistry {
     inner: Mutex<Inner>,
     kinds: Vec<BackendKind>,
     vote_policy: VotePolicy,
+    /// Registry-wide packing plan: like the vote policy, it reaches the
+    /// executor set of every version published later, so a hot-swapped
+    /// model is packed exactly as the one it replaces.
+    pack: Option<PackPlan>,
     telemetry: Telemetry,
     active_version_gauge: Arc<Gauge>,
     epoch_gauge: Arc<Gauge>,
@@ -180,10 +186,11 @@ impl ModelRegistry {
         model: ServeModel,
         kinds: &[BackendKind],
         vote_policy: VotePolicy,
+        pack: Option<PackPlan>,
         telemetry: &Telemetry,
     ) -> Self {
         let version = ModelVersion::from_raw(1).unwrap();
-        let entry = VersionEntry::build(version, model, kinds, vote_policy, telemetry);
+        let entry = VersionEntry::build(version, model, kinds, vote_policy, pack, telemetry);
         let active_version_gauge = telemetry.gauge("serve.model.active_version");
         let epoch_gauge = telemetry.gauge("serve.model.epoch");
         active_version_gauge.set(1.0);
@@ -197,6 +204,7 @@ impl ModelRegistry {
             }),
             kinds: kinds.to_vec(),
             vote_policy,
+            pack,
             telemetry: telemetry.clone(),
             active_version_gauge,
             epoch_gauge,
@@ -230,8 +238,14 @@ impl ModelRegistry {
             });
         }
         let version = ModelVersion::from_raw(inner.versions.len() as u64 + 1).unwrap();
-        let entry =
-            VersionEntry::build(version, model, &self.kinds, self.vote_policy, &self.telemetry);
+        let entry = VersionEntry::build(
+            version,
+            model,
+            &self.kinds,
+            self.vote_policy,
+            self.pack,
+            &self.telemetry,
+        );
         inner.versions.push(entry);
         Ok(version)
     }
@@ -385,6 +399,7 @@ mod tests {
             model(0),
             &[BackendKind::CpuSharded],
             VotePolicy::Exact,
+            None,
             &Telemetry::new(),
         )
     }
@@ -396,6 +411,7 @@ mod tests {
             model(0),
             &[BackendKind::CpuSharded, BackendKind::CpuShardedQ8],
             VotePolicy::Exact,
+            None,
             &tel,
         );
         let f32_bytes = tel.gauge("serve.backend.cpu-sharded.resident_bytes").get();
@@ -414,6 +430,7 @@ mod tests {
             model(0),
             &[BackendKind::CpuSharded, BackendKind::CpuShardedQ8],
             VotePolicy::Exact,
+            None,
             &Telemetry::new(),
         );
         let v2 = reg.publish(model(1)).unwrap();
@@ -436,6 +453,7 @@ mod tests {
             model(0),
             &[BackendKind::CpuSharded],
             VotePolicy::EarlyExit { slack: 2 },
+            None,
             &Telemetry::new(),
         );
         let v2 = reg.publish(model(1)).unwrap();

@@ -31,6 +31,7 @@ use crate::scheduler::{SchedulePolicy, Scheduler};
 use crate::ticket::{Slot, Ticket};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
+use rfx_core::pack::PackPlan;
 use rfx_core::splitmix64;
 use rfx_forest::dataset::QueryView;
 use rfx_forest::RandomForest;
@@ -79,6 +80,14 @@ pub struct ServeConfig {
     /// Deterministic fault injection at the backend boundary (testing
     /// only); `None` serves faithfully.
     pub fault_plan: Option<FaultPlanOpt>,
+    /// Profile-guided forest packing for the sharded CPU backends
+    /// (`cpu-sharded`, `cpu-sharded-q8`): when set, each published
+    /// version's layout is reordered hot-first from a deterministic
+    /// calibration sweep and bin-packed into byte-budgeted shards (see
+    /// `rfx_core::pack`). Packing never changes predictions — only
+    /// memory locality — so it composes with any vote policy and with
+    /// shadow scoring. `None` (the default) keeps the flat layouts.
+    pub pack: Option<PackPlan>,
 }
 
 /// Re-exported alias so the config field keeps its historical shape.
@@ -98,6 +107,7 @@ impl Default for ServeConfig {
             seed_probe_rows: 32,
             resilience: ResilienceConfig::default(),
             fault_plan: None,
+            pack: None,
         }
     }
 }
@@ -182,7 +192,13 @@ impl RfxServe {
 
         let num_features = model.num_features();
         let num_classes = model.num_classes();
-        let registry = ModelRegistry::new(model, &config.backends, config.vote_policy, &telemetry);
+        let registry = ModelRegistry::new(
+            model,
+            &config.backends,
+            config.vote_policy,
+            config.pack,
+            &telemetry,
+        );
         let faults: Vec<Option<FaultState>> = config
             .backends
             .iter()

@@ -262,10 +262,16 @@ pub fn missing_keys(snapshot: &MetricsSnapshot, domain: &str) -> Vec<String> {
 /// engine, gpu-sim, and fpga-sim domains.
 ///
 /// # Panics
-/// Lists the missing series names.
+/// Lists *every* missing series name (counters and gauges), not just
+/// the first — a half-wired exporter should be diagnosable from one
+/// failure message.
 pub fn assert_schema(snapshot: &MetricsSnapshot, domain: &str) {
     let missing = missing_keys(snapshot, domain);
-    assert!(missing.is_empty(), "perf schema incomplete for `{domain}`: missing {missing:?}");
+    assert!(
+        missing.is_empty(),
+        "perf schema incomplete for `{domain}`: missing {} series {missing:?}",
+        missing.len()
+    );
 }
 
 #[cfg(test)]
@@ -334,6 +340,32 @@ mod tests {
         let tel = Telemetry::new();
         tel.counter("partial.perf.l1.accesses").inc();
         assert_schema(&tel.metrics_snapshot(), "partial");
+    }
+
+    /// The panic message must enumerate *all* missing series, not just
+    /// the first: with only one counter exported, every other counter
+    /// key and both gauges have to appear by name.
+    #[test]
+    fn assert_schema_panic_lists_every_missing_series() {
+        let tel = Telemetry::new();
+        tel.counter("partial.perf.l1.accesses").inc();
+        let snapshot = tel.metrics_snapshot();
+        let message = std::panic::catch_unwind(move || assert_schema(&snapshot, "partial"))
+            .expect_err("an incomplete schema must panic");
+        let message = message
+            .downcast_ref::<String>()
+            .expect("panic payload is the formatted message")
+            .clone();
+        for key in COUNTER_KEYS.iter().skip(1).chain(GAUGE_KEYS.iter()) {
+            let name = series("partial", key);
+            assert!(message.contains(&name), "panic message must list `{name}`: {message}");
+        }
+        assert!(
+            !message.contains("partial.perf.l1.accesses\""),
+            "the one exported series must not be listed as missing: {message}"
+        );
+        let expected = COUNTER_KEYS.len() - 1 + GAUGE_KEYS.len();
+        assert!(message.contains(&format!("missing {expected} series")), "{message}");
     }
 
     #[test]
